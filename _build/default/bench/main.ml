@@ -1,0 +1,671 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation material (the worked appendix and the claimed storage
+   optimizations), plus the cost and ablation studies DESIGN.md calls
+   out.  One experiment per table; run all with
+
+     dune exec bench/main.exe
+
+   or a subset with  dune exec bench/main.exe -- T1 T4 F1.
+   EXPERIMENTS.md records paper-vs-measured for each experiment. *)
+
+module An = Escape.Analysis
+module B = Escape.Besc
+module Fix = Escape.Fixpoint
+module Sh = Escape.Sharing
+module T = Optimize.Transform
+module M = Runtime.Machine
+module Stats = Runtime.Stats
+module Ex = Nml.Examples
+module Surface = Nml.Surface
+module Ty = Nml.Ty
+
+(* ---- small infrastructure -------------------------------------------------- *)
+
+let section id title =
+  Printf.printf "\n================ %s: %s ================\n" id title
+
+let print_table header rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let print_row cells =
+    List.iteri (fun i c -> Printf.printf "%-*s  " (List.nth widths i) c) cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+(* Wall time per run (nanoseconds) via bechamel's OLS estimate. *)
+let measure_ns name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let res =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) res [] with
+  | [ v ] -> ( match Analyze.OLS.estimates v with Some [ e ] -> e | _ -> Float.nan)
+  | _ -> Float.nan
+
+let ms ns = Printf.sprintf "%.3f" (ns /. 1e6)
+let us ns = Printf.sprintf "%.1f" (ns /. 1e3)
+
+(* Deterministic pseudo-random integers (no wall-clock seeds: bench output
+   is reproducible). *)
+let lcg_list ~seed n =
+  let state = ref seed in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod 1000)
+
+let int_list_src xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]"
+
+let run_machine ?(heap = 4096) ir =
+  let m = M.create ~heap_size:heap ~check_arenas:true () in
+  let w = M.eval m ir in
+  ignore (M.read_value m w);
+  M.stats m
+
+let optimized options surface = (T.optimize ~options surface).T.ir
+
+(* ---- F1: Figure 1, spines of a list ---------------------------------------- *)
+
+let f1 () =
+  section "F1" "Figure 1 -- spines of a list";
+  let v = Nml.Eval.run (Surface.of_string "[[1,2],[3,4],[5,6]]") in
+  Format.printf "%a@." Escape.Report.spines_figure v;
+  Printf.printf
+    "paper: the outer chain is the top 1st / bottom 2nd spine; the element\n\
+     chains are the top 2nd / bottom 1st spines.\n"
+
+(* ---- T1: appendix A.1, global escape analysis ------------------------------- *)
+
+let t1 () =
+  section "T1" "Appendix A.1 -- global escape tests for APPEND, SPLIT, PS";
+  let t = Fix.of_source Ex.partition_sort_program in
+  let expected =
+    [
+      ("append", [ "<1,0>"; "<1,1>" ]);
+      ("split", [ "<0,0>"; "<1,0>"; "<1,1>"; "<1,1>" ]);
+      ("ps", [ "<1,0>" ]);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, exp) ->
+        List.mapi
+          (fun i e ->
+            let v = An.global t name ~arg:(i + 1) in
+            let got = B.to_string v.An.esc in
+            [
+              Printf.sprintf "G(%s, %d)" name (i + 1);
+              e;
+              got;
+              string_of_int (An.non_escaping_top_spines v);
+              (if String.equal e got then "ok" else "MISMATCH");
+            ])
+          exp)
+      expected
+  in
+  print_table [ "test"; "paper"; "computed"; "kept top spines"; "status" ] rows;
+  Printf.printf "fixpoint: %d passes, %d iterations, capped=%b, d=%d\n" (Fix.passes t)
+    (Fix.iterations t) (Fix.capped t) (Fix.d t);
+  Printf.printf "\nKleene iterates (the appendix's fixpoint table):\n";
+  let prog = Nml.Infer.infer_program (Surface.of_string Ex.partition_sort_program) in
+  Format.printf "%a@." (Escape.Report.kleene_trace ?max_iters:None) prog
+
+(* ---- T2: introduction, properties 1-3 ---------------------------------------- *)
+
+let t2 () =
+  section "T2" "Introduction -- map/pair properties 1-3";
+  let t = Fix.of_source Ex.map_pair_program in
+  let p1 = An.global t "pair" ~arg:1 in
+  let p2f = An.global t "map" ~arg:1 in
+  let p2l = An.global t "map" ~arg:2 in
+  let p3 =
+    An.local t "map"
+      [ Nml.Parser.parse "pair"; Nml.Parser.parse "[[1,2],[3,4],[5,6]]" ]
+      ~arg:2
+  in
+  print_table
+    [ "property"; "paper"; "computed"; "status" ]
+    [
+      [
+        "1. top spine of pair's parameter";
+        "does not escape";
+        B.to_string p1.An.esc;
+        (if B.equal p1.An.esc (B.one 0) then "ok" else "MISMATCH");
+      ];
+      [
+        "2a. top spine of map's list";
+        "does not escape";
+        B.to_string p2l.An.esc;
+        (if B.equal p2l.An.esc (B.one 0) then "ok" else "MISMATCH");
+      ];
+      [
+        "2b. map's functional argument";
+        "does not escape";
+        B.to_string p2f.An.esc;
+        (if B.equal p2f.An.esc B.zero then "ok" else "MISMATCH");
+      ];
+      [
+        "3. this call's literal (s=2)";
+        "top two spines stay";
+        Printf.sprintf "%s, keep %d" (B.to_string p3.An.esc)
+          (An.non_escaping_top_spines p3);
+        (if An.non_escaping_top_spines p3 = 2 then "ok" else "MISMATCH");
+      ];
+    ]
+
+(* ---- T3: appendix A.2, sharing ------------------------------------------------ *)
+
+let t3 () =
+  section "T3" "Appendix A.2 -- sharing derived from escape information";
+  let t = Fix.of_source Ex.partition_sort_program in
+  let rows =
+    List.map
+      (fun (name, paper) ->
+        let i = Sh.result_unshared t name in
+        [
+          name;
+          paper;
+          Printf.sprintf "top %d of %d unshared" i.Sh.unshared_top i.Sh.result_spines;
+          (if i.Sh.unshared_top >= 1 then "ok" else "MISMATCH");
+        ])
+      [
+        ("ps", "top spine of result unshared");
+        ("split", "top spine of result unshared");
+      ]
+  in
+  print_table [ "function"; "paper"; "computed"; "status" ] rows
+
+(* ---- T4: in-place reuse (A.3.2) ----------------------------------------------- *)
+
+let t4 () =
+  section "T4" "A.3.2 -- in-place reuse: PS vs PS'' and REV vs REV'";
+  let reuse_only = { T.none with T.reuse = true } in
+  let bench name mk_src sizes =
+    Printf.printf "\n%s:\n" name;
+    let rows =
+      List.map
+        (fun n ->
+          let src = mk_src n in
+          let surface = Surface.of_string src in
+          let base_ir = Runtime.Ir.of_program surface in
+          let opt_ir = optimized reuse_only surface in
+          let s0 = run_machine ~heap:1024 base_ir in
+          let s1 = run_machine ~heap:1024 opt_ir in
+          let t0 = measure_ns "base" (fun () -> run_machine ~heap:1024 base_ir) in
+          let t1 = measure_ns "opt" (fun () -> run_machine ~heap:1024 opt_ir) in
+          [
+            string_of_int n;
+            string_of_int s0.Stats.heap_allocs;
+            string_of_int s1.Stats.heap_allocs;
+            string_of_int s1.Stats.dcons_reuses;
+            string_of_int s0.Stats.gc_runs;
+            string_of_int s1.Stats.gc_runs;
+            string_of_int (Stats.gc_work s0);
+            string_of_int (Stats.gc_work s1);
+            ms t0;
+            ms t1;
+          ])
+        sizes
+    in
+    print_table
+      [
+        "n"; "allocs"; "allocs'"; "reuses"; "gc"; "gc'"; "gc-work"; "gc-work'";
+        "ms"; "ms'";
+      ]
+      rows
+  in
+  bench "partition sort (random list)"
+    (fun n ->
+      Ex.wrap
+        [ Ex.append_def; Ex.split_def; Ex.ps_def ]
+        ("ps " ^ int_list_src (lcg_list ~seed:42 n)))
+    [ 50; 100; 200; 400; 800 ];
+  bench "naive reverse"
+    (fun n ->
+      Ex.wrap
+        [ Ex.append_def; Ex.rev_def ]
+        ("rev " ^ int_list_src (lcg_list ~seed:7 n)))
+    [ 16; 32; 64; 128; 256 ];
+  Printf.printf
+    "\nexpected shape: allocs' << allocs (spine cells recycled), gc' <= gc.\n"
+
+(* ---- T5: stack allocation (A.3.1) ---------------------------------------------- *)
+
+let t5 () =
+  section "T5" "A.3.1 -- stack allocation of non-escaping argument spines";
+  let stack_only = { T.none with T.stack = true } in
+  let mk_src n =
+    let pairs =
+      List.init n (fun i -> Printf.sprintf "[%d, %d]" (2 * i) ((2 * i) + 1))
+    in
+    Ex.wrap [ Ex.map_def; Ex.pair_def ]
+      (Printf.sprintf "map pair [%s]" (String.concat ", " pairs))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let surface = Surface.of_string (mk_src n) in
+        let base_ir = Runtime.Ir.of_program surface in
+        let opt_ir = optimized stack_only surface in
+        let s0 = run_machine ~heap:256 base_ir in
+        let s1 = run_machine ~heap:256 opt_ir in
+        let t0 = measure_ns "base" (fun () -> run_machine ~heap:256 base_ir) in
+        let t1 = measure_ns "opt" (fun () -> run_machine ~heap:256 opt_ir) in
+        [
+          string_of_int n;
+          string_of_int s0.Stats.heap_allocs;
+          string_of_int s1.Stats.heap_allocs;
+          string_of_int s1.Stats.arena_allocs;
+          string_of_int s1.Stats.arena_freed;
+          string_of_int (Stats.gc_work s0);
+          string_of_int (Stats.gc_work s1);
+          us t0;
+          us t1;
+        ])
+      [ 8; 16; 32; 64; 128 ]
+  in
+  print_table
+    [
+      "pairs"; "heap"; "heap'"; "region"; "region-freed"; "gc-work"; "gc-work'";
+      "us"; "us'";
+    ]
+    rows;
+  Printf.printf
+    "\nexpected shape: both spine levels of the literal move from the heap to\n\
+     the region and are freed wholesale; GC work drops accordingly.\n"
+
+(* ---- T6: block allocation/reclamation (A.3.3) ----------------------------------- *)
+
+let t6 () =
+  section "T6" "A.3.3 -- block allocation: ps (create_list n)";
+  let block_only = { T.none with T.block = true } in
+  let mk_src n =
+    Ex.wrap
+      [ Ex.append_def; Ex.split_def; Ex.ps_def; Ex.create_list_def ]
+      (Printf.sprintf "ps (create_list %d)" n)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let surface = Surface.of_string (mk_src n) in
+        let base_ir = Runtime.Ir.of_program surface in
+        let opt_ir = optimized block_only surface in
+        let s0 = run_machine ~heap:512 base_ir in
+        let s1 = run_machine ~heap:512 opt_ir in
+        let t0 = measure_ns "base" (fun () -> run_machine ~heap:512 base_ir) in
+        let t1 = measure_ns "opt" (fun () -> run_machine ~heap:512 opt_ir) in
+        [
+          string_of_int n;
+          string_of_int s0.Stats.heap_allocs;
+          string_of_int s1.Stats.heap_allocs;
+          string_of_int s1.Stats.arena_allocs;
+          string_of_int s1.Stats.arena_freed;
+          string_of_int s0.Stats.swept;
+          string_of_int s1.Stats.swept;
+          ms t0;
+          ms t1;
+        ])
+      [ 25; 50; 100; 200; 400 ]
+  in
+  print_table
+    [ "n"; "heap"; "heap'"; "block"; "block-freed"; "swept"; "swept'"; "ms"; "ms'" ]
+    rows;
+  Printf.printf
+    "\nexpected shape: the n spine cells of create_list's result live in the\n\
+     block and return to the free list wholesale, without being swept\n\
+     individually (the mark phase still traverses them while live, exactly\n\
+     as the paper's local heap would be).\n"
+
+(* ---- T7: polymorphic invariance (Theorem 1) -------------------------------------- *)
+
+let t7 () =
+  section "T7" "Theorem 1 -- polymorphic invariance across monomorphic instances";
+  let ilist = Ty.List Ty.Int in
+  let iilist = Ty.List ilist in
+  let iiilist = Ty.List iilist in
+  let blist = Ty.List Ty.Bool in
+  let arrow1 a b = Ty.Arrow (a, b) in
+  let arrow2 a b c = Ty.Arrow (a, Ty.Arrow (b, c)) in
+  let cases =
+    [
+      ( "append", "append",
+        Ex.wrap [ Ex.append_def ] "0",
+        1,
+        [
+          ("int list", arrow2 ilist ilist ilist);
+          ("int list list", arrow2 iilist iilist iilist);
+          ("int list^3", arrow2 iiilist iiilist iiilist);
+          ("bool list", arrow2 blist blist blist);
+        ] );
+      ( "rev", "rev",
+        Ex.rev_program,
+        1,
+        [ ("int list", arrow1 ilist ilist); ("int list list", arrow1 iilist iilist) ] );
+      ( "length", "length",
+        Ex.wrap [ Ex.length_def ] "0",
+        1,
+        [ ("int list", arrow1 ilist Ty.Int); ("int list list", arrow1 iilist Ty.Int) ] );
+      ( "map(arg 2)", "map",
+        Ex.wrap [ Ex.map_def ] "0",
+        2,
+        [
+          ("int->int, int list", arrow2 (arrow1 Ty.Int Ty.Int) ilist ilist);
+          ( "int list->int list, int list list",
+            arrow2 (arrow1 ilist ilist) iilist iilist );
+        ] );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label0, fname, src, arg, insts) ->
+        let t = Fix.of_source src in
+        let base = ref None in
+        List.map
+          (fun (label, inst) ->
+            let v = An.global ~inst t fname ~arg in
+            let keep = An.non_escaping_top_spines v in
+            let invariant =
+              match !base with
+              | None ->
+                  base := Some (An.escapes v, keep);
+                  "reference"
+              | Some (esc0, keep0) ->
+                  if An.escapes v = esc0 && ((not esc0) || keep = keep0) then "ok"
+                  else "VIOLATION"
+            in
+            [
+              label0;
+              label;
+              B.to_string v.An.esc;
+              string_of_int v.An.spines;
+              string_of_int keep;
+              invariant;
+            ])
+          insts)
+      cases
+  in
+  print_table [ "function"; "instance"; "G"; "s_i"; "s_i - k"; "Theorem 1" ] rows
+
+(* ---- T8: analysis cost and the enumeration ablation ------------------------------- *)
+
+let t8 () =
+  section "T8" "analysis cost: probe engine vs full enumeration; scaling";
+
+  (* (a) probe vs enumeration on first-order programs *)
+  Printf.printf "\n(a) probe engine vs full first-order enumeration:\n";
+  let programs =
+    [
+      ("append", Ex.wrap [ Ex.append_def ] "0");
+      ("ps program", Ex.partition_sort_program);
+      ("isort", Ex.wrap [ Ex.insert_def; Ex.isort_def ] "0");
+      ( "six defs",
+        Ex.wrap
+          [ Ex.append_def; Ex.split_def; Ex.ps_def; Ex.create_list_def; Ex.length_def;
+            Ex.sum_def ]
+          "0" );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let probe_ns =
+          measure_ns "probe" (fun () ->
+              let t = Fix.of_source src in
+              List.iter
+                (fun (d, _) -> ignore (An.global_all t d))
+                (Surface.of_string src).Surface.defs)
+        in
+        let enum_ns =
+          measure_ns "enum" (fun () -> ignore (Escape.Enumerate.of_source src))
+        in
+        let e = Escape.Enumerate.of_source src in
+        let t = Fix.of_source src in
+        let agree =
+          List.for_all
+            (fun (d, _) ->
+              List.for_all
+                (fun (v : An.verdict) ->
+                  B.equal v.An.esc (Escape.Enumerate.global e d ~arg:v.An.arg))
+                (An.global_all t d))
+            (Surface.of_string src).Surface.defs
+        in
+        [
+          name;
+          ms probe_ns;
+          ms enum_ns;
+          string_of_int (Escape.Enumerate.entries e);
+          string_of_int (Escape.Enumerate.iterations e);
+          (if agree then "agree" else "DISAGREE");
+        ])
+      programs
+  in
+  print_table
+    [ "program"; "probe ms"; "enum ms"; "table entries"; "enum rounds"; "results" ]
+    rows;
+
+  (* (b) lattice-height effect: analyzing append at deeper list instances *)
+  Printf.printf "\n(b) chain-bound (d) sweep -- append at deeper instances:\n";
+  let rec deep k = if k = 0 then Ty.Int else Ty.List (deep (k - 1)) in
+  let rows =
+    List.map
+      (fun k ->
+        let inst = Ty.Arrow (deep k, Ty.Arrow (deep k, deep k)) in
+        let src = Ex.wrap [ Ex.append_def ] "0" in
+        let ns =
+          measure_ns "inst" (fun () ->
+              let t = Fix.of_source src in
+              ignore (An.global ~inst t "append" ~arg:1))
+        in
+        let t = Fix.of_source src in
+        ignore (An.global ~inst t "append" ~arg:1);
+        [
+          string_of_int k;
+          string_of_int (Fix.d t);
+          string_of_int (Fix.iterations t);
+          ms ns;
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  print_table [ "spine depth"; "d"; "iterations"; "ms" ] rows;
+
+  (* (c) program-size scaling: a chain of k append-like definitions *)
+  Printf.printf "\n(c) definition-chain scaling:\n";
+  let chain k =
+    let defs =
+      List.init k (fun i ->
+          if i = 0 then "f0 x y = if null x then y else cons (car x) (f0 (cdr x) y)"
+          else
+            Printf.sprintf
+              "f%d x y = if null x then f%d y nil else f%d (cdr x) (cons (car x) y)" i
+              (i - 1) (i - 1))
+    in
+    Ex.wrap defs "0"
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let src = chain k in
+        let ns =
+          measure_ns "chain" (fun () ->
+              let t = Fix.of_source src in
+              ignore (An.global t (Printf.sprintf "f%d" (k - 1)) ~arg:1))
+        in
+        let t = Fix.of_source src in
+        ignore (An.global t (Printf.sprintf "f%d" (k - 1)) ~arg:1);
+        [
+          string_of_int k;
+          string_of_int (Nml.Ast.size (Surface.to_expr (Surface.of_string src)));
+          string_of_int (Fix.passes t);
+          string_of_int (Fix.iterations t);
+          ms ns;
+        ])
+      [ 2; 4; 8; 16; 32 ]
+  in
+  print_table [ "defs"; "AST nodes"; "passes"; "iterations"; "ms" ] rows
+
+(* ---- T9: randomized safety audit --------------------------------------------------- *)
+
+let t9 () =
+  section "T9" "safety audit: dynamic <= local <= global on random programs";
+  let count = 300 in
+  let ok = ref 0 in
+  let gen = QCheck.Gen.pair Gen.gen_def Gen.gen_input in
+  let rand = Random.State.make [| 20260706 |] in
+  for _ = 1 to count do
+    let def, input = QCheck.Gen.generate1 ~rand gen in
+    let src = Ex.wrap [ def ] "0" in
+    let prog = Surface.of_string src in
+    let input_src = Gen.input_src input in
+    let t = Fix.of_source src in
+    let g = An.global t "f" ~arg:1 in
+    let l = An.local t "f" [ Nml.Parser.parse input_src ] ~arg:1 in
+    let ob =
+      Escape.Exact.observe_call ~fuel:200000 prog ~fname:"f"
+        ~args:[ Nml.Parser.parse input_src ] ~arg:1
+    in
+    if B.leq ob.Escape.Exact.esc l.An.esc && B.leq l.An.esc g.An.esc then incr ok
+  done;
+  Printf.printf "random first-order programs checked : %d\n" count;
+  Printf.printf "dynamic <= local <= global held for : %d\n" !ok;
+  Printf.printf "%s\n"
+    (if !ok = count then "SAFE (as the safety theorem of section 3.5 demands)"
+     else "UNSOUND RESULTS FOUND")
+
+(* ---- X1: products extension -------------------------------------------------------- *)
+
+let x1 () =
+  section "X1" "extension: escape analysis over pairs (tuples)";
+  let src =
+    Ex.wrap [ Ex.zip_def; Ex.unzip_fsts_def; Ex.unzip_snds_def; Ex.swap_def; Ex.assoc_def ] "0"
+  in
+  let t = Fix.of_source src in
+  let rows =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun (v : An.verdict) ->
+            let whole =
+              [
+                Printf.sprintf "G(%s, %d)" name v.An.arg;
+                "(whole)";
+                B.to_string v.An.esc;
+                string_of_int (An.non_escaping_top_spines v);
+              ]
+            in
+            let comps =
+              match An.global_components t name ~arg:v.An.arg with
+              | [ ([], _) ] -> []
+              | cs ->
+                  List.map
+                    (fun (path, (cv : An.verdict)) ->
+                      [
+                        "";
+                        Format.asprintf "%a" An.pp_path path;
+                        B.to_string cv.An.esc;
+                        string_of_int (An.non_escaping_top_spines cv);
+                      ])
+                    cs
+            in
+            whole :: comps)
+          (An.global_all t name))
+      [ "zip"; "fsts"; "snds"; "swap"; "assoc" ]
+  in
+  print_table [ "test"; "component"; "escape"; "kept top spines" ] rows;
+  (* the machine allocates pair cells like cons cells *)
+  let run_src = Ex.wrap [ Ex.zip_def ] ("zip " ^ int_list_src (lcg_list ~seed:5 64) ^ " " ^ int_list_src (lcg_list ~seed:9 64)) in
+  let s = run_machine (Runtime.Ir.of_program (Surface.of_string run_src)) in
+  Printf.printf "\nzip of two 64-lists on the simulator: %d cells (64 pairs + 64 spine + literals)\n"
+    s.Stats.heap_allocs
+
+(* ---- X2: trees extension ------------------------------------------------------------ *)
+
+let x2 () =
+  section "X2" "extension: escape analysis over binary trees";
+  let src =
+    Ex.wrap
+      [ Ex.tmap_def; Ex.tinsert_def; Ex.tsum_def; Ex.mirror_def; Ex.append_def;
+        Ex.flatten_def ]
+      "0"
+  in
+  let t = Fix.of_source src in
+  let rows =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun (v : An.verdict) ->
+            [
+              Printf.sprintf "G(%s, %d)" name v.An.arg;
+              B.to_string v.An.esc;
+              string_of_int v.An.spines;
+              string_of_int (An.non_escaping_top_spines v);
+            ])
+          (An.global_all t name))
+      [ "tmap"; "tinsert"; "tsum"; "mirror"; "flatten" ]
+  in
+  print_table [ "test"; "escape"; "levels"; "kept top levels" ] rows;
+  Printf.printf
+    "\nshape: rebuilding traversals (tmap, mirror, flatten) keep their node\n\
+     cells reclaimable; BST insert shares subtrees, so the whole tree may\n\
+     escape -- the textbook reason persistent structures defeat reuse.\n";
+  (* DNODE in-place reuse for mirror over growing BSTs *)
+  Printf.printf "\nmirror vs mirror' (DNODE reuse) over a BST of n nodes:\n";
+  let reuse_only = { T.none with T.reuse = true } in
+  let mk_src n =
+    let rec build acc = function
+      | [] -> acc
+      | v :: rest -> build (Printf.sprintf "(tinsert %d %s)" v acc) rest
+    in
+    Ex.wrap [ Ex.mirror_def; Ex.tinsert_def ]
+      (Printf.sprintf "mirror %s" (build "leaf" (lcg_list ~seed:3 n)))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let surface = Surface.of_string (mk_src n) in
+        let base_ir = Runtime.Ir.of_program surface in
+        let opt_ir = optimized reuse_only surface in
+        let s0 = run_machine ~heap:512 base_ir in
+        let s1 = run_machine ~heap:512 opt_ir in
+        [
+          string_of_int n;
+          string_of_int s0.Stats.heap_allocs;
+          string_of_int s1.Stats.heap_allocs;
+          string_of_int s1.Stats.dcons_reuses;
+        ])
+      [ 8; 16; 32; 64 ]
+  in
+  print_table [ "n"; "allocs"; "allocs'"; "reuses" ] rows
+
+(* ---- driver -------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
+    ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt (String.uppercase_ascii id) experiments with
+      | Some f -> f ()
+      | None -> Printf.eprintf "unknown experiment %s (known: F1, T1..T9, X1, X2)\n" id)
+    requested

@@ -1,0 +1,262 @@
+(* nmlc — driver for the nml escape-analysis toolchain.
+
+   Subcommands:
+     parse      parse and pretty-print a program
+     typecheck  print the inferred type scheme of every definition
+     eval       run the reference interpreter
+     analyze    global escape + sharing report (optionally the
+                enumeration engine, or a local test on the main call)
+     optimize   print the optimized program and what was applied
+     run        execute on the storage simulator and print statistics,
+                optionally comparing baseline and optimized runs *)
+
+open Cmdliner
+
+let read_input file inline =
+  match (file, inline) with
+  | Some f, None -> (
+      match In_channel.with_open_text f In_channel.input_all with
+      | src -> (f, src)
+      | exception Sys_error msg -> failwith msg)
+  | None, Some src -> ("<command line>", src)
+  | Some _, Some _ -> failwith "give either a file or -e, not both"
+  | None, None -> failwith "give a program file or -e SRC"
+
+let surface_of file inline =
+  let name, src = read_input file inline in
+  Nml.Surface.of_string ~file:name src
+
+let handle f =
+  try
+    f ();
+    0
+  with
+  | Failure msg | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Nml.Lexer.Error (loc, msg) | Nml.Parser.Error (loc, msg) | Nml.Infer.Error (loc, msg)
+    ->
+      Printf.eprintf "%s: %s\n" (Nml.Loc.to_string loc) msg;
+      1
+  | Nml.Eval.Runtime_error msg | Runtime.Machine.Error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      1
+  | Escape.Enumerate.Higher_order msg ->
+      Printf.eprintf "enumeration engine: program is not first order: %s\n" msg;
+      1
+
+(* ---- common arguments ------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+
+let inline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"SRC" ~doc:"Program given inline.")
+
+(* ---- commands -------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run file inline =
+    handle (fun () ->
+        let s = surface_of file inline in
+        Format.printf "%a@." Nml.Surface.pp s)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print a program")
+    Term.(const run $ file_arg $ inline_arg)
+
+let typecheck_cmd =
+  let run file inline =
+    handle (fun () ->
+        let prog = Nml.Infer.infer_program (surface_of file inline) in
+        List.iter
+          (fun (name, s) ->
+            Format.printf "%s : %a@." name Nml.Infer.pp_scheme s)
+          prog.Nml.Infer.schemes;
+        Format.printf "main : %a@." Nml.Ty.pp (Nml.Infer.main_ground prog).Nml.Tast.ty)
+  in
+  Cmd.v (Cmd.info "typecheck" ~doc:"Infer and print definition type schemes")
+    Term.(const run $ file_arg $ inline_arg)
+
+let eval_cmd =
+  let run file inline fuel =
+    handle (fun () ->
+        let v = Nml.Eval.run ?fuel (surface_of file inline) in
+        Format.printf "%a@." Nml.Eval.pp_value v)
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Bound the number of evaluation steps.")
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Run the reference interpreter")
+    Term.(const run $ file_arg $ inline_arg $ fuel)
+
+let analyze_cmd =
+  let run file inline func enumerate local =
+    handle (fun () ->
+        let s = surface_of file inline in
+        if enumerate then begin
+          let e = Escape.Enumerate.solve (Nml.Infer.infer_program s) in
+          List.iter
+            (fun (name, _) ->
+              let prog = Nml.Infer.infer_program s in
+              let inst = Nml.Infer.simplest_instance prog name in
+              let n = Nml.Ty.arity inst in
+              Format.printf "%s : %s@." name (Nml.Ty.to_string inst);
+              for i = 1 to n do
+                Format.printf "  G(%s, %d) = %s@." name i
+                  (Escape.Besc.to_string (Escape.Enumerate.global e name ~arg:i))
+              done)
+            s.Nml.Surface.defs;
+          Format.printf "(%d table entries, %d rounds)@." (Escape.Enumerate.entries e)
+            (Escape.Enumerate.iterations e)
+        end
+        else begin
+          let t = Escape.Fixpoint.make (Nml.Infer.infer_program s) in
+          (match func with
+          | Some f -> Format.printf "%a@." (fun ppf () -> Escape.Report.definition ppf t f) ()
+          | None -> Format.printf "%a@." Escape.Report.program t);
+          if local then begin
+            match s.Nml.Surface.main with
+            | Nml.Ast.App (_, _, _) as call ->
+                let rec head = function Nml.Ast.App (_, f, _) -> head f | e -> e in
+                let rec args acc = function
+                  | Nml.Ast.App (_, f, a) -> args (a :: acc) f
+                  | _ -> acc
+                in
+                (match head call with
+                | Nml.Ast.Var (_, f) ->
+                    Format.printf "%a@."
+                      (fun ppf () -> Escape.Report.call ppf t f (args [] call))
+                      ()
+                | _ -> failwith "--local: the main expression is not a call of a definition")
+            | _ -> failwith "--local: the main expression is not a call"
+          end
+        end)
+  in
+  let func =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "fun" ] ~docv:"NAME" ~doc:"Analyze a single definition.")
+  in
+  let enumerate =
+    Arg.(
+      value & flag
+      & info [ "enumerate" ]
+          ~doc:"Use the full-enumeration first-order engine instead of the probe engine.")
+  in
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ] ~doc:"Also run the local escape test on the main call.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Escape analysis report (global tests and sharing)")
+    Term.(const run $ file_arg $ inline_arg $ func $ enumerate $ local)
+
+let options_term =
+  let no_mono =
+    Arg.(value & flag & info [ "no-mono" ] ~doc:"Do not monomorphize first.")
+  in
+  let no_reuse = Arg.(value & flag & info [ "no-reuse" ] ~doc:"Disable in-place reuse.") in
+  let no_stack =
+    Arg.(value & flag & info [ "no-stack" ] ~doc:"Disable stack allocation.")
+  in
+  let no_block =
+    Arg.(value & flag & info [ "no-block" ] ~doc:"Disable block allocation.")
+  in
+  let mk m r s b =
+    { Optimize.Transform.monomorphize = not m; reuse = not r; stack = not s; block = not b }
+  in
+  Term.(const mk $ no_mono $ no_reuse $ no_stack $ no_block)
+
+let mono_cmd =
+  let run file inline =
+    handle (fun () ->
+        let r = Nml.Mono.run (surface_of file inline) in
+        Format.printf "%a@.@." Nml.Surface.pp r.Nml.Mono.program;
+        List.iter
+          (fun (d, n, i) ->
+            Format.printf "-- %s specialized as %s at %s@." d n (Nml.Ty.to_string i))
+          r.Nml.Mono.instances)
+  in
+  Cmd.v
+    (Cmd.info "mono" ~doc:"Monomorphize: one copy of each definition per used instance")
+    Term.(const run $ file_arg $ inline_arg)
+
+let optimize_cmd =
+  let run file inline options =
+    handle (fun () ->
+        let s = surface_of file inline in
+        let r = Optimize.Transform.optimize ~options s in
+        Format.printf "%a@." Optimize.Transform.pp_report r;
+        Format.printf "%a@." Runtime.Ir.pp r.Optimize.Transform.ir)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Apply the storage optimizations and print the program")
+    Term.(const run $ file_arg $ inline_arg $ options_term)
+
+let run_cmd =
+  let run file inline options optimized heap_size no_grow check compare =
+    handle (fun () ->
+        let s = surface_of file inline in
+        let exec ir =
+          let m =
+            Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check ()
+          in
+          let w = Runtime.Machine.eval m ir in
+          (Runtime.Machine.read_value m w, Runtime.Machine.stats m)
+        in
+        let show label (v, stats) =
+          Format.printf "%s result: %a@." label Nml.Eval.pp_value v;
+          Format.printf "%a@." Runtime.Stats.pp stats
+        in
+        let baseline () = exec (Runtime.Ir.of_program s) in
+        let opt () = exec (Optimize.Transform.optimize ~options s).Optimize.Transform.ir in
+        if compare then begin
+          show "baseline" (baseline ());
+          show "optimized" (opt ())
+        end
+        else if optimized then show "optimized" (opt ())
+        else show "baseline" (baseline ()))
+  in
+  let optimized =
+    Arg.(value & flag & info [ "O"; "optimized" ] ~doc:"Run the optimized program.")
+  in
+  let heap =
+    Arg.(value & opt int 4096 & info [ "heap" ] ~docv:"CELLS" ~doc:"Cell store capacity.")
+  in
+  let no_grow =
+    Arg.(value & flag & info [ "no-grow" ] ~doc:"Fail instead of growing the store.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check-arenas" ] ~doc:"Validate arena safety at every arena exit.")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ] ~doc:"Run both baseline and optimized, printing both.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute on the storage simulator and print statistics")
+    Term.(
+      const run $ file_arg $ inline_arg $ options_term $ optimized $ heap $ no_grow
+      $ check $ compare)
+
+let () =
+  let doc = "escape analysis on lists (Park & Goldberg, PLDI 1992)" in
+  let info = Cmd.info "nmlc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; mono_cmd; optimize_cmd;
+            run_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/higher_order.ml: Escape Format Nml

@@ -1,0 +1,1 @@
+examples/higher_order.mli:

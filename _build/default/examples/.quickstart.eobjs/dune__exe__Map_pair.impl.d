@@ -1,0 +1,1 @@
+examples/map_pair.ml: Escape Format Nml Optimize Runtime

@@ -1,0 +1,1 @@
+examples/map_pair.mli:

@@ -1,0 +1,1 @@
+examples/pairs.ml: Escape Format List Nml Printf Runtime

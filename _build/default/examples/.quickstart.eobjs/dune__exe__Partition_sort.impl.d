@@ -1,0 +1,1 @@
+examples/partition_sort.ml: Escape Format List Nml Optimize Runtime String

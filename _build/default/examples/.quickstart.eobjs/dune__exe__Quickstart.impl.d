@@ -1,0 +1,1 @@
+examples/quickstart.ml: Escape Format List Nml Optimize Runtime

@@ -1,0 +1,1 @@
+examples/reverse_reuse.ml: Format List Nml Optimize Printf Runtime String

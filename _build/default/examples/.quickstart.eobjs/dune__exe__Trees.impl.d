@@ -1,0 +1,1 @@
+examples/trees.ml: Escape Format Nml Runtime

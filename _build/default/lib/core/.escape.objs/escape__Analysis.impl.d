@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Besc Dvalue Fixpoint Format List Nml Printf Wfun

@@ -1,0 +1,1 @@
+lib/core/besc.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/core/besc.mli: Format

@@ -1,0 +1,1 @@
+lib/core/dvalue.ml: Besc Format Hashtbl List Nml

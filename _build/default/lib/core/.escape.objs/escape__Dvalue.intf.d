@@ -1,0 +1,1 @@
+lib/core/dvalue.mli: Besc Format Nml

@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Besc Format Hashtbl List Map Nml Option Printf String

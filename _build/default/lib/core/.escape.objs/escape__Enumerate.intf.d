@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Besc Nml

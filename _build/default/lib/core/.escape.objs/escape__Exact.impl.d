@@ -1,0 +1,1 @@
+lib/core/exact.ml: Besc List Nml

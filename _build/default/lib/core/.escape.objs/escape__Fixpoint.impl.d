@@ -1,0 +1,1 @@
+lib/core/fixpoint.ml: Dvalue Hashtbl List Nml Printf Probe Semantics

@@ -1,0 +1,1 @@
+lib/core/fixpoint.mli: Dvalue Nml

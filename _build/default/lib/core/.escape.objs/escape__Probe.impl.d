@@ -1,0 +1,1 @@
+lib/core/probe.ml: Dvalue

@@ -1,0 +1,1 @@
+lib/core/probe.mli: Dvalue Nml

@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Besc Dvalue Fixpoint Format List Nml Printf Semantics Sharing String

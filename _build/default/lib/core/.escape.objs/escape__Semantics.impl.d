@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Besc Dvalue List Map Nml Probe String

@@ -1,0 +1,1 @@
+lib/core/sharing.ml: Analysis Fixpoint Format List Nml

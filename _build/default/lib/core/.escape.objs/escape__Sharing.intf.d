@@ -1,0 +1,1 @@
+lib/core/sharing.mli: Fixpoint Format Nml

@@ -1,0 +1,1 @@
+lib/core/wfun.ml: Dvalue

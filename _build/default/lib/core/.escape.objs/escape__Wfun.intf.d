@@ -1,0 +1,1 @@
+lib/core/wfun.mli: Besc Dvalue Nml

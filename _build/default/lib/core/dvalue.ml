@@ -1,0 +1,279 @@
+module Ty = Nml.Ty
+
+type t = {
+  id : int;
+  ty : Ty.t;
+  esc : Besc.t;
+  app : t -> t;
+  prod : (t * t) option;
+}
+
+exception Err_applied
+
+let err _ = raise Err_applied
+let next_id = ref 0
+
+let make ~prod ~ty ~esc ~app =
+  incr next_id;
+  { id = !next_id; ty; esc; app; prod }
+
+let v ~ty ~esc ~app = make ~prod:None ~ty ~esc ~app
+let base ~ty esc = v ~ty ~esc ~app:err
+let pair ~ty ~esc (a, b) = make ~prod:(Some (a, b)) ~ty ~esc ~app:err
+
+let with_esc esc t =
+  if Besc.equal esc t.esc then t
+  else (
+    incr next_id;
+    { t with id = !next_id; esc })
+
+let with_ty ty t = { t with ty }
+
+(* ---- chain bound ------------------------------------------------------- *)
+
+let d_ref = ref 0
+let ensure_d d = if d > !d_ref then d_ref := d
+let current_d () = !d_ref
+
+(* ---- lattice constants --------------------------------------------------- *)
+
+let rec bottom ty =
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty Besc.bottom
+  | Ty.Sarrow (_, b) -> v ~ty ~esc:Besc.bottom ~app:(fun _ -> bottom b)
+  | Ty.Sprod (a, b) -> pair ~ty ~esc:Besc.bottom (bottom a, bottom b)
+
+let rec top ~d ty =
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty (Besc.top ~d)
+  | Ty.Sarrow (_, b) -> v ~ty ~esc:(Besc.top ~d) ~app:(fun _ -> top ~d b)
+  | Ty.Sprod (a, b) -> pair ~ty ~esc:(Besc.top ~d) (top ~d a, top ~d b)
+
+(* [saturate ~esc ty]: the conservative value "something with containment
+   [esc] of unknown structure": functions absorb their arguments'
+   containment, pair components inherit [esc].  Used when a component is
+   projected out of a value that carries no structural information. *)
+let rec saturate ~esc ty =
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty esc
+  | Ty.Sarrow (_, b) ->
+      v ~ty ~esc ~app:(fun x -> saturate ~esc:(Besc.join esc (total_esc x)) b)
+  | Ty.Sprod (a, b) -> pair ~ty ~esc (saturate ~esc a, saturate ~esc b)
+
+(* Everything of the interesting object contained anywhere in the value's
+   (product) structure. *)
+and total_esc t =
+  match t.prod with
+  | None -> t.esc
+  | Some (a, b) -> Besc.join t.esc (Besc.join (total_esc a) (total_esc b))
+
+let prod_tys ty =
+  match Ty.shape ty with
+  | Ty.Sprod (a, b) -> (a, b)
+  | Ty.Sbase | Ty.Sarrow _ -> invalid_arg "Dvalue: projection from a non-pair value"
+
+let fst_of t =
+  match t.prod with
+  | Some (a, _) -> a
+  | None -> saturate ~esc:t.esc (fst (prod_tys t.ty))
+
+let snd_of t =
+  match t.prod with
+  | Some (_, b) -> b
+  | None -> saturate ~esc:t.esc (snd (prod_tys t.ty))
+
+(* ---- worst-case functions ---------------------------------------------- *)
+
+(* [w_stage acc ty]: the value W yields after consuming arguments whose
+   containment joins to [acc]. *)
+let rec w_stage acc ty =
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty acc
+  | Ty.Sarrow (_, b) ->
+      v ~ty ~esc:acc ~app:(fun x -> w_stage (Besc.join acc (total_esc x)) b)
+  | Ty.Sprod _ -> saturate ~esc:acc ty
+
+let w_value ~esc ty =
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty esc
+  | Ty.Sarrow (_, b) -> v ~ty ~esc ~app:(fun x -> w_stage (total_esc x) b)
+  | Ty.Sprod _ -> saturate ~esc ty
+
+(* Probe argument values for the global test: each level of the structure
+   is marked with its own spine count (the interesting case) or <0,0>
+   (the boring case); function components are worst-case. *)
+let rec probe_arg ~interesting ty =
+  let esc = if interesting then Besc.one (Ty.spines ty) else Besc.zero in
+  match Ty.shape ty with
+  | Ty.Sbase -> base ~ty esc
+  | Ty.Sarrow _ -> w_value ~esc ty
+  | Ty.Sprod (a, b) ->
+      pair ~ty ~esc (probe_arg ~interesting a, probe_arg ~interesting b)
+
+let interesting ty = probe_arg ~interesting:true ty
+let boring ty = probe_arg ~interesting:false ty
+
+(* Local-test marking (section 4.2): keep the value's actual behaviour
+   but replace its containment — every structural level gets its own
+   spine count (interesting) or <0,0> (boring). *)
+let rec mark ~interesting t =
+  let esc = if interesting then Besc.one (Ty.spines t.ty) else Besc.zero in
+  match t.prod with
+  | None -> with_esc esc t
+  | Some (a, b) ->
+      make
+        ~prod:(Some (mark ~interesting a, mark ~interesting b))
+        ~ty:t.ty ~esc ~app:t.app
+
+let mark_interesting t = mark ~interesting:true t
+let mark_boring t = mark ~interesting:false t
+
+(* Component-resolved tests: only the sub-structure at [path] is the
+   interesting object. *)
+type component = Cfst | Csnd
+
+let rec probe_component ~path ty =
+  match (path, Ty.shape ty) with
+  | [], _ -> probe_arg ~interesting:true ty
+  | Cfst :: rest, Ty.Sprod (a, b) ->
+      pair ~ty ~esc:Besc.zero
+        (probe_component ~path:rest a, probe_arg ~interesting:false b)
+  | Csnd :: rest, Ty.Sprod (a, b) ->
+      pair ~ty ~esc:Besc.zero
+        (probe_arg ~interesting:false a, probe_component ~path:rest b)
+  | _ :: _, (Ty.Sbase | Ty.Sarrow _) ->
+      invalid_arg "Dvalue.probe_component: path does not name a pair component"
+
+let rec mark_component ~path t =
+  match path with
+  | [] -> mark_interesting t
+  | c :: rest ->
+      let a = fst_of t and b = snd_of t in
+      let a', b' =
+        match c with
+        | Cfst -> (mark_component ~path:rest a, mark_boring b)
+        | Csnd -> (mark_boring a, mark_component ~path:rest b)
+      in
+      make ~prod:(Some (a', b')) ~ty:t.ty ~esc:Besc.zero ~app:t.app
+
+(* ---- application engine ------------------------------------------------ *)
+
+type arg_key = Kbase of Besc.t | Kfun of int | Kprod of Besc.t * arg_key * arg_key
+
+let rec key_of arg =
+  match Ty.shape arg.ty with
+  | Ty.Sbase -> Kbase arg.esc
+  | Ty.Sarrow _ -> Kfun arg.id
+  | Ty.Sprod _ -> Kprod (arg.esc, key_of (fst_of arg), key_of (snd_of arg))
+
+type entry = { mutable value : t; mutable complete : bool; mutable reentered : bool }
+
+let cache : (int * arg_key, entry) Hashtbl.t = Hashtbl.create 4096
+let hits = ref 0
+let misses = ref 0
+
+(* Probe values are cached per (bound, type) so repeated comparisons apply
+   the same values and hit the application cache. *)
+let probe_table : (int * string, t list) Hashtbl.t = Hashtbl.create 64
+
+let rec probes ty =
+  let d = !d_ref in
+  let k = (d, Ty.to_string ty) in
+  match Hashtbl.find_opt probe_table k with
+  | Some ps -> ps
+  | None ->
+      let escs = Besc.all ~d in
+      let ps =
+        match Ty.shape ty with
+        | Ty.Sbase -> List.map (fun esc -> base ~ty esc) escs
+        | Ty.Sarrow _ ->
+            List.concat_map
+              (fun esc -> [ w_value ~esc ty; with_esc esc (bottom ty) ])
+              escs
+        | Ty.Sprod (a, b) ->
+            (* cross product of component probes, top esc zero (the pair
+               cell itself carries its components' containment) *)
+            List.concat_map
+              (fun pa ->
+                List.map (fun pb -> pair ~ty ~esc:Besc.zero (pa, pb)) (probes b))
+              (probes a)
+      in
+      Hashtbl.add probe_table k ps;
+      ps
+
+let rec cmp ~op a b =
+  op a.esc b.esc
+  &&
+  match Ty.shape a.ty with
+  | Ty.Sbase -> true
+  | Ty.Sarrow (arg, _) ->
+      List.for_all (fun p -> cmp ~op (apply a p) (apply b p)) (probes arg)
+  | Ty.Sprod _ ->
+      cmp ~op (fst_of a) (fst_of b) && cmp ~op (snd_of a) (snd_of b)
+
+and equal a b = cmp ~op:Besc.equal a b
+and leq a b = cmp ~op:Besc.leq a b
+
+and join a b =
+  if a.id = b.id then a
+  else
+    let prod =
+      match (a.prod, b.prod) with
+      | None, None -> None
+      | _ -> Some (join (fst_of a) (fst_of b), join (snd_of a) (snd_of b))
+    in
+    make ~prod ~ty:a.ty
+      ~esc:(Besc.join a.esc b.esc)
+      ~app:(fun x -> join (apply a x) (apply b x))
+
+(* Pending analysis: a cyclic re-entry on the same (function, argument)
+   returns the entry's current approximation; the outer activation then
+   re-runs the body until the approximation is stable.  The domain is
+   finite and all operators are monotone, so the loop terminates; the
+   iteration cap is a defensive backstop that widens to top (the safe
+   direction). *)
+and apply f x =
+  let key = (f.id, key_of x) in
+  match Hashtbl.find_opt cache key with
+  | Some e when e.complete ->
+      incr hits;
+      e.value
+  | Some e ->
+      (* re-entered while computing: yield the approximation *)
+      e.reentered <- true;
+      e.value
+  | None ->
+      incr misses;
+      let result_ty =
+        match Ty.shape f.ty with
+        | Ty.Sarrow (_, b) -> b
+        | Ty.Sbase | Ty.Sprod _ -> f.ty (* err will raise before the type is used *)
+      in
+      let e = { value = bottom result_ty; complete = false; reentered = false } in
+      Hashtbl.add cache key e;
+      let rec loop n =
+        e.reentered <- false;
+        let r = f.app x in
+        let widened = join e.value r in
+        if e.reentered && not (equal widened e.value) then begin
+          e.value <- widened;
+          if n >= 64 then e.value <- top ~d:!d_ref result_ty else loop (n + 1)
+        end
+        else e.value <- widened
+      in
+      (try loop 0
+       with exn ->
+         Hashtbl.remove cache key;
+         raise exn);
+      e.complete <- true;
+      e.value
+
+let apply_all f xs = List.fold_left apply f xs
+let clear_cache () = Hashtbl.reset cache
+let cache_stats () = (!hits, !misses)
+
+let reset_stats () =
+  hits := 0;
+  misses := 0
+
+let pp ppf t = Format.fprintf ppf "@[%a : %a@]" Besc.pp t.esc Ty.pp t.ty

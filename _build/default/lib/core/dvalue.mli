@@ -1,0 +1,166 @@
+(** Abstract escape values: the domain [D_e] of section 3.4, together
+    with its application engine, extended to products (the paper's
+    "tuples, trees, etc." remark in sections 1 and 7).
+
+    A value pairs a basic escape value (its "first component", what part
+    of the interesting object it may contain) with an abstract function
+    (its "second component", its behaviour when applied).  The list
+    subdomain is collapsed onto the element domain
+    ([D_e^{t list} = D_e^t]), so the {e shape} of a value follows
+    {!Nml.Ty.shape}: base-shaped values carry the inapplicable [err]
+    function, arrow-shaped values carry a real one, and product-shaped
+    values additionally carry one abstract value {e per component}
+    ([D_e^{t1 * t2}] tracks components separately; [fst]/[snd] project).
+    Values also carry their [nml] type — it drives bottoms, tops,
+    worst-case functions and probes, never the ordering — and a unique
+    [id] used for caching.
+
+    {b Pending application.}  The function component of a recursive
+    definition's abstract value re-enters itself when applied (the
+    abstract [cdr] is the identity, so recursive calls repeat the same
+    abstract arguments).  {!apply} therefore performs the classic
+    {e pending analysis} of higher-order abstract interpretation: each
+    (function id, argument key) gets a table entry; a cyclic re-entry
+    returns the entry's current approximation (initially the bottom of
+    the result type); when the body's result exceeds the approximation
+    the application is re-run until it stabilizes.  Domains are finite
+    (section 3.5), so this terminates and computes the least fixpoint of
+    the self-application.  Completed entries also serve as a memo table,
+    which makes evaluation polynomial where naive unfolding is
+    exponential in the Kleene depth.
+
+    The argument key of a base-shaped argument is its basic escape value
+    (exact: such a value is determined by it); for an arrow-shaped
+    argument it is the value's [id] (sound: same id, same value); for a
+    product it is the tuple of component keys.
+
+    {b Chain bound.}  Extensional comparison probes functions with every
+    element of the basic chain [B_e] up to the global bound [d], kept in
+    a module-level maximum set with {!ensure_d}.  Growing [d] only adds
+    probes (finer comparison), so the setting is monotone and safe. *)
+
+type t = private {
+  id : int;  (** unique per constructed value *)
+  ty : Nml.Ty.t;  (** type of the expression this value abstracts *)
+  esc : Besc.t;  (** first component *)
+  app : t -> t;  (** second component; raises {!Err_applied} for base shapes *)
+  prod : (t * t) option;  (** per-component values for product shapes *)
+}
+
+exception Err_applied
+(** Raised when the paper's [err] — "a function that can never be
+    applied" — is applied.  This cannot happen on well-typed programs. *)
+
+val v : ty:Nml.Ty.t -> esc:Besc.t -> app:(t -> t) -> t
+val base : ty:Nml.Ty.t -> Besc.t -> t
+
+val pair : ty:Nml.Ty.t -> esc:Besc.t -> t * t -> t
+(** A product-shaped value from its component values; [esc] is the
+    containment attributed to the pair structure itself (usually the
+    spine containment when the pair sits in a list). *)
+
+val with_esc : Besc.t -> t -> t
+(** Same behaviour and components, different first component. *)
+
+val with_ty : Nml.Ty.t -> t -> t
+
+val fst_of : t -> t
+val snd_of : t -> t
+(** Component projections.  On a product-shaped value without structural
+    information (e.g. produced by a worst-case stage) the projection is
+    the conservative saturation of the value's own containment. *)
+
+val total_esc : t -> Besc.t
+(** Everything contained anywhere in the value: its first component
+    joined with its components', recursively.  Coincides with [esc] on
+    non-product values. *)
+
+val bottom : Nml.Ty.t -> t
+(** Least element at a type: [<0,0>] everywhere. *)
+
+val top : d:int -> Nml.Ty.t -> t
+(** Greatest element bounded by [d]: [<1,d>] everywhere. *)
+
+val saturate : esc:Besc.t -> Nml.Ty.t -> t
+(** "Something with containment [esc] of unknown structure": functions
+    absorb their arguments, components inherit [esc]. *)
+
+(** {2 Chain bound} *)
+
+val ensure_d : int -> unit
+(** Raises the global chain bound to at least the given value. *)
+
+val current_d : unit -> int
+
+(** {2 Operations} *)
+
+val join : t -> t -> t
+(** Pointwise least upper bound (component-wise on products); keeps the
+    left type. *)
+
+val apply : t -> t -> t
+(** Pending, memoized application (see above). *)
+
+val apply_all : t -> t list -> t
+
+val probes : Nml.Ty.t -> t list
+(** Canonical argument values for an argument of the given type at the
+    current chain bound: every element of [B_e] for base shapes, crossed
+    with the worst-case and bottom function components for arrow shapes,
+    the cross product of component probes for products.  Cached per
+    (bound, type) so repeated comparisons reuse value ids. *)
+
+val equal : t -> t -> bool
+(** Extensional equality with respect to {!probes}, recursing through the
+    (finite) type structure.  Exact for first-order types. *)
+
+val leq : t -> t -> bool
+
+(** {2 Worst-case and probe arguments (Definition 2)} *)
+
+val w_value : esc:Besc.t -> Nml.Ty.t -> t
+(** [⟨esc, W^t⟩] where [W = λx1.⟨x1', λx2.⟨x1' ⊔ x2', ... ⟨⨆ xi', err⟩⟩⟩]
+    consumes the [m] arguments a value of type [t] accepts before
+    returning a primitive value, and [W^{t list} = W^t].  Arguments
+    contribute their {!total_esc}. *)
+
+val interesting : Nml.Ty.t -> t
+(** The global test's [y_i]: every structural level marked with its own
+    spine count [<1, spines>], function components worst-case. *)
+
+val boring : Nml.Ty.t -> t
+(** The global test's [y_j], [j <> i]: [<0,0>] at every level. *)
+
+val mark_interesting : t -> t
+val mark_boring : t -> t
+(** The local test's [z_i]/[z_j] (section 4.2): the value's actual
+    behaviour with its containment replaced by [<1, spines>] (resp.
+    [<0,0>]) at every structural level. *)
+
+(** {2 Component-resolved tests (products)}
+
+    With a pair-typed parameter, a single basic escape value conflates
+    the component chains; the precise question is asked per component:
+    treat only the sub-structure at a projection path as the interesting
+    object. *)
+
+type component = Cfst | Csnd
+
+val probe_component : path:component list -> Nml.Ty.t -> t
+(** Like {!interesting}, but only the component at [path] is marked. *)
+
+val mark_component : path:component list -> t -> t
+(** Like {!mark_interesting}, but only the component at [path]. *)
+
+(** {2 Caches and statistics} *)
+
+val clear_cache : unit -> unit
+(** Drops application entries (results stay correct; cost/memory only). *)
+
+val cache_stats : unit -> int * int
+(** (hits, misses) since {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints the basic component and the type, e.g. [<1,1> : int list]. *)

@@ -1,0 +1,43 @@
+(** Full-enumeration fixpoint engine for first-order programs — the
+    ablation baseline for {!Fixpoint}.
+
+    For a first-order definition every parameter and result is
+    base-shaped after the list collapse, so its abstract function is
+    exactly a finite table [B_e^n -> B_e] (the probe engine is exact on
+    the same class, but lazy).  This engine materializes the tables,
+    iterating all of them to a simultaneous fixpoint by enumerating the
+    full argument space — the textbook cost the paper's conclusion
+    worries about, quantified in experiment T8.
+
+    Definitions are analyzed at their simplest monotyped instance;
+    cross-definition references use the callee's table.  Programs with
+    higher-order parameters, partially applied definitions or nested
+    [letrec]s raise {!Higher_order}.  Immediately applied lambdas (the
+    [let] sugar) are supported. *)
+
+exception Higher_order of string
+
+type t
+
+val solve : Nml.Infer.program -> t
+(** Builds and stabilizes all tables.
+    @raise Higher_order when the program is outside the first-order
+    fragment. *)
+
+val of_source : string -> t
+
+val d : t -> int
+(** Chain bound used (largest spine count of the instance types). *)
+
+val lookup : t -> string -> Besc.t list -> Besc.t
+(** Table lookup, one basic escape value per parameter. *)
+
+val global : t -> string -> arg:int -> Besc.t
+(** The global escape test read off the table:
+    [lookup t f [<0,0>; ...; <1,s_i>; ...; <0,0>]]. *)
+
+val iterations : t -> int
+(** Fixpoint rounds over the table set. *)
+
+val entries : t -> int
+(** Total number of table entries materialized. *)

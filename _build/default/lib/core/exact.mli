@@ -1,0 +1,49 @@
+(** The exact escape semantics, realized dynamically (sections 3.2-3.3).
+
+    The paper's exact escape semantics uses an oracle to choose the branch
+    of every conditional; the oracle of an actual execution is the
+    execution itself.  This module runs a call concretely under the
+    standard semantics ({!Nml.Eval}) and {e observes} escapement: the
+    cons cells of the interesting argument are identified physically
+    (OCaml values give us the abstract machine's aliasing for free), the
+    result — including environments captured inside returned closures —
+    is traversed, and the deepest bottom spine of the argument found
+    reachable from the result is reported.
+
+    The safety theorem of section 3.5 then becomes an executable
+    property, checked by the test suite on both hand-written and random
+    programs:
+
+    {v observe(call).esc  ⊑  L(f, i, args)  ⊑  G(f, i) v} *)
+
+type observation = {
+  esc : Besc.t;
+      (** dynamic escapement: [<1,k>] if a cell of the argument's bottom
+          [k]-th spine (or, for non-list arguments, the argument itself)
+          is reachable from the result; [<0,0>] otherwise *)
+  spines : int;  (** spine count [s_i] of the interesting argument *)
+  escaped_cells : int;  (** how many of the argument's cells escaped *)
+  total_cells : int;  (** how many cells the argument has *)
+  trackable : bool;
+      (** [false] when the argument is an immediate (int/bool) whose
+          identity cannot be observed; [esc] is then [<0,0>] and the
+          observation is vacuous *)
+}
+
+val observe_call :
+  ?fuel:int -> Nml.Surface.t -> fname:string -> args:Nml.Ast.expr list -> arg:int -> observation
+(** Evaluates the definitions of the program, evaluates the argument
+    expressions, applies [fname] and observes what escaped.
+    @raise Nml.Eval.Runtime_error / [Out_of_fuel] as the interpreter does.
+    @raise Invalid_argument for unknown [fname] or bad [arg]. *)
+
+val observe_value_call :
+  ?fuel:int ->
+  Nml.Surface.t ->
+  fname:string ->
+  args:Nml.Eval.value list ->
+  arg:int ->
+  spines:int ->
+  observation
+(** Like {!observe_call} on already evaluated arguments; [spines] is the
+    spine count of the interesting argument's type. *)

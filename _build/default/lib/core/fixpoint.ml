@@ -1,0 +1,146 @@
+module Ty = Nml.Ty
+module Tast = Nml.Tast
+module Infer = Nml.Infer
+
+type entry = {
+  name : string;
+  inst : Ty.t;
+  tast : Tast.texpr;
+  mutable value : Dvalue.t;
+}
+
+type t = {
+  prog : Infer.program;
+  cache : (string, entry) Hashtbl.t;  (* key: "name @ ground-type" *)
+  mutable order : entry list;  (* insertion order, newest first *)
+  mutable dbound : int;
+  mutable stable : bool;
+  mutable passes : int;
+  max_iters : int;
+  mutable ctx : Semantics.ctx;  (* hooks back into this record *)
+}
+
+let key name ty = name ^ " @ " ^ Ty.to_string ty
+
+let absorb_tree_depth t tast =
+  Tast.iter_tys (fun ty -> t.dbound <- max t.dbound (Ty.max_list_depth ty)) tast;
+  Dvalue.ensure_d t.dbound
+
+let is_def t name = List.mem_assoc name t.prog.Infer.schemes
+
+let rec demand t name ty =
+  let k = key name ty in
+  match Hashtbl.find_opt t.cache k with
+  | Some e -> e
+  | None ->
+      let tast = Infer.instantiate_def t.prog name (Some ty) in
+      absorb_tree_depth t tast;
+      let e = { name; inst = ty; tast; value = Dvalue.bottom tast.Tast.ty } in
+      Hashtbl.add t.cache k e;
+      t.order <- e :: t.order;
+      t.stable <- false;
+      e
+
+and global_hook t name ty =
+  if is_def t name then (demand t name ty).value
+  else invalid_arg (Printf.sprintf "Fixpoint: unknown identifier %s" name)
+
+let make ?(max_iters = 200) prog =
+  let rec t =
+    {
+      prog;
+      cache = Hashtbl.create 32;
+      order = [];
+      dbound = 0;
+      stable = true;
+      passes = 0;
+      max_iters;
+      ctx =
+        {
+          Semantics.d = (fun () -> t.dbound);
+          global = (fun name ty -> global_hook t name ty);
+          max_iters;
+          iters = 0;
+          capped = false;
+          fv_cache = [];
+        };
+    }
+  in
+  let main = Infer.main_ground prog in
+  absorb_tree_depth t main;
+  t
+
+let of_source ?max_iters src =
+  make ?max_iters (Infer.infer_program (Nml.Surface.of_string src))
+
+let program t = t.prog
+let d t = t.dbound
+
+let widen_all t =
+  List.iter (fun e -> e.value <- Dvalue.top ~d:t.dbound e.tast.Tast.ty) t.order;
+  t.ctx.Semantics.capped <- true;
+  t.stable <- true
+
+let stabilize t =
+  let rounds = ref 0 in
+  while not t.stable do
+    if !rounds >= t.max_iters then widen_all t
+    else begin
+      incr rounds;
+      t.passes <- t.passes + 1;
+      (* application memos from the previous pass may reflect lower
+         iterates of other entries; drop them so the final pass evaluates
+         everything against the final values *)
+      Dvalue.clear_cache ();
+      t.stable <- true;
+      (* new demands during the pass reset [stable] and are picked up on
+         the next round *)
+      let entries = List.rev t.order in
+      List.iter
+        (fun e ->
+          t.ctx.Semantics.iters <- t.ctx.Semantics.iters + 1;
+          let v = Semantics.eval t.ctx Semantics.Env.empty e.tast in
+          if not (Probe.equal ~d:t.dbound e.value v) then begin
+            e.value <- Dvalue.join e.value v;
+            t.stable <- false
+          end)
+        entries
+    end
+  done
+
+let value t name inst =
+  if not (is_def t name) then
+    invalid_arg (Printf.sprintf "Fixpoint.value: unknown definition %s" name);
+  let e =
+    match inst with
+    | Some ty -> demand t name ty
+    | None ->
+        (* materialize the simplest instance, then demand it by its
+           ground type so repeated calls share the entry *)
+        let tast = Infer.instantiate_def t.prog name None in
+        demand t name tast.Tast.ty
+  in
+  stabilize t;
+  e.value
+
+let instance_ty t name =
+  let tast = Infer.instantiate_def t.prog name None in
+  tast.Tast.ty
+
+let eval_expr t tast =
+  absorb_tree_depth t tast;
+  stabilize t;
+  let v = ref (Semantics.eval t.ctx Semantics.Env.empty tast) in
+  (* evaluation may have demanded new instances (still at bottom): iterate
+     to a consistent result *)
+  while not t.stable do
+    stabilize t;
+    v := Semantics.eval t.ctx Semantics.Env.empty tast
+  done;
+  !v
+
+let main_value t = eval_expr t (Infer.main_ground t.prog)
+let iterations t = t.ctx.Semantics.iters
+let passes t = t.passes
+let instances t = List.rev_map (fun e -> (e.name, e.inst)) t.order
+let capped t = t.ctx.Semantics.capped

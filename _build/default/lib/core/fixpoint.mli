@@ -1,0 +1,63 @@
+(** Fixpoint solver for a whole program's top-level [letrec] group.
+
+    The meaning of a recursive definition in the escape domain is its
+    least fixpoint (section 3.5).  Because the spine annotations inside a
+    polymorphic definition depend on the monomorphic instance at which it
+    is used, the solver memoizes abstract values per
+    {e (definition, ground instance type)} pair, re-typing the definition
+    at each demanded instance ({!Nml.Infer.instantiate_def}) — the lazy
+    equivalent of whole-program monomorphization.  Mutual and self
+    recursion are solved by chaotic iteration over the memo table, with
+    convergence decided by {!Probe.equal}.
+
+    Iteration is capped ([max_iters], default 200 rounds); on a cap hit
+    every cached value is widened to the top of its type — the safe
+    direction (everything escapes) — and {!capped} reports it. *)
+
+type t
+
+val make : ?max_iters:int -> Nml.Infer.program -> t
+(** Builds a solver; nothing is computed until a value is demanded. *)
+
+val of_source : ?max_iters:int -> string -> t
+(** Parse, infer and wrap a program given as source text. *)
+
+val program : t -> Nml.Infer.program
+
+val d : t -> int
+(** Current chain bound: the largest spine count of any list type seen in
+    the main expression or any demanded instance. *)
+
+val value : t -> string -> Nml.Ty.t option -> Dvalue.t
+(** [value t f (Some ty)] is the abstract value of definition [f] at the
+    ground instance [ty]; [value t f None] uses the simplest monotyped
+    instance.  Stabilizes the memo table before returning.
+    @raise Invalid_argument for unknown definitions, {!Nml.Infer.Error}
+    if [ty] is not an instance of [f]'s scheme. *)
+
+val instance_ty : t -> string -> Nml.Ty.t
+(** Ground type of the simplest instance of a definition. *)
+
+val eval_expr : t -> Nml.Tast.texpr -> Dvalue.t
+(** Abstract value of an arbitrary ground typed expression (local
+    environment empty), resolving definition references through the
+    solver. *)
+
+val main_value : t -> Dvalue.t
+(** Abstract value of the program's main expression. *)
+
+val stabilize : t -> unit
+(** Runs chaotic iteration until no cached value changes. *)
+
+(** {2 Statistics (for the cost experiments)} *)
+
+val iterations : t -> int
+(** Total Kleene rounds, including nested [letrec]s. *)
+
+val passes : t -> int
+(** Chaotic-iteration passes over the memo table. *)
+
+val instances : t -> (string * Nml.Ty.t) list
+(** Every (definition, instance) pair materialized so far. *)
+
+val capped : t -> bool

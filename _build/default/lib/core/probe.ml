@@ -1,0 +1,11 @@
+let probes ~d ty =
+  Dvalue.ensure_d d;
+  Dvalue.probes ty
+
+let equal ~d a b =
+  Dvalue.ensure_d d;
+  Dvalue.equal a b
+
+let leq ~d a b =
+  Dvalue.ensure_d d;
+  Dvalue.leq a b

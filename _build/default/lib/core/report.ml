@@ -1,0 +1,168 @@
+module Ty = Nml.Ty
+module Eval = Nml.Eval
+
+let pp_verdict_line ppf (v : Analysis.verdict) =
+  let keep = Analysis.non_escaping_top_spines v in
+  Format.fprintf ppf "  G(%s, %d) = %-6s" v.Analysis.func v.Analysis.arg
+    (Besc.to_string v.Analysis.esc);
+  if not (Analysis.escapes v) then
+    Format.fprintf ppf " -- no part of argument %d ever escapes" v.Analysis.arg
+  else if v.Analysis.spines = 0 then
+    Format.fprintf ppf " -- argument %d (not a list) may escape" v.Analysis.arg
+  else if Analysis.escaping_spines v = 0 then
+    Format.fprintf ppf " -- no spine of argument %d escapes, only elements may"
+      v.Analysis.arg
+  else
+    Format.fprintf ppf
+      " -- top %d of %d spine(s) never escape; bottom %d may escape" keep
+      v.Analysis.spines
+      (Analysis.escaping_spines v)
+
+let definition ppf t name =
+  let inst = Fixpoint.instance_ty t name in
+  Format.fprintf ppf "@[<v 0>%s : %s@," name (Ty.to_string inst);
+  let verdicts = Analysis.global_all ~inst t name in
+  List.iter
+    (fun (v : Analysis.verdict) ->
+      Format.fprintf ppf "%a@," pp_verdict_line v;
+      (* pair-typed parameters additionally get per-component verdicts *)
+      match Analysis.component_paths (List.nth (Ty.arg_tys inst v.Analysis.arity) (v.Analysis.arg - 1)) with
+      | [ [] ] -> ()
+      | _ ->
+          List.iter
+            (fun (path, (cv : Analysis.verdict)) ->
+              Format.fprintf ppf "    component %a = %s%s@," Analysis.pp_path path
+                (Besc.to_string cv.Analysis.esc)
+                (if Analysis.escapes cv then "" else "  (never escapes)"))
+            (Analysis.global_components ~inst t name ~arg:v.Analysis.arg))
+    verdicts;
+  (if verdicts <> [] then
+     let info = Sharing.result_unshared ~inst t name in
+     if info.Sharing.result_spines > 0 then
+       Format.fprintf ppf
+         "  sharing: top %d of the result's %d spine(s) are unshared in any call@,"
+         info.Sharing.unshared_top info.Sharing.result_spines);
+  Format.fprintf ppf "@]"
+
+let program ppf t =
+  let prog = Fixpoint.program t in
+  Format.fprintf ppf "@[<v 0>";
+  List.iter
+    (fun (name, _) -> Format.fprintf ppf "%a@," (fun ppf () -> definition ppf t name) ())
+    prog.Nml.Infer.schemes;
+  Format.fprintf ppf "@]"
+
+let call ppf t fname args =
+  Format.fprintf ppf "@[<v 0>call: %s on %d argument(s)@,"  fname (List.length args);
+  List.iteri
+    (fun j _ ->
+      let v = Analysis.local t fname args ~arg:(j + 1) in
+      let keep = Analysis.non_escaping_top_spines v in
+      Format.fprintf ppf "  L(%s, %d) = %-6s" fname (j + 1) (Besc.to_string v.Analysis.esc);
+      if not (Analysis.escapes v) then Format.fprintf ppf " -- nothing escapes this call@,"
+      else if v.Analysis.spines = 0 then Format.fprintf ppf " -- the argument may escape@,"
+      else
+        Format.fprintf ppf " -- top %d of %d spine(s) stay inside this call@," keep
+          v.Analysis.spines)
+    args;
+  Format.fprintf ppf "@]"
+
+let kleene_trace ?(max_iters = 12) ppf (prog : Nml.Infer.program) =
+  let defs =
+    List.map (fun (name, _) -> (name, Nml.Infer.instantiate_def prog name None)) prog.Nml.Infer.schemes
+  in
+  let d =
+    List.fold_left
+      (fun acc (_, tast) ->
+        let m = ref acc in
+        Nml.Tast.iter_tys (fun ty -> m := max !m (Ty.max_list_depth ty)) tast;
+        !m)
+      0 defs
+  in
+  Dvalue.ensure_d d;
+  (* the G-style probe application of a definition's current iterate *)
+  let g_escs value tast =
+    let n = Ty.arity tast.Nml.Tast.ty in
+    let arg_tys = Ty.arg_tys tast.Nml.Tast.ty n in
+    List.mapi
+      (fun i _ ->
+        let ys =
+          List.mapi
+            (fun j ty -> if j = i then Dvalue.interesting ty else Dvalue.boring ty)
+            arg_tys
+        in
+        (Dvalue.total_esc (Dvalue.apply_all value ys)))
+      arg_tys
+  in
+  let pp_row ppf vals =
+    List.iter
+      (fun (name, escs) ->
+        Format.fprintf ppf "  %s: %s" name
+          (String.concat " " (List.map Besc.to_string escs)))
+      vals
+  in
+  Format.fprintf ppf "@[<v 0>";
+  let current = ref (List.map (fun (n, tast) -> (n, Dvalue.bottom tast.Nml.Tast.ty)) defs) in
+  let stable = ref false in
+  let k = ref 0 in
+  while (not !stable) && !k <= max_iters do
+    let snapshot = !current in
+    let row =
+      List.map (fun ((n, tast), (_, v)) -> (n, (g_escs v tast : Besc.t list)))
+        (List.combine defs snapshot)
+    in
+    Format.fprintf ppf "iterate %d %a@," !k pp_row row;
+    (* Jacobi: next iterate of every body under the snapshot *)
+    let ctx =
+      {
+        Semantics.d = (fun () -> Dvalue.current_d ());
+        global =
+          (fun x _ty ->
+            match List.assoc_opt x snapshot with
+            | Some v -> v
+            | None -> invalid_arg (Printf.sprintf "kleene_trace: unknown %s" x));
+        max_iters = 100;
+        iters = 0;
+        capped = false;
+        fv_cache = [];
+      }
+    in
+    let next =
+      List.map (fun (n, tast) -> (n, Semantics.eval ctx Semantics.Env.empty tast)) defs
+    in
+    stable :=
+      List.for_all2 (fun (_, a) (_, b) -> Dvalue.equal a b) snapshot next;
+    current := next;
+    incr k
+  done;
+  if !stable then Format.fprintf ppf "stable after %d iterate(s)@," (!k - 1)
+  else Format.fprintf ppf "(trace cut off at %d iterates)@," max_iters;
+  Format.fprintf ppf "@]"
+
+(* Figure 1: label every cons chain with its top spine index; the bottom
+   index is derived from the value's total spine depth. *)
+let spines_figure ppf value =
+  let rec depth = function
+    | Eval.Vcons (hd, tl) -> max (1 + depth hd) (depth tl)
+    | _ -> 0
+  in
+  let total = depth value in
+  let rec render ppf (v, top) =
+    match v with
+    | Eval.Vnil -> Format.fprintf ppf "[]"
+    | Eval.Vcons _ ->
+        let elems =
+          let rec go = function
+            | Eval.Vcons (hd, tl) -> hd :: go tl
+            | _ -> []
+          in
+          go v
+        in
+        Format.fprintf ppf "@[<hov 2>(spine top=%d bottom=%d:@ %a)@]" top
+          (total - top + 1)
+          (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf e ->
+               render ppf (e, top + 1)))
+          elems
+    | other -> Eval.pp_value ppf other
+  in
+  Format.fprintf ppf "@[<v 0>value with %d spine(s):@,%a@]" total render (value, 1)

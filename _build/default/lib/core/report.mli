@@ -1,0 +1,31 @@
+(** Human-readable analysis reports (used by the [nmlc] driver and the
+    examples). *)
+
+val program : Format.formatter -> Fixpoint.t -> unit
+(** For every definition of the program: its simplest instance type, the
+    global escape verdict of every parameter, and the sharing guarantee
+    for its result (Theorem 2, worst case). *)
+
+val definition : Format.formatter -> Fixpoint.t -> string -> unit
+(** The same report for a single definition. *)
+
+val call : Format.formatter -> Fixpoint.t -> string -> Nml.Ast.expr list -> unit
+(** Local escape verdicts for one call [f e1 ... en]. *)
+
+val kleene_trace : ?max_iters:int -> Format.formatter -> Nml.Infer.program -> unit
+(** The appendix A.1 iteration table: runs Jacobi iteration on the
+    top-level group from bottom (at the simplest instances) and prints,
+    for every iterate, the global-test escape value of each definition's
+    parameters — e.g. for [append]:
+
+    {v
+      iterate 0   append: <0,0> <0,0>   (all bottom)
+      iterate 1   append: <1,0> <1,1>
+      iterate 2   append: <1,0> <1,1>   (stable)
+    v} *)
+
+val spines_figure : Format.formatter -> Nml.Eval.value -> unit
+(** The paper's Figure 1: renders a list value with its cons cells
+    labelled by top/bottom spine indices, e.g. for
+    [[[1,2],[3,4]]] the outer chain is top spine 1 / bottom spine 2 and
+    the element chains are top spine 2 / bottom spine 1. *)

@@ -1,0 +1,3 @@
+let value ~esc ty = Dvalue.w_value ~esc ty
+let interesting ty = Dvalue.interesting ty
+let boring ty = Dvalue.boring ty

@@ -1,0 +1,23 @@
+(** Worst-case escape functions [W^t] (Definition 2).
+
+    [W^t] corresponds to an [nml] function from which every argument
+    escapes:
+
+    {v W = λx1. ⟨x1', λx2. ⟨x1' ⊔ x2', ..., λxm. ⟨x1' ⊔ ... ⊔ xm', err⟩⟩⟩ v}
+
+    (writing [x'] for the basic component of [x]), where [m] is the number
+    of arguments a function of type [t] takes before returning a primitive
+    value, and [W^{t list} = W^t].  For [m = 0], [W = err].
+
+    The global escape test instantiates every parameter with
+    [⟨esc, W⟩] — the interesting one with [esc = <1,s_i>], the others with
+    [<0,0>] (section 4.1). *)
+
+val value : esc:Besc.t -> Nml.Ty.t -> Dvalue.t
+(** The probe value [⟨esc, W^t⟩]. *)
+
+val interesting : Nml.Ty.t -> Dvalue.t
+(** [value ~esc:(One (spines t)) t] — the paper's [y_i]. *)
+
+val boring : Nml.Ty.t -> Dvalue.t
+(** [value ~esc:Zero t] — the paper's [y_j], [j <> i]. *)

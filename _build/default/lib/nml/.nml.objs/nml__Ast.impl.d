@@ -1,0 +1,1 @@
+lib/nml/ast.ml: Hashtbl List Loc String

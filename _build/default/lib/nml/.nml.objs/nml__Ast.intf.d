@@ -1,0 +1,1 @@
+lib/nml/ast.mli: Loc

@@ -1,0 +1,1 @@
+lib/nml/eval.ml: Ast Format List Map String Surface

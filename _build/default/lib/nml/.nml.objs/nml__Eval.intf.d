@@ -1,0 +1,1 @@
+lib/nml/eval.mli: Ast Format Surface

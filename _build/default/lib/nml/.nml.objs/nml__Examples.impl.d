@@ -1,0 +1,1 @@
+lib/nml/examples.ml: Printf String

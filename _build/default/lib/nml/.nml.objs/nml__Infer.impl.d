@@ -1,0 +1,1 @@
+lib/nml/infer.ml: Ast Format Hashtbl List Loc Map Printf String Surface Tast Ty

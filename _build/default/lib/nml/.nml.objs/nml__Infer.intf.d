@@ -1,0 +1,1 @@
+lib/nml/infer.mli: Ast Format Loc Surface Tast Ty

@@ -1,0 +1,1 @@
+lib/nml/lexer.ml: List Loc Printf String Token

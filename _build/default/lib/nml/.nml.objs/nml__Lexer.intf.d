@@ -1,0 +1,1 @@
+lib/nml/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/nml/loc.ml: Format

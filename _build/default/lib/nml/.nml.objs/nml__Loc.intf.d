@@ -1,0 +1,1 @@
+lib/nml/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/nml/mono.ml: Ast Hashtbl Infer List Option Printf Queue Set String Surface Tast Ty

@@ -1,0 +1,1 @@
+lib/nml/mono.mli: Infer Surface Ty

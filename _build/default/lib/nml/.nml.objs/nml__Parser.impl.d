@@ -1,0 +1,1 @@
+lib/nml/parser.ml: Array Ast Lexer List Loc Printf String Token

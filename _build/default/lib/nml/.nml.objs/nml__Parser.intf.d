@@ -1,0 +1,1 @@
+lib/nml/parser.mli: Ast Loc

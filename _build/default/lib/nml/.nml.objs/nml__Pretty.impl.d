@@ -1,0 +1,1 @@
+lib/nml/pretty.ml: Ast Format List Option

@@ -1,0 +1,1 @@
+lib/nml/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/nml/surface.ml: Ast List Parser Pretty

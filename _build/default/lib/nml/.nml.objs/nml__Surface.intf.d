@@ -1,0 +1,1 @@
+lib/nml/surface.mli: Ast Format

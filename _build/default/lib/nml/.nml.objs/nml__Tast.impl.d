@@ -1,0 +1,1 @@
+lib/nml/tast.ml: Ast Format List Loc Pretty Ty

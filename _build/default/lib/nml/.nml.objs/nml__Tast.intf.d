@@ -1,0 +1,1 @@
+lib/nml/tast.mli: Ast Format Loc Ty

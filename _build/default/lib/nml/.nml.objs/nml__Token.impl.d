@@ -1,0 +1,1 @@
+lib/nml/token.ml: Format

@@ -1,0 +1,1 @@
+lib/nml/token.mli: Format

@@ -1,0 +1,1 @@
+lib/nml/ty.ml: Char Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/nml/ty.mli: Format

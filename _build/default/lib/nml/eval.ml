@@ -1,0 +1,207 @@
+module Env = Map.Make (String)
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vnil
+  | Vcons of value * value
+  | Vpair of value * value
+  | Vleaf
+  | Vnode of value * value * value  (** left, label, right *)
+  | Vclos of string * Ast.expr * env
+  | Vprim of Ast.prim * value list
+
+and env = cell Env.t
+and cell = Ready of value | Pending of value option ref
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+let error fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+let empty_env = Env.empty
+let bind x v env = Env.add x (Ready v) env
+
+let lookup env x =
+  match Env.find_opt x env with
+  | Some (Ready v) -> v
+  | Some (Pending { contents = Some v }) -> v
+  | Some (Pending { contents = None }) ->
+      error "letrec binding %s is used before its definition is evaluated" x
+  | None -> error "unbound identifier %s at run time" x
+
+let env_values env =
+  Env.fold
+    (fun _ cell acc ->
+      match cell with
+      | Ready v -> v :: acc
+      | Pending { contents = Some v } -> v :: acc
+      | Pending { contents = None } -> acc)
+    env []
+
+let type_name = function
+  | Vint _ -> "int"
+  | Vbool _ -> "bool"
+  | Vnil | Vcons _ -> "list"
+  | Vpair _ -> "pair"
+  | Vleaf | Vnode _ -> "tree"
+  | Vclos _ | Vprim _ -> "function"
+
+let as_int = function Vint n -> n | v -> error "expected an int, got a %s" (type_name v)
+let as_bool = function Vbool b -> b | v -> error "expected a bool, got a %s" (type_name v)
+
+let delta p args =
+  match (p, args) with
+  | Ast.Add, [ a; b ] -> Vint (as_int a + as_int b)
+  | Ast.Sub, [ a; b ] -> Vint (as_int a - as_int b)
+  | Ast.Mul, [ a; b ] -> Vint (as_int a * as_int b)
+  | Ast.Div, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "division by zero" else Vint (as_int a / d)
+  | Ast.Mod, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "modulo by zero" else Vint (as_int a mod d)
+  | Ast.Eq, [ a; b ] -> Vbool (as_int a = as_int b)
+  | Ast.Ne, [ a; b ] -> Vbool (as_int a <> as_int b)
+  | Ast.Lt, [ a; b ] -> Vbool (as_int a < as_int b)
+  | Ast.Le, [ a; b ] -> Vbool (as_int a <= as_int b)
+  | Ast.Gt, [ a; b ] -> Vbool (as_int a > as_int b)
+  | Ast.Ge, [ a; b ] -> Vbool (as_int a >= as_int b)
+  | Ast.And, [ a; b ] -> Vbool (as_bool a && as_bool b)
+  | Ast.Or, [ a; b ] -> Vbool (as_bool a || as_bool b)
+  | Ast.Not, [ a ] -> Vbool (not (as_bool a))
+  | Ast.Cons, [ hd; tl ] -> (
+      match tl with
+      | Vnil | Vcons _ -> Vcons (hd, tl)
+      | v -> error "cons: tail must be a list, got a %s" (type_name v))
+  | Ast.Car, [ Vcons (hd, _) ] -> hd
+  | Ast.Car, [ Vnil ] -> error "car of nil"
+  | Ast.Car, [ v ] -> error "car of a %s" (type_name v)
+  | Ast.Cdr, [ Vcons (_, tl) ] -> tl
+  | Ast.Cdr, [ Vnil ] -> error "cdr of nil"
+  | Ast.Cdr, [ v ] -> error "cdr of a %s" (type_name v)
+  | Ast.Null, [ Vnil ] -> Vbool true
+  | Ast.Null, [ Vcons _ ] -> Vbool false
+  | Ast.Null, [ v ] -> error "null of a %s" (type_name v)
+  | Ast.Pair, [ a; b ] -> Vpair (a, b)
+  | Ast.Fst, [ Vpair (a, _) ] -> a
+  | Ast.Fst, [ v ] -> error "fst of a %s" (type_name v)
+  | Ast.Snd, [ Vpair (_, b) ] -> b
+  | Ast.Snd, [ v ] -> error "snd of a %s" (type_name v)
+  | Ast.Node, [ l; x; r ] -> (
+      match (l, r) with
+      | (Vleaf | Vnode _), (Vleaf | Vnode _) -> Vnode (l, x, r)
+      | _ -> error "node: children must be trees")
+  | Ast.Isleaf, [ Vleaf ] -> Vbool true
+  | Ast.Isleaf, [ Vnode _ ] -> Vbool false
+  | Ast.Isleaf, [ v ] -> error "isleaf of a %s" (type_name v)
+  | Ast.Label, [ Vnode (_, x, _) ] -> x
+  | Ast.Label, [ Vleaf ] -> error "label of leaf"
+  | Ast.Label, [ v ] -> error "label of a %s" (type_name v)
+  | Ast.Left, [ Vnode (l, _, _) ] -> l
+  | Ast.Left, [ Vleaf ] -> error "left of leaf"
+  | Ast.Left, [ v ] -> error "left of a %s" (type_name v)
+  | Ast.Right, [ Vnode (_, _, r) ] -> r
+  | Ast.Right, [ Vleaf ] -> error "right of leaf"
+  | Ast.Right, [ v ] -> error "right of a %s" (type_name v)
+  | _ -> error "primitive %s applied to %d arguments" (Ast.prim_name p) (List.length args)
+
+let eval ?fuel ?(env = empty_env) expr =
+  let steps = ref (match fuel with Some n -> n | None -> -1) in
+  let tick () =
+    if !steps = 0 then raise Out_of_fuel;
+    if !steps > 0 then decr steps
+  in
+  let rec go env expr =
+    tick ();
+    match expr with
+    | Ast.Const (_, Ast.Cint n) -> Vint n
+    | Ast.Const (_, Ast.Cbool b) -> Vbool b
+    | Ast.Const (_, Ast.Cnil) -> Vnil
+    | Ast.Const (_, Ast.Cleaf) -> Vleaf
+    | Ast.Prim (_, p) -> Vprim (p, [])
+    | Ast.Var (_, x) -> lookup env x
+    | Ast.Lam (_, x, body) -> Vclos (x, body, env)
+    | Ast.App (_, f, a) ->
+        (* left-to-right: function first, then argument *)
+        let vf = go env f in
+        let va = go env a in
+        apply vf va
+    | Ast.If (_, c, t, f) -> if as_bool (go env c) then go env t else go env f
+    | Ast.Letrec (_, bs, body) ->
+        let slots = List.map (fun (x, _) -> (x, ref None)) bs in
+        let env' =
+          List.fold_left (fun env (x, slot) -> Env.add x (Pending slot) env) env slots
+        in
+        List.iter2 (fun (_, rhs) (_, slot) -> slot := Some (go env' rhs)) bs slots;
+        go env' body
+  and apply vf va =
+    tick ();
+    match vf with
+    | Vclos (x, body, cenv) -> go (bind x va cenv) body
+    | Vprim (p, collected) ->
+        let args = collected @ [ va ] in
+        if List.length args = Ast.prim_arity p then delta p args else Vprim (p, args)
+    | v -> error "cannot apply a %s as a function" (type_name v)
+  in
+  go env expr
+
+let run ?fuel (p : Surface.t) = eval ?fuel (Surface.to_expr p)
+
+let defs_env ?fuel (p : Surface.t) =
+  match p.Surface.defs with
+  | [] -> empty_env
+  | defs ->
+      let slots = List.map (fun (x, _) -> (x, ref None)) defs in
+      let env' =
+        List.fold_left (fun env (x, slot) -> Env.add x (Pending slot) env) empty_env slots
+      in
+      List.iter2 (fun (_, rhs) (_, slot) -> slot := Some (eval ?fuel ~env:env' rhs)) defs slots;
+      env'
+
+let apply_value ?fuel vf args =
+  let apply1 vf va =
+    match vf with
+    | Vclos (x, body, cenv) -> eval ?fuel ~env:(bind x va cenv) body
+    | Vprim (p, collected) ->
+        let args = collected @ [ va ] in
+        if List.length args = Ast.prim_arity p then delta p args else Vprim (p, args)
+    | v -> error "cannot apply a %s as a function" (type_name v)
+  in
+  List.fold_left apply1 vf args
+let value_of_int_list xs = List.fold_right (fun n acc -> Vcons (Vint n, acc)) xs Vnil
+
+let rec list_of_value = function
+  | Vnil -> []
+  | Vcons (hd, tl) -> hd :: list_of_value tl
+  | v -> error "expected a list, got a %s" (type_name v)
+
+let int_list_of_value v = List.map as_int (list_of_value v)
+
+let rec equal_value a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vnil, Vnil -> true
+  | Vcons (h1, t1), Vcons (h2, t2) | Vpair (h1, t1), Vpair (h2, t2) ->
+      equal_value h1 h2 && equal_value t1 t2
+  | Vleaf, Vleaf -> true
+  | Vnode (l1, x1, r1), Vnode (l2, x2, r2) ->
+      equal_value l1 l2 && equal_value x1 x2 && equal_value r1 r2
+  | (Vclos _ | Vprim _), _ | _, (Vclos _ | Vprim _) -> false
+  | (Vint _ | Vbool _ | Vnil | Vcons _ | Vpair _ | Vleaf | Vnode _), _ -> false
+
+let rec pp_value ppf = function
+  | Vint n -> Format.pp_print_int ppf n
+  | Vbool b -> Format.pp_print_bool ppf b
+  | Vnil -> Format.pp_print_string ppf "[]"
+  | Vcons _ as v ->
+      let elems = list_of_value v in
+      Format.fprintf ppf "@[<hov 1>[%a]@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_value)
+        elems
+  | Vpair (a, b) -> Format.fprintf ppf "@[<hov 1>(%a,@ %a)@]" pp_value a pp_value b
+  | Vleaf -> Format.pp_print_string ppf "leaf"
+  | Vnode (l, x, r) ->
+      Format.fprintf ppf "@[<hov 1>(node %a %a %a)@]" pp_value l pp_value x pp_value r
+  | Vclos (x, _, _) -> Format.fprintf ppf "<fun %s>" x
+  | Vprim (p, args) -> Format.fprintf ppf "<prim %s/%d>" (Ast.prim_name p) (List.length args)

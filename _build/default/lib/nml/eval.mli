@@ -1,0 +1,68 @@
+(** Standard (call-by-value) semantics of [nml].
+
+    This is the reference interpreter: the exact escape semantics of the
+    paper is an abstraction of a concrete execution, and the taint
+    interpreter ({!Core.Exact}) as well as the storage simulator
+    ({!Runtime.Machine}) must agree with the results produced here. *)
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vnil
+  | Vcons of value * value
+  | Vpair of value * value
+  | Vleaf
+  | Vnode of value * value * value  (** left, label, right *)
+  | Vclos of string * Ast.expr * env  (** parameter, body, captured env *)
+  | Vprim of Ast.prim * value list  (** partially applied primitive *)
+
+and env
+(** Environments map identifiers to values; [letrec] is implemented with
+    backpatched references, so reading a binding before its definition has
+    been evaluated is a runtime error (as in OCaml's [let rec]). *)
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+val empty_env : env
+val bind : string -> value -> env -> env
+val lookup : env -> string -> value
+
+val env_values : env -> value list
+(** All values bound in the environment (pending [letrec] slots that have
+    not been evaluated yet are skipped).  Used by the escape observer to
+    traverse what a closure captures. *)
+
+val eval : ?fuel:int -> ?env:env -> Ast.expr -> value
+(** Evaluates an expression.  [fuel] bounds the number of evaluation steps
+    (default: unlimited) and protects property-based tests against
+    divergent generated programs: @raise Out_of_fuel when exhausted.
+    @raise Runtime_error for [car]/[cdr] of [nil], division by zero,
+    application of a non-function, and unbound identifiers. *)
+
+val run : ?fuel:int -> Surface.t -> value
+(** Evaluates a whole program. *)
+
+val defs_env : ?fuel:int -> Surface.t -> env
+(** Evaluates just the definitions of a program, returning the recursive
+    environment binding them (the program's main expression is not
+    evaluated). *)
+
+val apply_value : ?fuel:int -> value -> value list -> value
+(** Applies an already evaluated function value to evaluated arguments —
+    used by the dynamic escape observer, which must tag argument values
+    before the call. *)
+
+val value_of_int_list : int list -> value
+val int_list_of_value : value -> int list
+(** @raise Runtime_error if the value is not a flat list of integers. *)
+
+val list_of_value : value -> value list
+(** Spine of a list value as an OCaml list.
+    @raise Runtime_error on non-lists. *)
+
+val equal_value : value -> value -> bool
+(** Structural equality on first-order values; closures and partial
+    applications are never equal to anything (returns [false]). *)
+
+val pp_value : Format.formatter -> value -> unit

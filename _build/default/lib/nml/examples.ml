@@ -1,0 +1,132 @@
+let append_def =
+  "append x y = if null x then y else cons (car x) (append (cdr x) y)"
+
+let split_def =
+  "split p x l h =\n\
+  \  if null x then cons l (cons h nil)\n\
+  \  else if car x < p then split p (cdr x) (cons (car x) l) h\n\
+  \  else split p (cdr x) l (cons (car x) h)"
+
+let ps_def =
+  "ps x =\n\
+  \  if null x then nil\n\
+  \  else let s = split (car x) (cdr x) nil nil in\n\
+  \       append (ps (car s)) (cons (car x) (ps (car (cdr s))))"
+
+let rev_def = "rev l = if null l then nil else append (rev (cdr l)) (cons (car l) nil)"
+let map_def = "map f l = if null l then nil else cons (f (car l)) (map f (cdr l))"
+let pair_def = "pair x = cons (car x) (cons (car (cdr x)) nil)"
+let length_def = "length l = if null l then 0 else 1 + length (cdr l)"
+let sum_def = "sum l = if null l then 0 else car l + sum (cdr l)"
+
+let member_def =
+  "member n l = if null l then false else if car l = n then true else member n (cdr l)"
+
+let take_def =
+  "take n l = if n = 0 then nil else if null l then nil else cons (car l) (take (n - 1) (cdr l))"
+
+let drop_def = "drop n l = if n = 0 then l else if null l then nil else drop (n - 1) (cdr l)"
+let nth_def = "nth n l = if n = 0 then car l else nth (n - 1) (cdr l)"
+let last_def = "last l = if null (cdr l) then car l else last (cdr l)"
+
+let filter_def =
+  "filter p l =\n\
+  \  if null l then nil\n\
+  \  else if p (car l) then cons (car l) (filter p (cdr l))\n\
+  \  else filter p (cdr l)"
+
+let insert_def =
+  "insert n l =\n\
+  \  if null l then cons n nil\n\
+  \  else if n <= car l then cons n l\n\
+  \  else cons (car l) (insert n (cdr l))"
+
+let isort_def = "isort l = if null l then nil else insert (car l) (isort (cdr l))"
+let concat_def = "concat ls = if null ls then nil else append (car ls) (concat (cdr ls))"
+let create_list_def = "create_list n = if n = 0 then nil else cons n (create_list (n - 1))"
+let id_def = "id x = x"
+let const_def = "konst x y = x"
+let compose_def = "compose f g x = f (g x)"
+let foldr_def = "foldr f z l = if null l then z else f (car l) (foldr f z (cdr l))"
+
+let zip_def =
+  "zip a b =\n\
+  \  if null a then nil\n\
+  \  else if null b then nil\n\
+  \  else cons (mkpair (car a) (car b)) (zip (cdr a) (cdr b))"
+
+let unzip_fsts_def = "fsts l = if null l then nil else cons (fst (car l)) (fsts (cdr l))"
+let unzip_snds_def = "snds l = if null l then nil else cons (snd (car l)) (snds (cdr l))"
+let swap_def = "swap p = mkpair (snd p) (fst p)"
+
+let assoc_def =
+  "assoc d k l =\n\
+  \  if null l then d\n\
+  \  else if fst (car l) = k then snd (car l)\n\
+  \  else assoc d k (cdr l)"
+
+let tmap_def =
+  "tmap f t =\n\
+  \  if isleaf t then leaf\n\
+  \  else node (tmap f (left t)) (f (label t)) (tmap f (right t))"
+
+let tinsert_def =
+  "tinsert n t =\n\
+  \  if isleaf t then node leaf n leaf\n\
+  \  else if n < label t then node (tinsert n (left t)) (label t) (right t)\n\
+  \  else node (left t) (label t) (tinsert n (right t))"
+
+let tsum_def = "tsum t = if isleaf t then 0 else tsum (left t) + label t + tsum (right t)"
+
+let mirror_def =
+  "mirror t = if isleaf t then leaf else node (mirror (right t)) (label t) (mirror (left t))"
+
+let flatten_def =
+  "flatten t =\n\
+  \  if isleaf t then nil\n\
+  \  else append (flatten (left t)) (cons (label t) (flatten (right t)))"
+
+let wrap defs main =
+  match defs with
+  | [] -> main
+  | _ -> Printf.sprintf "letrec\n%s\nin %s" (String.concat ";\n" defs) main
+
+let partition_sort_program = wrap [ append_def; split_def; ps_def ] "ps [5, 2, 7, 1, 3, 4]"
+let map_pair_program = wrap [ map_def; pair_def ] "map pair [[1, 2], [3, 4], [5, 6]]"
+let rev_program = wrap [ append_def; rev_def ] "rev [1, 2, 3, 4, 5]"
+
+let all_defs =
+  [
+    ("append", append_def);
+    ("split", split_def);
+    ("ps", ps_def);
+    ("rev", rev_def);
+    ("map", map_def);
+    ("pair", pair_def);
+    ("length", length_def);
+    ("sum", sum_def);
+    ("member", member_def);
+    ("take", take_def);
+    ("drop", drop_def);
+    ("nth", nth_def);
+    ("last", last_def);
+    ("filter", filter_def);
+    ("insert", insert_def);
+    ("isort", isort_def);
+    ("concat", concat_def);
+    ("create_list", create_list_def);
+    ("id", id_def);
+    ("konst", const_def);
+    ("compose", compose_def);
+    ("foldr", foldr_def);
+    ("zip", zip_def);
+    ("fsts", unzip_fsts_def);
+    ("snds", unzip_snds_def);
+    ("swap", swap_def);
+    ("assoc", assoc_def);
+    ("tmap", tmap_def);
+    ("tinsert", tinsert_def);
+    ("tsum", tsum_def);
+    ("mirror", mirror_def);
+    ("flatten", flatten_def);
+  ]

@@ -1,0 +1,98 @@
+(** Canned [nml] programs: the paper's running examples plus a catalogue
+    of classic list functions used throughout the tests and benches.
+
+    Each value is concrete syntax accepted by {!Parser.parse}.  The
+    programs with a [_program] suffix are complete (top-level [letrec]
+    with a main expression); the others are definition snippets meant to
+    be spliced into {!wrap}. *)
+
+val append_def : string
+(** [APPEND x y] (Appendix A): all of [y] and all but the top spine of
+    [x] escape. *)
+
+val split_def : string
+(** [SPLIT p x l h] (Appendix A): partitions [x] around the pivot [p],
+    returning the two-spined list [[l', h']]. *)
+
+val ps_def : string
+(** [PS x] (Appendix A): partition sort; all but the top spine of the
+    argument escapes. *)
+
+val rev_def : string
+(** Naive reverse via [APPEND] (Appendix A.3.2). *)
+
+val map_def : string
+val pair_def : string
+(** The introduction's example: [pair x = [car x, car (cdr x)]] copies the
+    first two elements of [x] into a fresh spine, so the top spine of the
+    parameter does not escape, only elements do. *)
+
+val length_def : string
+val sum_def : string
+val member_def : string
+val take_def : string
+val drop_def : string
+val nth_def : string
+val last_def : string
+val filter_def : string
+val insert_def : string
+val isort_def : string
+val concat_def : string
+(** [concat : 'a list list -> 'a list] — flattens one level. *)
+
+val create_list_def : string
+(** [create_list n] builds [[n, n-1, ..., 1]] (Appendix A.3.3). *)
+
+val id_def : string
+val const_def : string
+val compose_def : string
+val foldr_def : string
+
+val zip_def : string
+(** [zip : 'a list -> 'b list -> ('a * 'b) list] — elements escape into
+    fresh pairs, neither spine escapes. *)
+
+val unzip_fsts_def : string
+val unzip_snds_def : string
+(** [fsts]/[snds : ('a * 'b) list -> 'a/'b list] — one pair component
+    escapes per element, the spine and the pair cells do not. *)
+
+val swap_def : string
+(** [swap : 'a * 'b -> 'b * 'a]. *)
+
+val assoc_def : string
+(** [assoc : 'a -> int -> (int * 'a) list -> 'a] — association lookup
+    with a default. *)
+
+val tmap_def : string
+(** [tmap : ('a -> 'b) -> 'a tree -> 'b tree] — rebuilds every node, so
+    the node cells never escape (like [map] for lists). *)
+
+val tinsert_def : string
+(** [tinsert : int -> int tree -> int tree] — BST insert; the untouched
+    subtrees are shared into the result, so the whole tree may escape. *)
+
+val tsum_def : string
+val mirror_def : string
+(** [mirror : 'a tree -> 'a tree] — rebuilds every node. *)
+
+val flatten_def : string
+(** [flatten : 'a tree -> 'a list] (needs [append]) — labels escape, node
+    cells do not. *)
+
+val wrap : string list -> string -> string
+(** [wrap defs main] assembles a complete program
+    [letrec d1; ...; dn in main]. *)
+
+val partition_sort_program : string
+(** The complete Appendix A program:
+    [letrec APPEND; SPLIT; PS in PS [5,2,7,1,3,4]] (lower-case names). *)
+
+val map_pair_program : string
+(** The introduction's [map pair [[1,2],[3,4],[5,6]]]. *)
+
+val rev_program : string
+(** [rev [1,...,5]]. *)
+
+val all_defs : (string * string) list
+(** Name/source pairs for every definition above. *)

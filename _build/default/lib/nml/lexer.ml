@@ -1,0 +1,168 @@
+exception Error of Loc.t * string
+
+type spanned = { token : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos_of st : Loc.pos = { line = st.line; col = st.col }
+
+let loc_from st start_pos =
+  Loc.make ~file:st.file ~start_pos ~end_pos:(pos_of st)
+
+let error st start_pos msg = raise (Error (loc_from st start_pos, msg))
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_start c = is_alpha c || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c || c = '\''
+
+(* Skips whitespace, "--" line comments, and nested "(* *)" comments.
+   Returns [true] when progress was made. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      ignore (skip_trivia st);
+      true
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      ignore (skip_trivia st);
+      true
+  | Some '(' when peek2 st = Some '*' ->
+      let start = pos_of st in
+      advance st;
+      advance st;
+      skip_comment st start 1;
+      ignore (skip_trivia st);
+      true
+  | _ -> false
+
+and skip_comment st start depth =
+  if depth = 0 then ()
+  else
+    match (peek st, peek2 st) with
+    | Some '*', Some ')' ->
+        advance st;
+        advance st;
+        skip_comment st start (depth - 1)
+    | Some '(', Some '*' ->
+        advance st;
+        advance st;
+        skip_comment st start (depth + 1)
+    | Some _, _ ->
+        advance st;
+        skip_comment st start depth
+    | None, _ -> error st start "unterminated comment"
+
+let lex_int st =
+  let start_pos = pos_of st in
+  let start_off = st.off in
+  while match peek st with Some c -> is_digit c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.src start_off (st.off - start_off) in
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> error st start_pos (Printf.sprintf "integer literal %s is out of range" text)
+
+let lex_ident st =
+  let start_off = st.off in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.src start_off (st.off - start_off) in
+  match Token.keyword_of_string text with
+  | Some tok -> tok
+  | None -> Token.IDENT text
+
+let next_token st : spanned =
+  ignore (skip_trivia st);
+  let start_pos = pos_of st in
+  let single tok =
+    advance st;
+    tok
+  in
+  let token =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_int st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '(' -> single Token.LPAREN
+    | Some ')' -> single Token.RPAREN
+    | Some '[' -> single Token.LBRACKET
+    | Some ']' -> single Token.RBRACKET
+    | Some '+' -> single Token.PLUS
+    | Some '*' -> single Token.STAR
+    | Some '.' -> single Token.DOT
+    | Some ',' -> single Token.COMMA
+    | Some ';' -> single Token.SEMI
+    | Some '=' -> single Token.EQ
+    | Some '-' ->
+        advance st;
+        if peek st = Some '>' then (
+          advance st;
+          Token.ARROW)
+        else Token.MINUS
+    | Some '<' ->
+        advance st;
+        (match peek st with
+        | Some '=' ->
+            advance st;
+            Token.LE
+        | Some '>' ->
+            advance st;
+            Token.NE
+        | _ -> Token.LT)
+    | Some '>' ->
+        advance st;
+        if peek st = Some '=' then (
+          advance st;
+          Token.GE)
+        else Token.GT
+    | Some ':' ->
+        advance st;
+        if peek st = Some ':' then (
+          advance st;
+          Token.CONS_OP)
+        else error st start_pos "expected '::' (single ':' is not a token)"
+    | Some '\\' -> single Token.LAMBDA
+    | Some c -> error st start_pos (Printf.sprintf "unexpected character %C" c)
+  in
+  { token; loc = loc_from st start_pos }
+
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let sp = next_token st in
+    if Token.equal sp.token Token.EOF then List.rev (sp :: acc) else loop (sp :: acc)
+  in
+  loop []
+
+let tokens ?file src = List.map (fun sp -> sp.token) (tokenize ?file src)

@@ -1,0 +1,17 @@
+(** Hand-written lexer for [nml].
+
+    Supports nested [(* ... *)] comments and [--] line comments.  Every
+    token is returned together with its source location.  Errors (stray
+    characters, unterminated comments, integer overflow) raise {!Error}
+    with a location and message. *)
+
+exception Error of Loc.t * string
+
+type spanned = { token : Token.t; loc : Loc.t }
+
+val tokenize : ?file:string -> string -> spanned list
+(** [tokenize ~file src] lexes all of [src]; the result always ends with a
+    single [EOF] token.  @raise Error on malformed input. *)
+
+val tokens : ?file:string -> string -> Token.t list
+(** Like {!tokenize} but drops locations (convenient in tests). *)

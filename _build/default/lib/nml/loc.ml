@@ -1,0 +1,22 @@
+type pos = { line : int; col : int }
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let no_pos = { line = 0; col = 0 }
+let dummy = { file = "<synthetic>"; start_pos = no_pos; end_pos = no_pos }
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+let is_dummy t = t.start_pos.line = 0
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { file = a.file; start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp ppf t =
+  if is_dummy t then Format.pp_print_string ppf t.file
+  else if t.start_pos = t.end_pos then
+    Format.fprintf ppf "%s:%d.%d" t.file t.start_pos.line t.start_pos.col
+  else
+    Format.fprintf ppf "%s:%d.%d-%d.%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.line t.end_pos.col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,34 @@
+(** Source locations for [nml] programs.
+
+    A location is a half-open span of characters in a named source buffer,
+    tracked as (line, column) pairs.  Columns are 1-based; lines are
+    1-based.  The pseudo-location {!dummy} is used for synthesized syntax
+    (desugared list literals, generated programs). *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+type t = {
+  file : string;  (** name of the source buffer, e.g. a file name *)
+  start_pos : pos;
+  end_pos : pos;
+}
+
+val dummy : t
+(** Location of synthesized syntax; prints as ["<synthetic>"]. *)
+
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b]; both must
+    come from the same buffer (the file of [a] wins otherwise). *)
+
+val is_dummy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["file:line.col-line.col"] (or just ["file:line.col"] for
+    single-character spans). *)
+
+val to_string : t -> string

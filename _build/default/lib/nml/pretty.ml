@@ -1,0 +1,122 @@
+(* Precedence levels, mirroring the parser:
+   0 expr (lambda/if/let/letrec)   1 or   2 and   3 cmp   4 cons(::)
+   5 add   6 mul   7 app   8 atom *)
+
+let prec_of_prim = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 3
+  | Ast.Cons -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+  | Ast.Not | Ast.Car | Ast.Cdr | Ast.Null | Ast.Pair | Ast.Fst | Ast.Snd | Ast.Node
+  | Ast.Isleaf | Ast.Label | Ast.Left | Ast.Right ->
+      7
+
+(* Infix operators and their associativity side. *)
+let infix_name = function
+  | Ast.Or -> Some "or"
+  | Ast.And -> Some "and"
+  | Ast.Eq -> Some "="
+  | Ast.Ne -> Some "<>"
+  | Ast.Lt -> Some "<"
+  | Ast.Le -> Some "<="
+  | Ast.Gt -> Some ">"
+  | Ast.Ge -> Some ">="
+  | Ast.Cons -> Some "::"
+  | Ast.Add -> Some "+"
+  | Ast.Sub -> Some "-"
+  | Ast.Mul -> Some "*"
+  | Ast.Div -> Some "div"
+  | Ast.Mod -> Some "mod"
+  | Ast.Not | Ast.Car | Ast.Cdr | Ast.Null | Ast.Pair | Ast.Fst | Ast.Snd | Ast.Node
+  | Ast.Isleaf | Ast.Label | Ast.Left | Ast.Right ->
+      None
+
+let right_assoc = function Ast.Cons | Ast.Or | Ast.And -> true | _ -> false
+let non_assoc = function Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true | _ -> false
+
+(* Collects [cons e1 (cons e2 ... nil)] into Some [e1; e2; ...]. *)
+let rec as_list_literal = function
+  | Ast.Const (_, Ast.Cnil) -> Some []
+  | Ast.App (_, Ast.App (_, Ast.Prim (_, Ast.Cons), hd), tl) ->
+      Option.map (fun es -> hd :: es) (as_list_literal tl)
+  | _ -> None
+
+let rec collect_lams acc = function
+  | Ast.Lam (_, x, b) -> collect_lams (x :: acc) b
+  | e -> (List.rev acc, e)
+
+let pp_gen ~sugar ppf e =
+  let rec go prec ppf e =
+    match e with
+    | Ast.Const (_, Ast.Cint n) ->
+        if n < 0 && prec > 5 then Format.fprintf ppf "(%d)" n else Format.pp_print_int ppf n
+    | Ast.Const (_, Ast.Cbool b) -> Format.pp_print_bool ppf b
+    | Ast.Const (_, Ast.Cnil) -> Format.pp_print_string ppf "nil"
+    | Ast.Const (_, Ast.Cleaf) -> Format.pp_print_string ppf "leaf"
+    | Ast.Prim (_, p) -> (
+        match infix_name p with
+        | Some _ when Ast.prim_of_name (Ast.prim_name p) = None ->
+            (* operator primitive in argument position: parenthesized name *)
+            Format.fprintf ppf "(fun a b -> a %s b)" (Ast.prim_name p)
+        | _ -> Format.pp_print_string ppf (Ast.prim_name p))
+    | Ast.Var (_, x) -> Format.pp_print_string ppf x
+    | Ast.App (_, Ast.Prim (_, Ast.Not), a) ->
+        paren prec 7 ppf (fun ppf -> Format.fprintf ppf "not %a" (go 8) a)
+    | Ast.App (_, Ast.App (_, Ast.Prim (_, p), a), b) when infix_name p <> None ->
+        let name = Option.get (infix_name p) in
+        let opp = prec_of_prim p in
+        let lp, rp =
+          if right_assoc p then (opp + 1, opp)
+          else if non_assoc p then (opp + 1, opp + 1)
+          else (opp, opp + 1)
+        in
+        (match (p, if sugar then as_list_literal e else None) with
+        | Ast.Cons, Some elems ->
+            Format.fprintf ppf "@[<hov 1>[%a]@]"
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+                 (go 0))
+              elems
+        | _ ->
+            paren prec opp ppf (fun ppf ->
+                Format.fprintf ppf "@[<hov 2>%a %s@ %a@]" (go lp) a name (go rp) b))
+    | Ast.App (_, f, a) ->
+        paren prec 7 ppf (fun ppf -> Format.fprintf ppf "@[<hov 2>%a@ %a@]" (go 7) f (go 8) a)
+    | Ast.Lam _ ->
+        let xs, body = collect_lams [] e in
+        paren prec 0 ppf (fun ppf ->
+            Format.fprintf ppf "@[<hov 2>fun %a ->@ %a@]"
+              (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+              xs (go 0) body)
+    | Ast.If (_, c, t, f) ->
+        paren prec 0 ppf (fun ppf ->
+            Format.fprintf ppf "@[<hv 0>if %a@ then %a@ else %a@]" (go 0) c (go 0) t (go 0) f)
+    | Ast.Letrec (_, bs, body) ->
+        paren prec 0 ppf (fun ppf ->
+            Format.fprintf ppf "@[<v 0>letrec@;<1 2>@[<v 0>%a@]@ in %a@]"
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+                 pp_binding)
+              bs (go 0) body)
+  and pp_binding ppf (x, rhs) =
+    let xs, body = collect_lams [] rhs in
+    match xs with
+    | [] -> Format.fprintf ppf "@[<hov 2>%s =@ %a@]" x (go 0) body
+    | _ ->
+        Format.fprintf ppf "@[<hov 2>%s %a =@ %a@]" x
+          (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+          xs (go 0) body
+  and paren prec level ppf k =
+    if prec > level then (
+      Format.pp_print_string ppf "(";
+      k ppf;
+      Format.pp_print_string ppf ")")
+    else k ppf
+  in
+  go 0 ppf e
+
+let pp ppf e = pp_gen ~sugar:true ppf e
+let pp_flat ppf e = pp_gen ~sugar:false ppf e
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,14 @@
+(** Precedence-aware pretty printer for {!Ast} expressions.
+
+    The output is valid [nml] concrete syntax: for every expression [e],
+    [Parser.parse (to_string e)] is structurally {!Ast.equal} to [e]
+    (locations excepted).  Binary primitive applications are rendered in
+    infix form, saturated [cons] chains ending in [nil] as list literals,
+    and nested lambdas as [fun x1 ... xn -> e]. *)
+
+val pp : Format.formatter -> Ast.expr -> unit
+val to_string : Ast.expr -> string
+
+val pp_flat : Format.formatter -> Ast.expr -> unit
+(** Like {!pp} but never renders list-literal sugar, so every [cons] cell
+    of a literal is visible as a [::] application. *)

@@ -1,0 +1,15 @@
+type t = { defs : (string * Ast.expr) list; main : Ast.expr }
+
+let of_expr = function
+  | Ast.Letrec (_, defs, main) -> { defs; main }
+  | e -> { defs = []; main = e }
+
+let to_expr t =
+  match t.defs with
+  | [] -> t.main
+  | _ -> Ast.Letrec (Ast.loc t.main, t.defs, t.main)
+
+let of_string ?file src = of_expr (Parser.parse ?file src)
+let def t name = List.assoc name t.defs
+let names t = List.map fst t.defs
+let pp ppf t = Pretty.pp ppf (to_expr t)

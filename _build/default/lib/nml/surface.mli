@@ -1,0 +1,23 @@
+(** Programs as the paper presents them: a top-level [letrec] group of
+    definitions and a main expression (section 3.1, [Pgm]). *)
+
+type t = {
+  defs : (string * Ast.expr) list;  (** mutually recursive definitions *)
+  main : Ast.expr;
+}
+
+val of_expr : Ast.expr -> t
+(** Splits a top-level [Letrec]; any other expression becomes a program
+    with no definitions. *)
+
+val to_expr : t -> Ast.expr
+
+val of_string : ?file:string -> string -> t
+(** Parse then split. *)
+
+val def : t -> string -> Ast.expr
+(** Right-hand side of a named definition.  @raise Not_found. *)
+
+val names : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | TRUE
+  | FALSE
+  | NIL
+  | IF
+  | THEN
+  | ELSE
+  | LET
+  | LETREC
+  | IN
+  | LAMBDA
+  | FUN
+  | AND
+  | OR
+  | NOT
+  | DIV
+  | MOD
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | ARROW
+  | DOT
+  | COMMA
+  | SEMI
+  | CONS_OP
+  | EOF
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | NIL -> "nil"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | LET -> "let"
+  | LETREC -> "letrec"
+  | IN -> "in"
+  | LAMBDA -> "lambda"
+  | FUN -> "fun"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | DIV -> "div"
+  | MOD -> "mod"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | ARROW -> "->"
+  | DOT -> "."
+  | COMMA -> ","
+  | SEMI -> ";"
+  | CONS_OP -> "::"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let keyword_of_string = function
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "nil" -> Some NIL
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "let" -> Some LET
+  | "letrec" -> Some LETREC
+  | "in" -> Some IN
+  | "lambda" -> Some LAMBDA
+  | "fun" -> Some FUN
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "div" -> Some DIV
+  | "mod" -> Some MOD
+  | _ -> None

@@ -1,0 +1,50 @@
+(** Lexical tokens of the [nml] surface syntax. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | TRUE
+  | FALSE
+  | NIL
+  | IF
+  | THEN
+  | ELSE
+  | LET
+  | LETREC
+  | IN
+  | LAMBDA
+  | FUN
+  | AND  (** keyword [and] (boolean conjunction) *)
+  | OR
+  | NOT
+  | DIV
+  | MOD
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EQ  (** [=] *)
+  | NE  (** [<>] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | ARROW  (** [->] *)
+  | DOT
+  | COMMA
+  | SEMI
+  | CONS_OP  (** [::] *)
+  | EOF
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints the token as it appears in source (e.g. [CONS_OP] as ["::"]). *)
+
+val to_string : t -> string
+
+val keyword_of_string : string -> t option
+(** Maps reserved words ([if], [letrec], [nil], ...) to their tokens. *)

@@ -1,0 +1,1 @@
+lib/optimize/annotate.ml: Escape Hashtbl List Nml Runtime Shape

@@ -1,0 +1,1 @@
+lib/optimize/annotate.mli: Escape Nml Runtime

@@ -1,0 +1,1 @@
+lib/optimize/blockalloc.ml: Annotate List

@@ -1,0 +1,1 @@
+lib/optimize/blockalloc.mli: Escape Nml Runtime

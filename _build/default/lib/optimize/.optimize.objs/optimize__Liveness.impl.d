@@ -1,0 +1,1 @@
+lib/optimize/liveness.ml: List Nml Set String

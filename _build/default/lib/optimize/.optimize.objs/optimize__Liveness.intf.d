@@ -1,0 +1,1 @@
+lib/optimize/liveness.mli: Nml

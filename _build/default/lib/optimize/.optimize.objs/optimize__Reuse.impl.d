@@ -1,0 +1,1 @@
+lib/optimize/reuse.ml: Escape List Liveness Nml Option Runtime Shape String

@@ -1,0 +1,1 @@
+lib/optimize/reuse.mli: Escape Liveness Nml Runtime

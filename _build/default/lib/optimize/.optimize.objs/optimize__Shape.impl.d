@@ -1,0 +1,1 @@
+lib/optimize/shape.ml: List Nml String

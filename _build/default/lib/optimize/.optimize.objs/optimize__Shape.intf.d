@@ -1,0 +1,1 @@
+lib/optimize/shape.mli: Nml

@@ -1,0 +1,1 @@
+lib/optimize/stackalloc.ml: Annotate List

@@ -1,0 +1,1 @@
+lib/optimize/stackalloc.mli: Escape Nml Runtime

@@ -1,0 +1,1 @@
+lib/optimize/transform.ml: Annotate Blockalloc Escape Format List Nml Reuse Runtime Stackalloc

@@ -1,0 +1,1 @@
+lib/optimize/transform.mli: Blockalloc Escape Format Nml Reuse Runtime Stackalloc

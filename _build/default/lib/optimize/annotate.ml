@@ -1,0 +1,160 @@
+module A = Nml.Ast
+module Ir = Runtime.Ir
+module An = Escape.Analysis
+
+type stack_annotation = { func : string; arg : int; levels : int; arena : int }
+
+type block_annotation = {
+  consumer : string;
+  producer : string;
+  specialized : string;
+  arena : int;
+}
+
+type report = { stack : stack_annotation list; block : block_annotation list }
+
+(* Conses in result position build the result's top spine: the body
+   itself, conditional branches, letrec bodies, the body of an
+   immediately applied lambda (the let sugar) and the tail of a
+   result-position cons. *)
+let rec mark_result ~arena e =
+  match e with
+  | A.App (_, A.App (_, A.Prim (_, A.Cons), hd), tl) ->
+      Ir.App (Ir.App (Ir.ConsAt (Ir.Arena arena), Ir.of_ast hd), mark_result ~arena tl)
+  | A.If (_, c, t, f) -> Ir.If (Ir.of_ast c, mark_result ~arena t, mark_result ~arena f)
+  | A.Letrec (_, bs, body) ->
+      Ir.Letrec (List.map (fun (x, b) -> (x, Ir.of_ast b)) bs, mark_result ~arena body)
+  | A.App (_, A.Lam (_, x, b), a) -> Ir.App (Ir.Lam (x, mark_result ~arena b), Ir.of_ast a)
+  | e -> Ir.of_ast e
+
+let has_result_cons rhs =
+  let _, body = Shape.strip_lams rhs in
+  let rec walk = function
+    | A.App (_, A.App (_, A.Prim (_, A.Cons), _), _) -> true
+    | A.If (_, _, t, f) -> walk t || walk f
+    | A.Letrec (_, _, body) -> walk body
+    | A.App (_, A.Lam (_, _, b), _) -> walk b
+    | _ -> false
+  in
+  walk body
+
+let specialize ~arena name rhs =
+  let params, body = Shape.strip_lams rhs in
+  let body = A.subst_var name (name ^ "_blk") body in
+  let marked = mark_result ~arena body in
+  List.fold_right (fun x acc -> Ir.Lam (x, acc)) params marked
+
+(* Rewrites the top [levels] spine levels of a literal into the arena. *)
+let rec annotate_literal ~arena ~levels ~recurse e =
+  if levels <= 0 || not (Shape.is_literal_list e) then recurse e
+  else
+    match e with
+    | A.Const (_, A.Cnil) -> Ir.Const A.Cnil
+    | A.App (_, A.App (_, A.Prim (_, A.Cons), hd), tl) ->
+        Ir.App
+          ( Ir.App
+              ( Ir.ConsAt (Ir.Arena arena),
+                annotate_literal ~arena ~levels:(levels - 1) ~recurse hd ),
+            annotate_literal ~arena ~levels ~recurse tl )
+    | _ -> recurse e
+
+let annotate ~stack ~block t (surface : Nml.Surface.t) =
+  let defs = surface.Nml.Surface.defs in
+  let def_names = List.map fst defs in
+  let stack_anns = ref [] in
+  let block_anns = ref [] in
+  let specialized = ref [] in
+  let next_region = ref 0 in
+  let block_arena_of = Hashtbl.create 8 in
+  let next_block = ref 1000 in
+  let block_arena_for g =
+    match Hashtbl.find_opt block_arena_of g with
+    | Some a -> a
+    | None ->
+        let a = !next_block in
+        incr next_block;
+        Hashtbl.add block_arena_of g a;
+        let rhs = List.assoc g defs in
+        specialized := (g ^ "_blk", specialize ~arena:a g rhs) :: !specialized;
+        a
+  in
+  let keep_of f args j =
+    match An.local t f args ~arg:(j + 1) with
+    | v -> An.non_escaping_top_spines v
+    | exception (Nml.Infer.Error _ | Invalid_argument _) -> 0
+  in
+  let rec go e =
+    match e with
+    | A.Const (_, c) -> Ir.Const c
+    | A.Prim (_, p) -> Ir.Prim p
+    | A.Var (_, x) -> Ir.Var x
+    | A.Lam (_, x, b) -> Ir.Lam (x, go b)
+    | A.If (_, c, th, el) -> Ir.If (go c, go th, go el)
+    | A.Letrec (_, bs, body) -> Ir.Letrec (List.map (fun (x, b) -> (x, go b)) bs, go body)
+    | A.App (_, _, _) -> (
+        let head, args = Shape.head_and_args e in
+        match head with
+        | A.Var (_, f) when List.mem f def_names ->
+            let region = ref None in
+            let blocks = ref [] in
+            let arg_ir j a =
+              if stack && Shape.is_literal_list a then begin
+                let keep = keep_of f args j in
+                let levels = min keep (Shape.literal_depth a) in
+                if levels >= 1 then begin
+                  let arena =
+                    match !region with
+                    | Some r -> r
+                    | None ->
+                        let r = !next_region in
+                        incr next_region;
+                        region := Some r;
+                        r
+                  in
+                  stack_anns :=
+                    { func = f; arg = j + 1; levels; arena } :: !stack_anns;
+                  annotate_literal ~arena ~levels ~recurse:go a
+                end
+                else go a
+              end
+              else if block then begin
+                match Shape.head_and_args a with
+                | A.Var (_, g), (_ :: _ as gargs)
+                  when List.mem g def_names
+                       && has_result_cons (List.assoc g defs)
+                       && keep_of f args j >= 1 ->
+                    let arena = block_arena_for g in
+                    blocks := (g, arena) :: !blocks;
+                    List.fold_left
+                      (fun acc ga -> Ir.App (acc, go ga))
+                      (Ir.Var (g ^ "_blk"))
+                      gargs
+                | _ -> go a
+              end
+              else go a
+            in
+            let call =
+              List.fold_left
+                (fun (acc, j) a -> (Ir.App (acc, arg_ir j a), j + 1))
+                (Ir.Var f, 0) args
+              |> fst
+            in
+            let call =
+              match !region with
+              | Some r -> Ir.WithArena (Ir.Region, r, call)
+              | None -> call
+            in
+            List.fold_left
+              (fun acc (g, arena) ->
+                block_anns :=
+                  { consumer = f; producer = g; specialized = g ^ "_blk"; arena }
+                  :: !block_anns;
+                Ir.WithArena (Ir.Block, arena, acc))
+              call !blocks
+        | _ -> List.fold_left (fun acc a -> Ir.App (acc, go a)) (go head) args)
+  in
+  let main' = go surface.Nml.Surface.main in
+  let defs_ir = List.map (fun (n, rhs) -> (n, Ir.of_ast rhs)) defs in
+  let all_defs = defs_ir @ List.rev !specialized in
+  let prog = match all_defs with [] -> main' | ds -> Ir.Letrec (ds, main') in
+  (prog, { stack = List.rev !stack_anns; block = List.rev !block_anns })

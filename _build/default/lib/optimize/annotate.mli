@@ -1,0 +1,33 @@
+(** Shared call-site walker for the arena-based optimizations
+    ({!Stackalloc} and {!Blockalloc} are views of this module).
+
+    For every call [f e1 ... en] of a definition in the main expression
+    it consults the local escape test once per argument and, depending on
+    the enabled options:
+
+    - redirects the spines of non-escaping {e literal} arguments into a
+      region wrapped around the call (stack allocation);
+    - redirects the result spine of a non-escaping {e producer call}
+      argument into a block wrapped around the call, via a specialized
+      block-allocating copy of the producer (block allocation). *)
+
+type stack_annotation = { func : string; arg : int; levels : int; arena : int }
+
+type block_annotation = {
+  consumer : string;
+  producer : string;
+  specialized : string;
+  arena : int;
+}
+
+type report = {
+  stack : stack_annotation list;
+  block : block_annotation list;
+}
+
+val annotate :
+  stack:bool ->
+  block:bool ->
+  Escape.Fixpoint.t ->
+  Nml.Surface.t ->
+  Runtime.Ir.expr * report

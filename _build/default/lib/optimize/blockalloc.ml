@@ -1,0 +1,23 @@
+type annotation = {
+  consumer : string;
+  producer : string;
+  specialized : string;
+  arena : int;
+}
+
+type report = { annotations : annotation list }
+
+let annotate t surface =
+  let ir, r = Annotate.annotate ~stack:false ~block:true t surface in
+  let annotations =
+    List.map
+      (fun (a : Annotate.block_annotation) ->
+        {
+          consumer = a.Annotate.consumer;
+          producer = a.Annotate.producer;
+          specialized = a.Annotate.specialized;
+          arena = a.Annotate.arena;
+        })
+      r.Annotate.block
+  in
+  (ir, { annotations })

@@ -1,0 +1,58 @@
+(** The in-place reuse transformation (section 6, appendix A.3.2).
+
+    A definition [f] whose [i]-th parameter [x] is a list with at least
+    one non-escaping top spine can be given a {e primed version} [f'] in
+    which a [cons] after which [x] is dead (and where [x] is certainly a
+    cell) is replaced by [DCONS x ...], recycling [x]'s spine cell
+    instead of allocating:
+
+    {v
+      append' x y = if null x then y
+                    else DCONS x (car x) (append' (cdr x) y)
+    v}
+
+    Calling [f'] is only sound when the actual argument's top spine is
+    {e unshared} and dead after the call, so call sites are rewritten to
+    the primed version only when the argument is certainly fresh: a list
+    literal, or a call to a definition whose result's top spine Theorem 2
+    proves unshared.  Recursive calls of [f'] on a [cdr]-suffix of [x]
+    stay primed (the suffix of an unshared dead spine is unshared and
+    dead). *)
+
+type candidate = {
+  def : string;
+  primed : string;  (** name of the destructive version, [def ^ "'"] *)
+  arg : int;  (** 1-based reused parameter position *)
+  param : string;
+  sites : Liveness.site list;  (** cons sites rewritten to [DCONS] *)
+  node_sites : Liveness.site list;
+      (** tree-node sites rewritten to [DNODE] (tree-typed parameters) *)
+}
+
+type report = {
+  candidates : candidate list;
+  substituted_calls : int;  (** call sites redirected to primed versions *)
+}
+
+val candidates : Escape.Fixpoint.t -> Nml.Surface.t -> candidate list
+(** Definitions admitting a primed version: a list-typed parameter whose
+    top spine never escapes ([G]) together with at least one eligible,
+    nil-guarded cons site. *)
+
+val primed_rhs : Escape.Fixpoint.t -> Nml.Surface.t -> candidate -> Runtime.Ir.expr
+(** Right-hand side of the primed version (with call sites inside it
+    already redirected where sound). *)
+
+val apply :
+  Escape.Fixpoint.t ->
+  Nml.Surface.t ->
+  (string * Runtime.Ir.expr) list * Nml.Ast.expr * report
+(** The pieces of the transformation: the primed definitions, the main
+    expression with call sites redirected, and the report.  Original
+    definitions are untouched.  Used by {!Transform} to compose with the
+    arena annotations. *)
+
+val program : Escape.Fixpoint.t -> Nml.Surface.t -> Runtime.Ir.expr * report
+(** The whole program with primed versions added alongside the original
+    definitions and sound call sites redirected (in primed bodies and in
+    the main expression; original definitions are kept intact). *)

@@ -1,0 +1,42 @@
+module A = Nml.Ast
+
+let head_and_args e =
+  let rec go acc = function
+    | A.App (_, f, a) -> go (a :: acc) f
+    | head -> (head, acc)
+  in
+  go [] e
+
+let rec strip_lams = function
+  | A.Lam (_, x, b) ->
+      let ps, body = strip_lams b in
+      (x :: ps, body)
+  | e -> ([], e)
+
+let rec is_literal_list = function
+  | A.Const (_, A.Cnil) -> true
+  | A.App (_, A.App (_, A.Prim (_, A.Cons), _), tl) -> is_literal_list tl
+  | _ -> false
+
+let rec literal_depth e =
+  let rec elems = function
+    | A.Const (_, A.Cnil) -> []
+    | A.App (_, A.App (_, A.Prim (_, A.Cons), hd), tl) -> hd :: elems tl
+    | _ -> []
+  in
+  if not (is_literal_list e) then 0
+  else
+    match elems e with
+    | [] -> 1
+    | es -> 1 + List.fold_left (fun acc el -> min acc (literal_depth el)) max_int es
+
+let rec is_suffix_of x = function
+  | A.Var (_, v) -> String.equal v x
+  | A.App (_, A.Prim (_, (A.Cdr | A.Left | A.Right)), e) -> is_suffix_of x e
+  | _ -> false
+
+let rec is_literal_tree = function
+  | A.Const (_, A.Cleaf) -> true
+  | A.App (_, A.App (_, A.App (_, A.Prim (_, A.Node), l), _), r) ->
+      is_literal_tree l && is_literal_tree r
+  | _ -> false

@@ -1,0 +1,23 @@
+(** Shared syntactic views used by the optimization passes. *)
+
+val head_and_args : Nml.Ast.expr -> Nml.Ast.expr * Nml.Ast.expr list
+(** Decomposes a (possibly nested) application into head and arguments;
+    a non-application returns itself and []. *)
+
+val strip_lams : Nml.Ast.expr -> string list * Nml.Ast.expr
+(** Peels the outer lambdas of a definition's right-hand side. *)
+
+val is_literal_list : Nml.Ast.expr -> bool
+(** A cons chain ending in [nil] (elements arbitrary). *)
+
+val literal_depth : Nml.Ast.expr -> int
+(** How many nested spine levels the literal certainly has: a flat
+    literal has depth 1; a literal of literals depth 2; a non-literal
+    0.  Elements that are not literals bound the depth at 1. *)
+
+val is_suffix_of : string -> Nml.Ast.expr -> bool
+(** [x] under any chain of [cdr]/[left]/[right] — a substructure at the
+    same spine level. *)
+
+val is_literal_tree : Nml.Ast.expr -> bool
+(** A [node]/[leaf] skeleton (labels arbitrary). *)

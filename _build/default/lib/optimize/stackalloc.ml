@@ -1,0 +1,17 @@
+type annotation = { func : string; arg : int; levels : int; arena : int }
+type report = { annotations : annotation list }
+
+let annotate t surface =
+  let ir, r = Annotate.annotate ~stack:true ~block:false t surface in
+  let annotations =
+    List.map
+      (fun (a : Annotate.stack_annotation) ->
+        {
+          func = a.Annotate.func;
+          arg = a.Annotate.arg;
+          levels = a.Annotate.levels;
+          arena = a.Annotate.arena;
+        })
+      r.Annotate.stack
+  in
+  (ir, { annotations })

@@ -1,0 +1,119 @@
+module Ir = Runtime.Ir
+module Fix = Escape.Fixpoint
+
+type options = { monomorphize : bool; reuse : bool; stack : bool; block : bool }
+
+let all = { monomorphize = true; reuse = true; stack = true; block = true }
+let none = { monomorphize = false; reuse = false; stack = false; block = false }
+
+type result = {
+  ir : Ir.expr;
+  reuse_report : Reuse.report option;
+  stack_report : Stackalloc.report option;
+  block_report : Blockalloc.report option;
+}
+
+let add_defs prog extra =
+  match (prog, extra) with
+  | _, [] -> prog
+  | Ir.Letrec (ds, m), _ -> Ir.Letrec (ds @ extra, m)
+  | m, _ -> Ir.Letrec (extra, m)
+
+let optimize_with t options (surface : Nml.Surface.t) =
+  let primed, main', reuse_report =
+    if options.reuse then
+      let p, m, r = Reuse.apply t surface in
+      (p, m, Some r)
+    else ([], surface.Nml.Surface.main, None)
+  in
+  let surface' = { surface with Nml.Surface.main = main' } in
+  let ir, stack_report, block_report =
+    if options.stack || options.block then begin
+      let ir, rep =
+        Annotate.annotate ~stack:options.stack ~block:options.block t surface'
+      in
+      let stack_report =
+        if options.stack then
+          Some
+            {
+              Stackalloc.annotations =
+                List.map
+                  (fun (a : Annotate.stack_annotation) ->
+                    {
+                      Stackalloc.func = a.Annotate.func;
+                      arg = a.Annotate.arg;
+                      levels = a.Annotate.levels;
+                      arena = a.Annotate.arena;
+                    })
+                  rep.Annotate.stack;
+            }
+        else None
+      in
+      let block_report =
+        if options.block then
+          Some
+            {
+              Blockalloc.annotations =
+                List.map
+                  (fun (a : Annotate.block_annotation) ->
+                    {
+                      Blockalloc.consumer = a.Annotate.consumer;
+                      producer = a.Annotate.producer;
+                      specialized = a.Annotate.specialized;
+                      arena = a.Annotate.arena;
+                    })
+                  rep.Annotate.block;
+            }
+        else None
+      in
+      (ir, stack_report, block_report)
+    end
+    else begin
+      let defs_ir =
+        List.map (fun (n, rhs) -> (n, Ir.of_ast rhs)) surface'.Nml.Surface.defs
+      in
+      let main_ir = Ir.of_ast surface'.Nml.Surface.main in
+      let prog = match defs_ir with [] -> main_ir | ds -> Ir.Letrec (ds, main_ir) in
+      (prog, None, None)
+    end
+  in
+  { ir = add_defs ir primed; reuse_report; stack_report; block_report }
+
+let optimize ?(options = all) surface =
+  let surface =
+    if options.monomorphize then (Nml.Mono.run surface).Nml.Mono.program else surface
+  in
+  let t = Fix.make (Nml.Infer.infer_program surface) in
+  optimize_with t options surface
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v 0>";
+  (match r.reuse_report with
+  | Some rr ->
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "reuse: %s -> %s (parameter %s, %d site(s))@ "
+            c.Reuse.def c.Reuse.primed c.Reuse.param
+            (List.length c.Reuse.sites + List.length c.Reuse.node_sites))
+        rr.Reuse.candidates;
+      Format.fprintf ppf "reuse: %d call site(s) redirected@ " rr.Reuse.substituted_calls
+  | None -> ());
+  (match r.stack_report with
+  | Some sr ->
+      List.iter
+        (fun (a : Stackalloc.annotation) ->
+          Format.fprintf ppf
+            "stack: argument %d of %s allocated in region %d (%d level(s))@ "
+            a.Stackalloc.arg a.Stackalloc.func a.Stackalloc.arena a.Stackalloc.levels)
+        sr.Stackalloc.annotations
+  | None -> ());
+  (match r.block_report with
+  | Some br ->
+      List.iter
+        (fun (a : Blockalloc.annotation) ->
+          Format.fprintf ppf "block: %s feeds %s via block %d (as %s)@ "
+            a.Blockalloc.producer a.Blockalloc.consumer a.Blockalloc.arena
+            a.Blockalloc.specialized)
+        br.Blockalloc.annotations
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Driver combining the three storage optimizations.
+
+    Given a program, runs the escape analysis once and applies, in order:
+
+    + {e in-place reuse} ({!Reuse}) — rewrites definitions and call sites;
+    + {e stack allocation} ({!Stackalloc}) — wraps main-expression calls
+      whose literal arguments' spines provably stay inside the call;
+    + {e block allocation} ({!Blockalloc}) — specializes producers whose
+      result spine dies with its consumer.
+
+    A call site claimed by the reuse substitution is not also
+    stack-annotated: a reused cell becomes part of the callee's result,
+    so it must not sit in an arena that dies at the call. *)
+
+type options = {
+  monomorphize : bool;
+      (** specialize definitions per used instance first ({!Nml.Mono}), so
+          every copy is analyzed and transformed at its own instance *)
+  reuse : bool;
+  stack : bool;
+  block : bool;
+}
+
+val all : options
+val none : options
+
+type result = {
+  ir : Runtime.Ir.expr;  (** the optimized program *)
+  reuse_report : Reuse.report option;
+  stack_report : Stackalloc.report option;
+  block_report : Blockalloc.report option;
+}
+
+val optimize : ?options:options -> Nml.Surface.t -> result
+(** Builds a solver internally (after monomorphizing, when enabled). *)
+
+val optimize_with : Escape.Fixpoint.t -> options -> Nml.Surface.t -> result
+(** Like {!optimize} with a caller-supplied solver; the [monomorphize]
+    option is ignored here (the solver must match the program). *)
+
+val pp_report : Format.formatter -> result -> unit

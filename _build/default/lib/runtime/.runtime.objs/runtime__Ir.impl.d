@@ -1,0 +1,1 @@
+lib/runtime/ir.ml: Format List Nml

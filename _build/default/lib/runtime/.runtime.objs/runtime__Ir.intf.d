@@ -1,0 +1,1 @@
+lib/runtime/ir.mli: Format Nml

@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Format Hashtbl Ir List Map Nml Option Stats String

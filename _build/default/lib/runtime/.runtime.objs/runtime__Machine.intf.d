@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Format Ir Nml Stats

@@ -1,0 +1,95 @@
+module Ast = Nml.Ast
+
+type arena_kind = Region | Block
+type alloc = Heap | Arena of int
+
+type expr =
+  | Const of Ast.const
+  | Prim of Ast.prim
+  | ConsAt of alloc
+  | NodeAt of alloc
+  | Dcons
+  | Dnode
+  | Var of string
+  | App of expr * expr
+  | Lam of string * expr
+  | If of expr * expr * expr
+  | Letrec of (string * expr) list * expr
+  | WithArena of arena_kind * int * expr
+
+let rec of_ast (e : Ast.expr) =
+  match e with
+  | Ast.Const (_, c) -> Const c
+  | Ast.Prim (_, p) -> Prim p
+  | Ast.Var (_, x) -> Var x
+  | Ast.App (_, f, a) -> App (of_ast f, of_ast a)
+  | Ast.Lam (_, x, b) -> Lam (x, of_ast b)
+  | Ast.If (_, c, t, f) -> If (of_ast c, of_ast t, of_ast f)
+  | Ast.Letrec (_, bs, body) ->
+      Letrec (List.map (fun (x, b) -> (x, of_ast b)) bs, of_ast body)
+
+let of_program p = of_ast (Nml.Surface.to_expr p)
+
+let map_conses f e =
+  let n = ref 0 in
+  let rec go e =
+    match e with
+    | Prim Ast.Cons | ConsAt _ ->
+        let i = !n in
+        incr n;
+        ConsAt (f i)
+    | Const _ | Prim _ | NodeAt _ | Dcons | Dnode | Var _ -> e
+    | App (g, a) ->
+        let g = go g in
+        let a = go a in
+        App (g, a)
+    | Lam (x, b) -> Lam (x, go b)
+    | If (c, t, fa) ->
+        let c = go c in
+        let t = go t in
+        let fa = go fa in
+        If (c, t, fa)
+    | Letrec (bs, body) ->
+        let bs = List.map (fun (x, b) -> (x, go b)) bs in
+        Letrec (bs, go body)
+    | WithArena (k, id, b) -> WithArena (k, id, go b)
+  in
+  go e
+
+let count_sites e =
+  let n = ref 0 in
+  ignore
+    (map_conses
+       (fun _ ->
+         incr n;
+         Heap)
+       e);
+  !n
+
+let pp_alloc ppf = function
+  | Heap -> ()
+  | Arena i -> Format.fprintf ppf "@@a%d" i
+
+let rec pp ppf = function
+  | Const (Ast.Cint n) -> Format.pp_print_int ppf n
+  | Const (Ast.Cbool b) -> Format.pp_print_bool ppf b
+  | Const Ast.Cnil -> Format.pp_print_string ppf "nil"
+  | Const Ast.Cleaf -> Format.pp_print_string ppf "leaf"
+  | Prim p -> Format.pp_print_string ppf (Ast.prim_name p)
+  | ConsAt a -> Format.fprintf ppf "cons%a" pp_alloc a
+  | NodeAt a -> Format.fprintf ppf "node%a" pp_alloc a
+  | Dcons -> Format.pp_print_string ppf "dcons"
+  | Dnode -> Format.pp_print_string ppf "dnode"
+  | Var x -> Format.pp_print_string ppf x
+  | App (f, a) -> Format.fprintf ppf "@[<hov 2>(%a@ %a)@]" pp f pp a
+  | Lam (x, b) -> Format.fprintf ppf "@[<hov 2>(fun %s ->@ %a)@]" x pp b
+  | If (c, t, f) ->
+      Format.fprintf ppf "@[<hv 0>(if %a@ then %a@ else %a)@]" pp c pp t pp f
+  | Letrec (bs, body) ->
+      let pp_b ppf (x, b) = Format.fprintf ppf "@[<hov 2>%s =@ %a@]" x pp b in
+      Format.fprintf ppf "@[<v 0>(letrec@;<1 2>%a@ in %a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_b)
+        bs pp body
+  | WithArena (k, id, b) ->
+      let kw = match k with Region -> "region" | Block -> "block" in
+      Format.fprintf ppf "@[<hov 2>(%s a%d in@ %a)@]" kw id pp b

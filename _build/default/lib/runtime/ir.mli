@@ -1,0 +1,57 @@
+(** The runtime's annotated intermediate representation.
+
+    [Ir] is the surface AST plus the storage annotations that the paper's
+    optimizations need (section 6, appendix A.3):
+
+    - every [cons] site carries an {e allocation target} — the garbage
+      collected heap, or an arena (a region modelling an activation
+      record for stack allocation, or a block for block
+      allocation/reclamation);
+    - [Dcons] is the paper's destructive cons
+      [DCONS a b c = {p := a; car.a := b; cdr.a := c; return p}], used by
+      the in-place reuse transformation;
+    - [WithArena (kind, id, e)] delimits an arena's lifetime: the arena is
+      created, [e] is evaluated, and every cell allocated into the arena
+      is freed wholesale — without any garbage collection work — before
+      the value of [e] is returned.
+
+    Unannotated programs convert with {!of_ast}, mapping every [cons] to
+    a heap allocation. *)
+
+type arena_kind =
+  | Region  (** models allocation in an activation record (stack) *)
+  | Block  (** models a contiguous block in a local heap *)
+
+type alloc =
+  | Heap
+  | Arena of int  (** id of an enclosing [WithArena] *)
+
+type expr =
+  | Const of Nml.Ast.const
+  | Prim of Nml.Ast.prim  (** [Cons] here always means heap allocation *)
+  | ConsAt of alloc  (** a [cons] with an explicit allocation target *)
+  | NodeAt of alloc  (** a tree [node] with an explicit allocation target *)
+  | Dcons  (** 3-argument destructive cons *)
+  | Dnode  (** 4-argument destructive node: source cell, left, label, right *)
+  | Var of string
+  | App of expr * expr
+  | Lam of string * expr
+  | If of expr * expr * expr
+  | Letrec of (string * expr) list * expr
+  | WithArena of arena_kind * int * expr
+
+val of_ast : Nml.Ast.expr -> expr
+(** Plain conversion: every [cons] allocates from the heap. *)
+
+val of_program : Nml.Surface.t -> expr
+
+val map_conses : (int -> alloc) -> expr -> expr
+(** Re-targets allocation sites: cons sites are numbered in evaluation
+    (pre-)order by a left-to-right traversal, and the function decides
+    each site's target.  [Dcons] and arena delimiters are preserved. *)
+
+val count_sites : expr -> int
+(** Number of cons sites ([Prim Cons] or [ConsAt]). *)
+
+val pp : Format.formatter -> expr -> unit
+(** Debug printing with annotations, e.g. [cons@r0], [dcons]. *)

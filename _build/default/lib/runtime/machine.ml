@@ -1,0 +1,519 @@
+module Ast = Nml.Ast
+module Env = Map.Make (String)
+
+type word =
+  | Wint of int
+  | Wbool of bool
+  | Wnil
+  | Wptr of int
+  | Wpair of int
+  | Wleaf
+  | Wtree of int  (** address of a tree node: car=left, cdr=right, lbl=label *)
+  | Wclos of closure
+  | Wprim of Ast.prim * word list
+  | Wcons_at of Ir.alloc * word list
+  | Wnode_at of Ir.alloc * word list
+  | Wdcons of word list
+  | Wdnode of word list
+
+and closure = { param : string; body : Ir.expr; cenv : env; mutable cmark : bool }
+and env = binding Env.t
+and binding = Ready of word | Slot of word option ref
+
+type cell = {
+  mutable car : word;
+  mutable cdr : word;
+  mutable lbl : word;  (** tree-node label; [Wnil] for cons/pair cells *)
+  mutable marked : bool;
+  mutable free : bool;
+  mutable arena : int;  (** arena id, or -1 for the GC heap *)
+}
+
+type arena = { kind : Ir.arena_kind; dyn_id : int; mutable acells : int list }
+
+type t = {
+  mutable cells : cell array;
+  mutable next : int;  (** bump pointer over never-used cells *)
+  mutable free_list : int list;
+  mutable live : int;
+  grow : bool;
+  check_arenas : bool;
+  stats : Stats.t;
+  mutable shadow : word list;  (** explicit GC root stack *)
+  mutable env_stack : env list;  (** environments of active frames *)
+  arena_stacks : (int, arena list) Hashtbl.t;  (** static id -> dynamic arenas *)
+  mutable next_dyn_arena : int;
+  mutable marked_closures : closure list;
+  mutable fuel : int;  (** -1 = unlimited *)
+}
+
+exception Error of string
+exception Out_of_memory
+exception Out_of_fuel
+
+let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+let fresh_cell () =
+  { car = Wnil; cdr = Wnil; lbl = Wnil; marked = false; free = true; arena = -1 }
+
+let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel () =
+  let stats = Stats.create () in
+  stats.Stats.heap_capacity <- heap_size;
+  {
+    cells = Array.init (max 1 heap_size) (fun _ -> fresh_cell ());
+    next = 0;
+    free_list = [];
+    live = 0;
+    grow;
+    check_arenas;
+    stats;
+    shadow = [];
+    env_stack = [];
+    arena_stacks = Hashtbl.create 8;
+    next_dyn_arena = 0;
+    marked_closures = [];
+    fuel = (match fuel with Some f -> f | None -> -1);
+  }
+
+let stats t = t.stats
+let live_cells t = t.live
+
+let tick m =
+  m.stats.Stats.steps <- m.stats.Stats.steps + 1;
+  if m.fuel = 0 then raise Out_of_fuel;
+  if m.fuel > 0 then m.fuel <- m.fuel - 1
+
+let push m w = m.shadow <- w :: m.shadow
+let pop m = m.shadow <- List.tl m.shadow
+
+(* ---- garbage collection ------------------------------------------------ *)
+
+let rec mark_word m = function
+  | Wint _ | Wbool _ | Wnil | Wleaf -> ()
+  | Wptr a | Wpair a | Wtree a ->
+      let c = m.cells.(a) in
+      if not c.marked then begin
+        c.marked <- true;
+        m.stats.Stats.marked <- m.stats.Stats.marked + 1;
+        mark_word m c.car;
+        mark_word m c.cdr;
+        mark_word m c.lbl
+      end
+  | Wclos c ->
+      if not c.cmark then begin
+        c.cmark <- true;
+        m.marked_closures <- c :: m.marked_closures;
+        mark_env m c.cenv
+      end
+  | Wprim (_, args) | Wcons_at (_, args) | Wnode_at (_, args) | Wdcons args
+  | Wdnode args ->
+      List.iter (mark_word m) args
+
+and mark_env m env =
+  Env.iter
+    (fun _ b ->
+      match b with
+      | Ready w -> mark_word m w
+      | Slot { contents = Some w } -> mark_word m w
+      | Slot { contents = None } -> ())
+    env
+
+let collect m =
+  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
+  List.iter (mark_word m) m.shadow;
+  List.iter (mark_env m) m.env_stack;
+  (* sweep the used prefix; arena cells are not the collector's to free *)
+  for a = 0 to m.next - 1 do
+    let c = m.cells.(a) in
+    if c.marked then c.marked <- false
+    else if (not c.free) && c.arena < 0 then begin
+      c.free <- true;
+      c.car <- Wnil;
+      c.cdr <- Wnil;
+      c.lbl <- Wnil;
+      m.free_list <- a :: m.free_list;
+      m.live <- m.live - 1;
+      m.stats.Stats.swept <- m.stats.Stats.swept + 1
+    end
+  done;
+  List.iter (fun c -> c.cmark <- false) m.marked_closures;
+  m.marked_closures <- []
+
+let grow_store m =
+  let old = m.cells in
+  let cap = Array.length old in
+  let bigger = Array.init (2 * cap) (fun i -> if i < cap then old.(i) else fresh_cell ()) in
+  m.cells <- bigger;
+  m.stats.Stats.heap_capacity <- 2 * cap
+
+(* ---- allocation --------------------------------------------------------- *)
+
+let current_arena m = function
+  | Ir.Heap -> None
+  | Ir.Arena sid -> (
+      match Hashtbl.find_opt m.arena_stacks sid with
+      | Some (a :: _) -> Some a
+      | Some [] | None -> error "cons targets arena %d, but no such arena is open" sid)
+
+let take_addr m ~for_heap =
+  match m.free_list with
+  | a :: rest ->
+      m.free_list <- rest;
+      Some a
+  | [] ->
+      if m.next < Array.length m.cells then begin
+        let a = m.next in
+        m.next <- m.next + 1;
+        Some a
+      end
+      else if for_heap then None (* caller collects, then retries *)
+      else begin
+        (* arena allocation models stack / local-heap storage: it never
+           triggers a collection, the store just grows *)
+        grow_store m;
+        let a = m.next in
+        m.next <- m.next + 1;
+        Some a
+      end
+
+let alloc_cell m target hd tl =
+  let arena = current_arena m target in
+  let addr =
+    match take_addr m ~for_heap:(arena = None) with
+    | Some a -> a
+    | None -> (
+        (* heap allocation with an exhausted store: collect, then retry *)
+        collect m;
+        match take_addr m ~for_heap:true with
+        | Some a -> a
+        | None ->
+            if m.grow then begin
+              grow_store m;
+              let a = m.next in
+              m.next <- m.next + 1;
+              a
+            end
+            else raise Out_of_memory)
+  in
+  let c = m.cells.(addr) in
+  assert c.free;
+  c.free <- false;
+  c.car <- hd;
+  c.cdr <- tl;
+  (match arena with
+  | None ->
+      c.arena <- -1;
+      m.stats.Stats.heap_allocs <- m.stats.Stats.heap_allocs + 1
+  | Some a ->
+      c.arena <- a.dyn_id;
+      a.acells <- addr :: a.acells;
+      m.stats.Stats.arena_allocs <- m.stats.Stats.arena_allocs + 1);
+  m.live <- m.live + 1;
+  if m.live > m.stats.Stats.peak_live then m.stats.Stats.peak_live <- m.live;
+  Wptr addr
+
+(* ---- primitives ---------------------------------------------------------- *)
+
+let type_name = function
+  | Wint _ -> "int"
+  | Wbool _ -> "bool"
+  | Wnil | Wptr _ -> "list"
+  | Wpair _ -> "pair"
+  | Wleaf | Wtree _ -> "tree"
+  | Wclos _ | Wprim _ | Wcons_at _ | Wnode_at _ | Wdcons _ | Wdnode _ -> "function"
+
+let as_int = function Wint n -> n | w -> error "expected an int, got a %s" (type_name w)
+let as_bool = function Wbool b -> b | w -> error "expected a bool, got a %s" (type_name w)
+
+let delta m p args =
+  match (p, args) with
+  | Ast.Add, [ a; b ] -> Wint (as_int a + as_int b)
+  | Ast.Sub, [ a; b ] -> Wint (as_int a - as_int b)
+  | Ast.Mul, [ a; b ] -> Wint (as_int a * as_int b)
+  | Ast.Div, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "division by zero" else Wint (as_int a / d)
+  | Ast.Mod, [ a; b ] ->
+      let d = as_int b in
+      if d = 0 then error "modulo by zero" else Wint (as_int a mod d)
+  | Ast.Eq, [ a; b ] -> Wbool (as_int a = as_int b)
+  | Ast.Ne, [ a; b ] -> Wbool (as_int a <> as_int b)
+  | Ast.Lt, [ a; b ] -> Wbool (as_int a < as_int b)
+  | Ast.Le, [ a; b ] -> Wbool (as_int a <= as_int b)
+  | Ast.Gt, [ a; b ] -> Wbool (as_int a > as_int b)
+  | Ast.Ge, [ a; b ] -> Wbool (as_int a >= as_int b)
+  | Ast.And, [ a; b ] -> Wbool (as_bool a && as_bool b)
+  | Ast.Or, [ a; b ] -> Wbool (as_bool a || as_bool b)
+  | Ast.Not, [ a ] -> Wbool (not (as_bool a))
+  | Ast.Car, [ Wptr a ] -> m.cells.(a).car
+  | Ast.Car, [ Wnil ] -> error "car of nil"
+  | Ast.Car, [ w ] -> error "car of a %s" (type_name w)
+  | Ast.Cdr, [ Wptr a ] -> m.cells.(a).cdr
+  | Ast.Cdr, [ Wnil ] -> error "cdr of nil"
+  | Ast.Cdr, [ w ] -> error "cdr of a %s" (type_name w)
+  | Ast.Null, [ Wnil ] -> Wbool true
+  | Ast.Null, [ Wptr _ ] -> Wbool false
+  | Ast.Null, [ w ] -> error "null of a %s" (type_name w)
+  | Ast.Fst, [ Wpair a ] -> m.cells.(a).car
+  | Ast.Fst, [ w ] -> error "fst of a %s" (type_name w)
+  | Ast.Snd, [ Wpair a ] -> m.cells.(a).cdr
+  | Ast.Snd, [ w ] -> error "snd of a %s" (type_name w)
+  | Ast.Isleaf, [ Wleaf ] -> Wbool true
+  | Ast.Isleaf, [ Wtree _ ] -> Wbool false
+  | Ast.Isleaf, [ w ] -> error "isleaf of a %s" (type_name w)
+  | Ast.Label, [ Wtree a ] -> m.cells.(a).lbl
+  | Ast.Label, [ Wleaf ] -> error "label of leaf"
+  | Ast.Label, [ w ] -> error "label of a %s" (type_name w)
+  | Ast.Left, [ Wtree a ] -> m.cells.(a).car
+  | Ast.Left, [ Wleaf ] -> error "left of leaf"
+  | Ast.Left, [ w ] -> error "left of a %s" (type_name w)
+  | Ast.Right, [ Wtree a ] -> m.cells.(a).cdr
+  | Ast.Right, [ Wleaf ] -> error "right of leaf"
+  | Ast.Right, [ w ] -> error "right of a %s" (type_name w)
+  | (Ast.Cons | Ast.Pair | Ast.Node), _ -> assert false (* handled by the allocator *)
+  | _, _ -> error "primitive %s applied to %d arguments" (Ast.prim_name p) (List.length args)
+
+let do_dcons m p hd tl =
+  match p with
+  | Wptr a ->
+      let c = m.cells.(a) in
+      if c.free then error "DCONS on a freed cell";
+      c.car <- hd;
+      c.cdr <- tl;
+      m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
+      Wptr a
+  | Wnil -> error "DCONS on nil (no cell to reuse)"
+  | w -> error "DCONS on a %s (no cell to reuse)" (type_name w)
+
+let do_dnode m p l x r =
+  match p with
+  | Wtree a ->
+      let c = m.cells.(a) in
+      if c.free then error "DNODE on a freed cell";
+      c.car <- l;
+      c.lbl <- x;
+      c.cdr <- r;
+      m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
+      Wtree a
+  | Wleaf -> error "DNODE on leaf (no cell to reuse)"
+  | w -> error "DNODE on a %s (no cell to reuse)" (type_name w)
+
+(* ---- arena safety check --------------------------------------------------- *)
+
+let reachable_into_arena m roots sid =
+  let seen = Hashtbl.create 256 in
+  let seen_clos = ref [] in
+  let hit = ref false in
+  let rec walk = function
+    | Wint _ | Wbool _ | Wnil | Wleaf -> ()
+    | Wptr a | Wpair a | Wtree a ->
+        if not (Hashtbl.mem seen a) then begin
+          Hashtbl.add seen a ();
+          let c = m.cells.(a) in
+          if c.arena = sid then hit := true;
+          walk c.car;
+          walk c.cdr;
+          walk c.lbl
+        end
+    | Wclos c ->
+        if not (List.memq c !seen_clos) then begin
+          seen_clos := c :: !seen_clos;
+          Env.iter
+            (fun _ b ->
+              match b with
+              | Ready w -> walk w
+              | Slot { contents = Some w } -> walk w
+              | Slot { contents = None } -> ())
+            c.cenv
+        end
+    | Wprim (_, args) | Wcons_at (_, args) | Wnode_at (_, args) | Wdcons args
+    | Wdnode args ->
+        List.iter walk args
+  in
+  List.iter walk roots;
+  !hit
+
+(* ---- evaluation ------------------------------------------------------------ *)
+
+let lookup env x =
+  match Env.find_opt x env with
+  | Some (Ready w) -> w
+  | Some (Slot { contents = Some w }) -> w
+  | Some (Slot { contents = None }) ->
+      error "letrec binding %s is used before its definition is evaluated" x
+  | None -> error "unbound identifier %s at run time" x
+
+let rec eval_ir m env (e : Ir.expr) : word =
+  tick m;
+  match e with
+  | Ir.Const (Ast.Cint n) -> Wint n
+  | Ir.Const (Ast.Cbool b) -> Wbool b
+  | Ir.Const Ast.Cnil -> Wnil
+  | Ir.Const Ast.Cleaf -> Wleaf
+  | Ir.Prim p -> Wprim (p, [])
+  | Ir.ConsAt a -> Wcons_at (a, [])
+  | Ir.NodeAt a -> Wnode_at (a, [])
+  | Ir.Dcons -> Wdcons []
+  | Ir.Dnode -> Wdnode []
+  | Ir.Var x -> lookup env x
+  | Ir.Lam (x, b) -> Wclos { param = x; body = b; cenv = env; cmark = false }
+  | Ir.App (f, a) ->
+      let vf = eval_ir m env f in
+      push m vf;
+      let va = eval_ir m env a in
+      pop m;
+      apply m vf va
+  | Ir.If (c, t, f) -> if as_bool (eval_ir m env c) then eval_ir m env t else eval_ir m env f
+  | Ir.Letrec (bs, body) ->
+      let slots = List.map (fun (x, _) -> (x, ref None)) bs in
+      let env' =
+        List.fold_left (fun env (x, slot) -> Env.add x (Slot slot) env) env slots
+      in
+      m.env_stack <- env' :: m.env_stack;
+      List.iter2 (fun (_, rhs) (_, slot) -> slot := Some (eval_ir m env' rhs)) bs slots;
+      let v = eval_ir m env' body in
+      m.env_stack <- List.tl m.env_stack;
+      v
+  | Ir.WithArena (kind, sid, body) ->
+      let dyn_id = m.next_dyn_arena in
+      m.next_dyn_arena <- m.next_dyn_arena + 1;
+      let a = { kind; dyn_id; acells = [] } in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt m.arena_stacks sid) in
+      Hashtbl.replace m.arena_stacks sid (a :: stack);
+      let v = eval_ir m env body in
+      Hashtbl.replace m.arena_stacks sid stack;
+      if m.check_arenas then begin
+        let roots = (v :: m.shadow) @ List.concat_map env_words m.env_stack in
+        if reachable_into_arena m roots a.dyn_id then
+          error "arena safety violation: a cell of arena %d escapes its scope" sid
+      end;
+      List.iter
+        (fun addr ->
+          let c = m.cells.(addr) in
+          if not c.free then begin
+            c.free <- true;
+            c.arena <- -1;
+            c.car <- Wnil;
+            c.cdr <- Wnil;
+            m.free_list <- addr :: m.free_list;
+            m.live <- m.live - 1;
+            m.stats.Stats.arena_freed <- m.stats.Stats.arena_freed + 1
+          end)
+        a.acells;
+      v
+
+and env_words env =
+  Env.fold
+    (fun _ b acc ->
+      match b with
+      | Ready w -> w :: acc
+      | Slot { contents = Some w } -> w :: acc
+      | Slot { contents = None } -> acc)
+    env []
+
+and apply m vf va =
+  tick m;
+  push m vf;
+  push m va;
+  let result =
+    match vf with
+    | Wclos { param; body; cenv; _ } ->
+        let env' = Env.add param (Ready va) cenv in
+        m.env_stack <- env' :: m.env_stack;
+        let r = eval_ir m env' body in
+        m.env_stack <- List.tl m.env_stack;
+        r
+    | Wprim (Ast.Cons, [ hd ]) -> alloc_cell m Ir.Heap hd va
+    | Wprim (Ast.Pair, [ a ]) -> (
+        match alloc_cell m Ir.Heap a va with
+        | Wptr addr -> Wpair addr
+        | _ -> assert false)
+    | Wprim (Ast.Node, [ l; x ]) -> (
+        (match (l, va) with
+        | (Wleaf | Wtree _), (Wleaf | Wtree _) -> ()
+        | _ -> error "node: children must be trees");
+        match alloc_cell m Ir.Heap l va with
+        | Wptr addr ->
+            m.cells.(addr).lbl <- x;
+            Wtree addr
+        | _ -> assert false)
+    | Wprim (p, collected) ->
+        let args = collected @ [ va ] in
+        if List.length args = Ast.prim_arity p then delta m p args else Wprim (p, args)
+    | Wcons_at (target, []) -> Wcons_at (target, [ va ])
+    | Wcons_at (target, [ hd ]) -> alloc_cell m target hd va
+    | Wcons_at (_, _) -> error "annotated cons applied to too many arguments"
+    | Wnode_at (target, ([] | [ _ ] as args)) -> Wnode_at (target, args @ [ va ])
+    | Wnode_at (target, [ l; x ]) -> (
+        (match (l, va) with
+        | (Wleaf | Wtree _), (Wleaf | Wtree _) -> ()
+        | _ -> error "node: children must be trees");
+        match alloc_cell m target l va with
+        | Wptr addr ->
+            m.cells.(addr).lbl <- x;
+            Wtree addr
+        | _ -> assert false)
+    | Wnode_at (_, _) -> error "annotated node applied to too many arguments"
+    | Wdcons [ p; hd ] -> do_dcons m p hd va
+    | Wdcons args when List.length args < 2 -> Wdcons (args @ [ va ])
+    | Wdcons _ -> error "DCONS applied to too many arguments"
+    | Wdnode [ p; l; x ] -> do_dnode m p l x va
+    | Wdnode args when List.length args < 3 -> Wdnode (args @ [ va ])
+    | Wdnode _ -> error "DNODE applied to too many arguments"
+    | w -> error "cannot apply a %s as a function" (type_name w)
+  in
+  pop m;
+  pop m;
+  result
+
+let eval m e = eval_ir m Env.empty e
+let run m p = eval m (Ir.of_program p)
+
+let read_value m w =
+  let budget = ref 1_000_000 in
+  let rec go w =
+    decr budget;
+    if !budget <= 0 then error "read_value: structure too large or cyclic";
+    match w with
+    | Wint n -> Nml.Eval.Vint n
+    | Wbool b -> Nml.Eval.Vbool b
+    | Wnil -> Nml.Eval.Vnil
+    | Wptr a ->
+        let c = m.cells.(a) in
+        if c.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vcons (go c.car, go c.cdr)
+    | Wpair a ->
+        let c = m.cells.(a) in
+        if c.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vpair (go c.car, go c.cdr)
+    | Wleaf -> Nml.Eval.Vleaf
+    | Wtree a ->
+        let c = m.cells.(a) in
+        if c.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vnode (go c.car, go c.lbl, go c.cdr)
+    | Wclos _ | Wprim _ | Wcons_at _ | Wnode_at _ | Wdcons _ | Wdnode _ ->
+        error "read_value: result is a function"
+  in
+  go w
+
+let rec pp_word m ppf = function
+  | Wint n -> Format.pp_print_int ppf n
+  | Wbool b -> Format.pp_print_bool ppf b
+  | Wnil -> Format.pp_print_string ppf "[]"
+  | Wptr a ->
+      let c = m.cells.(a) in
+      Format.fprintf ppf "@[<hov 1>(%a ::@ %a)@]" (pp_word m) c.car (pp_word m) c.cdr
+  | Wpair a ->
+      let c = m.cells.(a) in
+      Format.fprintf ppf "@[<hov 1>(%a,@ %a)@]" (pp_word m) c.car (pp_word m) c.cdr
+  | Wleaf -> Format.pp_print_string ppf "leaf"
+  | Wtree a ->
+      let c = m.cells.(a) in
+      Format.fprintf ppf "@[<hov 1>(node %a %a %a)@]" (pp_word m) c.car (pp_word m) c.lbl
+        (pp_word m) c.cdr
+  | Wclos { param; _ } -> Format.fprintf ppf "<fun %s>" param
+  | Wprim (p, args) -> Format.fprintf ppf "<prim %s/%d>" (Ast.prim_name p) (List.length args)
+  | Wcons_at (_, args) -> Format.fprintf ppf "<cons@/%d>" (List.length args)
+  | Wnode_at (_, args) -> Format.fprintf ppf "<node@/%d>" (List.length args)
+  | Wdcons args -> Format.fprintf ppf "<dcons/%d>" (List.length args)
+  | Wdnode args -> Format.fprintf ppf "<dnode/%d>" (List.length args)

@@ -1,0 +1,74 @@
+(** A storage simulator for [nml]: cons cells live in an addressed store
+    with free-list allocation and mark-sweep collection, and the three
+    optimizations of the paper are executable —
+
+    - {e stack allocation} and {e block allocation/reclamation} via
+      arenas ([Ir.WithArena]): cells allocated into an arena are ignored
+      by the sweep and freed wholesale, without traversal, when the arena
+      scope exits;
+    - {e in-place reuse} via [Ir.Dcons], which overwrites an existing
+      cell instead of allocating.
+
+    The machine is deliberately simple — an environment interpreter with
+    an explicit shadow stack for GC roots — because the paper's claims
+    are about {e counts} (cells allocated, cells the collector must
+    touch, reclamation without traversal), which {!Stats} captures
+    exactly.
+
+    Optionally ([~check_arenas:true]) the machine validates, at every
+    arena exit, that no cell of the arena is reachable from the arena
+    body's result or any live root — executing the safety obligation
+    that the escape analysis discharges statically. *)
+
+type t
+
+type word =
+  | Wint of int
+  | Wbool of bool
+  | Wnil
+  | Wptr of int  (** address of a cons cell *)
+  | Wpair of int  (** address of a pair cell (same store) *)
+  | Wleaf
+  | Wtree of int  (** address of a tree node (car=left, cdr=right + label) *)
+  | Wclos of closure
+  | Wprim of Nml.Ast.prim * word list
+  | Wcons_at of Ir.alloc * word list  (** partially applied annotated cons *)
+  | Wnode_at of Ir.alloc * word list  (** partially applied annotated node *)
+  | Wdcons of word list  (** partially applied destructive cons *)
+  | Wdnode of word list  (** partially applied destructive node *)
+
+and closure
+
+exception Error of string
+exception Out_of_memory
+exception Out_of_fuel
+
+val create : ?heap_size:int -> ?grow:bool -> ?check_arenas:bool -> ?fuel:int -> unit -> t
+(** [heap_size] is the cell-store capacity (default 4096).  With
+    [grow:false] the store never grows: exhausting it after a collection
+    raises {!Out_of_memory} (default [grow:true], doubling).
+    [check_arenas] enables the arena-safety validation (default false).
+    [fuel] bounds evaluation steps. *)
+
+val stats : t -> Stats.t
+
+val live_cells : t -> int
+(** Currently live (allocated, unfreed) cells. *)
+
+val eval : t -> Ir.expr -> word
+(** Evaluates a closed expression.
+    @raise Error on dynamic type errors (cannot happen for well-typed
+    programs), {!Out_of_memory}, {!Out_of_fuel}. *)
+
+val run : t -> Nml.Surface.t -> word
+(** Converts with {!Ir.of_program} and evaluates. *)
+
+val read_value : t -> word -> Nml.Eval.value
+(** Reads a first-order result out of the store as an interpreter value
+    (for differential testing against {!Nml.Eval}).
+    @raise Error on closures. *)
+
+val collect : t -> unit
+(** Forces a garbage collection (normally triggered by allocation). *)
+
+val pp_word : t -> Format.formatter -> word -> unit

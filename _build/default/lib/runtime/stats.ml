@@ -1,0 +1,59 @@
+type t = {
+  mutable heap_allocs : int;
+  mutable arena_allocs : int;
+  mutable dcons_reuses : int;
+  mutable gc_runs : int;
+  mutable marked : int;
+  mutable swept : int;
+  mutable arena_freed : int;
+  mutable heap_capacity : int;
+  mutable peak_live : int;
+  mutable steps : int;
+}
+
+let create () =
+  {
+    heap_allocs = 0;
+    arena_allocs = 0;
+    dcons_reuses = 0;
+    gc_runs = 0;
+    marked = 0;
+    swept = 0;
+    arena_freed = 0;
+    heap_capacity = 0;
+    peak_live = 0;
+    steps = 0;
+  }
+
+let reset t =
+  t.heap_allocs <- 0;
+  t.arena_allocs <- 0;
+  t.dcons_reuses <- 0;
+  t.gc_runs <- 0;
+  t.marked <- 0;
+  t.swept <- 0;
+  t.arena_freed <- 0;
+  t.heap_capacity <- 0;
+  t.peak_live <- 0;
+  t.steps <- 0
+
+let total_allocs t = t.heap_allocs + t.arena_allocs
+let gc_work t = t.marked + t.swept
+
+let to_row t =
+  [
+    ("heap_allocs", t.heap_allocs);
+    ("arena_allocs", t.arena_allocs);
+    ("dcons_reuses", t.dcons_reuses);
+    ("gc_runs", t.gc_runs);
+    ("marked", t.marked);
+    ("swept", t.swept);
+    ("arena_freed", t.arena_freed);
+    ("heap_capacity", t.heap_capacity);
+    ("peak_live", t.peak_live);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 0>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-13s %d@ " k v) (to_row t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Storage statistics collected by {!Machine}.
+
+    The paper's optimizations do not change {e what} a program computes,
+    only {e where} cons cells live and how they are reclaimed; these
+    counters are the quantities its claims are about. *)
+
+type t = {
+  mutable heap_allocs : int;  (** cells allocated from the GC heap *)
+  mutable arena_allocs : int;  (** cells allocated in regions/blocks *)
+  mutable dcons_reuses : int;  (** cells recycled in place by [DCONS]/[DNODE] *)
+  mutable gc_runs : int;
+  mutable marked : int;  (** total cells marked over all collections *)
+  mutable swept : int;  (** total cells reclaimed by sweeping *)
+  mutable arena_freed : int;  (** cells reclaimed wholesale at arena exit *)
+  mutable heap_capacity : int;  (** final size of the cell store *)
+  mutable peak_live : int;  (** maximum simultaneously live cells *)
+  mutable steps : int;  (** evaluation steps *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val total_allocs : t -> int
+(** [heap_allocs + arena_allocs] (a [DCONS] is not an allocation). *)
+
+val gc_work : t -> int
+(** [marked + swept]: cells the collector had to touch. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_row : t -> (string * int) list
+(** Labelled counters, for the bench tables. *)

@@ -1,0 +1,1 @@
+test/test_escape.ml: Alcotest Escape Format Gen List Nml Printf QCheck QCheck_alcotest Random String

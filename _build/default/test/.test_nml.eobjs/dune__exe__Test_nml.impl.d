@@ -1,0 +1,1 @@
+test/test_nml.ml: Alcotest Format Gen List Nml QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Escape Gen List Nml Optimize Printf QCheck QCheck_alcotest Runtime String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Gen List Nml QCheck QCheck_alcotest Runtime

@@ -1,0 +1,14 @@
+  $ alias nmlc=../../bin/nmlc.exe
+  $ nmlc eval ../../examples/programs/partition_sort.nml
+  $ nmlc eval ../../examples/programs/zip_assoc.nml
+  $ nmlc typecheck ../../examples/programs/reverse.nml
+  $ nmlc analyze ../../examples/programs/partition_sort.nml --local
+  $ nmlc run ../../examples/programs/reverse.nml --compare --heap 64
+  $ nmlc mono -e 'letrec length l = if null l then 0 else 1 + length (cdr l) in length [1] + length [[2]]'
+  $ nmlc eval -e 'car nil'
+  $ nmlc typecheck -e '1 + [2]'
+  $ nmlc eval ../../examples/programs/calculator.nml
+  $ nmlc analyze ../../examples/programs/calculator.nml --fun exec
+  $ nmlc eval ../../examples/programs/bst.nml
+  $ nmlc analyze ../../examples/programs/bst.nml --fun tinsert
+  $ nmlc analyze ../../examples/programs/bst.nml --fun mirror

@@ -1,0 +1,119 @@
+The nmlc driver, exercised on the shipped sample programs.
+
+  $ alias nmlc=../../bin/nmlc.exe
+
+Parsing and evaluation:
+
+  $ nmlc eval ../../examples/programs/partition_sort.nml
+  [1, 2, 3, 4, 5, 7]
+
+  $ nmlc eval ../../examples/programs/zip_assoc.nml
+  [20]
+
+  $ nmlc typecheck ../../examples/programs/reverse.nml
+  append : 'a list -> 'a list -> 'a list
+  rev : 'a list -> 'a list
+  main : int list
+
+Analysis (the appendix's results):
+
+  $ nmlc analyze ../../examples/programs/partition_sort.nml --local
+  append : int list -> int list -> int list
+    G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    G(append, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    sharing: top 0 of the result's 1 spine(s) are unshared in any call
+  
+  split : int -> int list -> int list -> int list -> int list list
+    G(split, 1) = <0,0>  -- no part of argument 1 ever escapes
+    G(split, 2) = <1,0>  -- no spine of argument 2 escapes, only elements may
+    G(split, 3) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    G(split, 4) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    sharing: top 1 of the result's 2 spine(s) are unshared in any call
+  
+  ps : int list -> int list
+    G(ps, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    sharing: top 1 of the result's 1 spine(s) are unshared in any call
+  
+  
+  call: ps on 1 argument(s)
+    L(ps, 1) = <1,0>  -- top 1 of 1 spine(s) stay inside this call
+  
+
+Optimization and execution:
+
+  $ nmlc run ../../examples/programs/reverse.nml --compare --heap 64
+  baseline result: [8, 7, 6, 5, 4, 3, 2, 1]
+  heap_allocs   44
+  arena_allocs  0
+  dcons_reuses  0
+  gc_runs       0
+  marked        0
+  swept         0
+  arena_freed   0
+  heap_capacity 64
+  peak_live     44
+  
+  optimized result: [8, 7, 6, 5, 4, 3, 2, 1]
+  heap_allocs   8
+  arena_allocs  0
+  dcons_reuses  36
+  gc_runs       0
+  marked        0
+  swept         0
+  arena_freed   0
+  heap_capacity 64
+  peak_live     8
+  
+
+Monomorphization:
+
+  $ nmlc mono -e 'letrec length l = if null l then 0 else 1 + length (cdr l) in length [1] + length [[2]]'
+  letrec
+    length l = if null l then 0 else 1 + length (cdr l);
+    length_m2 l = if null l then 0 else 1 + length_m2 (cdr l)
+  in length_m2 [1] + length [[2]]
+  
+  -- length specialized as length at int list list -> int
+  -- length specialized as length_m2 at int list -> int
+
+Errors are reported with positions:
+
+  $ nmlc eval -e 'car nil'
+  runtime error: car of nil
+  [1]
+
+  $ nmlc typecheck -e '1 + [2]'
+  <command line>:1.1-1.6: type mismatch: this expression has type int list but was expected of type int
+  [1]
+
+A little RPN calculator over instruction pairs:
+
+  $ nmlc eval ../../examples/programs/calculator.nml
+  35
+
+  $ nmlc analyze ../../examples/programs/calculator.nml --fun exec
+  exec : int list -> (int * int) list -> int list
+    G(exec, 1) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    G(exec, 2) = <1,0>  -- no spine of argument 2 escapes, only elements may
+      component .fst = <0,0>  (never escapes)
+      component .snd = <1,0>
+    sharing: top 0 of the result's 1 spine(s) are unshared in any call
+  
+
+Trees:
+
+  $ nmlc eval ../../examples/programs/bst.nml
+  8
+
+  $ nmlc analyze ../../examples/programs/bst.nml --fun tinsert
+  tinsert : int -> int tree -> int tree
+    G(tinsert, 1) = <1,0>  -- argument 1 (not a list) may escape
+    G(tinsert, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    sharing: top 0 of the result's 1 spine(s) are unshared in any call
+  
+
+  $ nmlc analyze ../../examples/programs/bst.nml --fun mirror
+  mirror : int tree -> int tree
+    G(mirror, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    sharing: top 1 of the result's 1 spine(s) are unshared in any call
+  

@@ -1,0 +1,358 @@
+(* Tests for the storage simulator: evaluation agrees with the reference
+   interpreter, the collector reclaims exactly the garbage, arenas free
+   wholesale and are validated, DCONS recycles cells, and the statistics
+   add up. *)
+
+module M = Runtime.Machine
+module Ir = Runtime.Ir
+module Stats = Runtime.Stats
+module Eval = Nml.Eval
+module Surface = Nml.Surface
+module Ex = Nml.Examples
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let value : Eval.value Alcotest.testable =
+  Alcotest.testable (fun ppf v -> Eval.pp_value ppf v) Eval.equal_value
+
+let run_src ?(heap_size = 64) ?(grow = true) src =
+  let m = M.create ~heap_size ~grow ~check_arenas:true () in
+  let w = M.run m (Surface.of_string src) in
+  (M.read_value m w, m)
+
+let eval_src src = Eval.run (Surface.of_string src)
+
+(* ---- agreement with the reference interpreter --------------------------- *)
+
+let agreement_tests =
+  let case name src =
+    Alcotest.test_case name `Quick (fun () ->
+        let v, _ = run_src src in
+        Alcotest.check value name (eval_src src) v)
+  in
+  [
+    case "arith" "1 + 2 * 3";
+    case "list" "[1, 2, 3]";
+    case "nested-list" "[[1], [2, 3], []]";
+    case "if" "if 1 < 2 then [1] else [2]";
+    case "let" "let x = [1, 2] in cons 0 x";
+    case "closure" "(fun f x -> f (f x)) (fun n -> n + 1) 5";
+    case "partial-prim" "(cons 1) [2]";
+    case "ps" Ex.partition_sort_program;
+    case "map-pair" Ex.map_pair_program;
+    case "rev" Ex.rev_program;
+    case "isort" (Ex.wrap [ Ex.insert_def; Ex.isort_def ] "isort [9, 3, 7, 1]");
+    case "concat" (Ex.wrap [ Ex.append_def; Ex.concat_def ] "concat [[1], [2, 3]]");
+    case "create-list" (Ex.wrap [ Ex.create_list_def ] "create_list 6");
+    case "foldr" (Ex.wrap [ Ex.foldr_def ] "foldr (fun a b -> cons (a * 2) b) nil [1, 2]");
+    case "mutual"
+      "letrec even n = if n = 0 then true else odd (n - 1); odd n = if n = 0 then false else even (n - 1) in even 9";
+    case "pairs" "mkpair (1 + 2) [true]";
+    case "pair-projections" "fst (mkpair 1 2) + snd (mkpair 3 4)";
+    case "zip" (Ex.wrap [ Ex.zip_def ] "zip [1, 2] [3, 4]");
+    case "swap" (Ex.wrap [ Ex.swap_def ] "swap (mkpair [1] [2])");
+    case "assoc" (Ex.wrap [ Ex.assoc_def ] "assoc 0 2 [mkpair 1 10, mkpair 2 20]");
+    case "trees" (Ex.wrap [ Ex.tinsert_def; Ex.tsum_def ] "tsum (tinsert 4 (tinsert 9 leaf))");
+    case "tree-structure" "node (node leaf 1 leaf) 2 (node leaf 3 leaf)";
+    case "tmap-on-machine" (Ex.wrap [ Ex.tmap_def ] "tmap (fun n -> n + 1) (node leaf 1 leaf)");
+  ]
+
+(* ---- collector ------------------------------------------------------------ *)
+
+let gc_tests =
+  [
+    Alcotest.test_case "tiny-heap-still-correct" `Quick (fun () ->
+        (* forces many collections *)
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5,6,7,8]" in
+        let v, m = run_src ~heap_size:20 src in
+        Alcotest.check value "result" (eval_src src) v;
+        checkb "collected" true ((M.stats m).Stats.gc_runs > 0);
+        checkb "swept" true ((M.stats m).Stats.swept > 0));
+    Alcotest.test_case "no-growth-when-garbage-suffices" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5,6,7,8]" in
+        let m = M.create ~heap_size:24 ~grow:false () in
+        let w = M.run m (Surface.of_string src) in
+        checki "result head" 8
+          (match M.read_value m w with
+          | Eval.Vcons (Eval.Vint n, _) -> n
+          | _ -> -1);
+        checkb "collected" true ((M.stats m).Stats.gc_runs > 0);
+        checki "capacity unchanged" 24 (M.stats m).Stats.heap_capacity);
+    Alcotest.test_case "out-of-memory" `Quick (fun () ->
+        (* all cells stay live: the whole result is returned *)
+        let src = Ex.wrap [ Ex.create_list_def ] "create_list 50" in
+        let m = M.create ~heap_size:16 ~grow:false () in
+        match M.run m (Surface.of_string src) with
+        | exception M.Out_of_memory -> ()
+        | _ -> Alcotest.fail "expected Out_of_memory");
+    Alcotest.test_case "growth-doubles" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.create_list_def ] "create_list 40" in
+        let _, m = run_src ~heap_size:16 src in
+        checkb "grew" true ((M.stats m).Stats.heap_capacity >= 40));
+    Alcotest.test_case "live-cells-track" `Quick (fun () ->
+        let m = M.create ~heap_size:16 () in
+        let w = M.eval m (Ir.of_ast (Nml.Parser.parse "[1, 2, 3]")) in
+        checki "live" 3 (M.live_cells m);
+        ignore w;
+        (* the result is not a root once we drop it: a forced collection
+           with no roots reclaims everything *)
+        M.collect m;
+        checki "after gc" 0 (M.live_cells m));
+    Alcotest.test_case "peak-live" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.create_list_def ] "create_list 10" in
+        let _, m = run_src src in
+        checkb "peak >= 10" true ((M.stats m).Stats.peak_live >= 10));
+    Alcotest.test_case "fuel" `Quick (fun () ->
+        let m = M.create ~fuel:50 () in
+        match M.run m (Surface.of_string "letrec f x = f x in f 0") with
+        | exception M.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "expected Out_of_fuel");
+  ]
+
+(* ---- arenas ---------------------------------------------------------------- *)
+
+let ir_parse src = Ir.of_ast (Nml.Parser.parse src)
+
+(* [length [1,2,3]] with the literal's spine in a region. *)
+let region_program =
+  let open Ir in
+  let lst =
+    App
+      ( App (ConsAt (Arena 0), Const (Nml.Ast.Cint 1)),
+        App (App (ConsAt (Arena 0), Const (Nml.Ast.Cint 2)), Const Nml.Ast.Cnil) )
+  in
+  Letrec
+    ( [
+        ( "length",
+          Lam
+            ( "l",
+              If
+                ( App (Prim Nml.Ast.Null, Var "l"),
+                  Const (Nml.Ast.Cint 0),
+                  App
+                    ( App (Prim Nml.Ast.Add, Const (Nml.Ast.Cint 1)),
+                      App (Var "length", App (Prim Nml.Ast.Cdr, Var "l")) ) ) ) );
+      ],
+      WithArena (Region, 0, App (Var "length", lst)) )
+
+(* [id [1]] with the cell in a region: the cell escapes its arena. *)
+let escaping_region_program =
+  let open Ir in
+  WithArena
+    ( Region,
+      0,
+      App
+        ( Lam ("x", Var "x"),
+          App (App (ConsAt (Arena 0), Const (Nml.Ast.Cint 1)), Const Nml.Ast.Cnil) ) )
+
+let arena_tests =
+  [
+    Alcotest.test_case "region-frees-wholesale" `Quick (fun () ->
+        let m = M.create ~check_arenas:true () in
+        let w = M.eval m region_program in
+        checki "result" 2 (match w with M.Wint n -> n | _ -> -1);
+        let s = M.stats m in
+        checki "arena allocs" 2 s.Stats.arena_allocs;
+        checki "arena freed" 2 s.Stats.arena_freed;
+        checki "heap allocs" 0 s.Stats.heap_allocs;
+        checki "gc untouched" 0 s.Stats.gc_runs;
+        checki "nothing live" 0 (M.live_cells m));
+    Alcotest.test_case "escape-detected" `Quick (fun () ->
+        let m = M.create ~check_arenas:true () in
+        match M.eval m escaping_region_program with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an arena safety violation");
+    Alcotest.test_case "escape-undetected-gives-dangling" `Quick (fun () ->
+        (* without the check the arena frees the escaping cell; reading the
+           result then reports a dangling pointer *)
+        let m = M.create ~check_arenas:false () in
+        let w = M.eval m escaping_region_program in
+        match M.read_value m w with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected a dangling pointer");
+    Alcotest.test_case "unknown-arena" `Quick (fun () ->
+        let m = M.create () in
+        let bad =
+          Ir.App
+            ( Ir.App (Ir.ConsAt (Ir.Arena 42), Ir.Const (Nml.Ast.Cint 1)),
+              Ir.Const Nml.Ast.Cnil )
+        in
+        match M.eval m bad with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "nested-dynamic-arenas" `Quick (fun () ->
+        (* the same static id nests: a recursive function opening an arena
+           per activation allocates into its own *)
+        let open Ir in
+        let prog =
+          Letrec
+            ( [
+                ( "f",
+                  Lam
+                    ( "n",
+                      If
+                        ( App (App (Prim Nml.Ast.Eq, Var "n"), Const (Nml.Ast.Cint 0)),
+                          Const (Nml.Ast.Cint 0),
+                          WithArena
+                            ( Region,
+                              7,
+                              App
+                                ( Lam
+                                    ( "tmp",
+                                      App
+                                        ( Var "f",
+                                          App
+                                            ( App (Prim Nml.Ast.Sub, Var "n"),
+                                              Const (Nml.Ast.Cint 1) ) ) ),
+                                  App
+                                    ( App (ConsAt (Arena 7), Var "n"),
+                                      Const Nml.Ast.Cnil ) ) ) ) ) );
+              ],
+              App (Var "f", Const (Nml.Ast.Cint 4)) )
+        in
+        let m = M.create ~check_arenas:true () in
+        let w = M.eval m prog in
+        checki "result" 0 (match w with M.Wint n -> n | _ -> -1);
+        checki "arena allocs" 4 (M.stats m).Stats.arena_allocs;
+        checki "arena freed" 4 (M.stats m).Stats.arena_freed);
+  ]
+
+(* ---- pairs in the store ------------------------------------------------------ *)
+
+let pair_tests =
+  [
+    Alcotest.test_case "pairs-allocate-cells" `Quick (fun () ->
+        let m = M.create () in
+        ignore (M.eval m (ir_parse "mkpair 1 2"));
+        checki "one cell" 1 (M.stats m).Stats.heap_allocs);
+    Alcotest.test_case "pairs-are-collected" `Quick (fun () ->
+        let m = M.create ~heap_size:8 () in
+        (* build and drop pairs: the collector reclaims them *)
+        let src = "letrec spin n = if n = 0 then 0 else spin (n - 1) + fst (mkpair 1 2) in spin 30" in
+        let w = M.run m (Surface.of_string src) in
+        checki "result" 30 (match w with M.Wint n -> n | _ -> -1);
+        checkb "collected" true ((M.stats m).Stats.gc_runs > 0));
+    Alcotest.test_case "pair-cells-marked-through" `Quick (fun () ->
+        (* a live pair keeps its components alive across a collection *)
+        let m = M.create ~heap_size:4 ~grow:true () in
+        let w = M.eval m (ir_parse "let p = mkpair [1] [2, 3] in mkpair (fst p) (snd p)") in
+        ignore w);
+    Alcotest.test_case "fst-of-list-fails" `Quick (fun () ->
+        let m = M.create () in
+        match M.eval m (ir_parse "fst [1]") with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "car-of-pair-fails" `Quick (fun () ->
+        let m = M.create () in
+        match M.eval m (ir_parse "car (mkpair 1 2)") with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "tree-node-allocates-one-cell" `Quick (fun () ->
+        let m = M.create () in
+        ignore (M.eval m (ir_parse "node leaf 1 leaf"));
+        checki "one cell" 1 (M.stats m).Stats.heap_allocs);
+    Alcotest.test_case "tree-label-survives-gc" `Quick (fun () ->
+        (* the label field must be a GC root through the node *)
+        let m = M.create ~heap_size:4 ~grow:true () in
+        let src =
+          Ex.wrap [ Ex.tinsert_def; Ex.tsum_def ]
+            "tsum (tinsert 1 (tinsert 2 (tinsert 3 (tinsert 4 (tinsert 5 leaf)))))"
+        in
+        let w = M.run m (Surface.of_string src) in
+        checki "sum" 15 (match w with M.Wint n -> n | _ -> -1));
+    Alcotest.test_case "label-of-leaf-fails" `Quick (fun () ->
+        let m = M.create () in
+        match M.eval m (ir_parse "label leaf") with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+  ]
+
+(* ---- DCONS ---------------------------------------------------------------- *)
+
+let dcons_tests =
+  [
+    Alcotest.test_case "reuses-in-place" `Quick (fun () ->
+        (* dcons [9] 1 nil redefines the cell *)
+        let src = Ir.App (Ir.App (Ir.App (Ir.Dcons, ir_parse "[9]"), ir_parse "1"), ir_parse "nil") in
+        let m = M.create () in
+        let w = M.eval m src in
+        Alcotest.check value "value" (Eval.value_of_int_list [ 1 ]) (M.read_value m w);
+        checki "one alloc" 1 (M.stats m).Stats.heap_allocs;
+        checki "one reuse" 1 (M.stats m).Stats.dcons_reuses);
+    Alcotest.test_case "dcons-on-nil-fails" `Quick (fun () ->
+        let src = Ir.App (Ir.App (Ir.App (Ir.Dcons, ir_parse "nil"), ir_parse "1"), ir_parse "nil") in
+        let m = M.create () in
+        match M.eval m src with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "dcons-on-int-fails" `Quick (fun () ->
+        let src = Ir.App (Ir.App (Ir.App (Ir.Dcons, ir_parse "7"), ir_parse "1"), ir_parse "nil") in
+        let m = M.create () in
+        match M.eval m src with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+  ]
+
+(* ---- ir --------------------------------------------------------------------- *)
+
+let ir_tests =
+  [
+    Alcotest.test_case "count-sites" `Quick (fun () ->
+        checki "three conses" 3 (Ir.count_sites (ir_parse "[1, 2, 3]"));
+        checki "none" 0 (Ir.count_sites (ir_parse "1 + 2")));
+    Alcotest.test_case "map-conses" `Quick (fun () ->
+        let e = ir_parse "[1, 2]" in
+        let e' = Ir.map_conses (fun i -> if i = 0 then Ir.Arena 5 else Ir.Heap) e in
+        let rec count_arena = function
+          | Ir.ConsAt (Ir.Arena 5) -> 1
+          | Ir.ConsAt _ | Ir.NodeAt _ | Ir.Const _ | Ir.Prim _ | Ir.Dcons | Ir.Dnode
+          | Ir.Var _ ->
+              0
+          | Ir.App (f, a) -> count_arena f + count_arena a
+          | Ir.Lam (_, b) -> count_arena b
+          | Ir.If (c, t, f) -> count_arena c + count_arena t + count_arena f
+          | Ir.Letrec (bs, b) ->
+              List.fold_left (fun acc (_, rhs) -> acc + count_arena rhs) (count_arena b) bs
+          | Ir.WithArena (_, _, b) -> count_arena b
+        in
+        checki "one annotated" 1 (count_arena e'));
+    Alcotest.test_case "machine-error-on-type-violation" `Quick (fun () ->
+        let m = M.create () in
+        match M.eval m (ir_parse "car 5") with
+        | exception M.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+  ]
+
+(* ---- differential property -------------------------------------------------- *)
+
+let differential =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"machine agrees with reference interpreter" ~count:300
+        (QCheck.make ~print:(fun s -> s) Gen.gen_program)
+        (fun src ->
+          let expected = eval_src src in
+          let m = M.create ~heap_size:8 ~grow:true ~check_arenas:true () in
+          let got = M.read_value m (M.run m (Surface.of_string src)) in
+          Eval.equal_value expected got);
+      QCheck.Test.make ~name:"machine under memory pressure agrees" ~count:150
+        (QCheck.make ~print:(fun s -> s) Gen.gen_program)
+        (fun src ->
+          let expected = eval_src src in
+          let m = M.create ~heap_size:2 ~grow:true () in
+          let got = M.read_value m (M.run m (Surface.of_string src)) in
+          Eval.equal_value expected got);
+    ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("agreement", agreement_tests);
+      ("gc", gc_tests);
+      ("arenas", arena_tests);
+      ("pairs", pair_tests);
+      ("dcons", dcons_tests);
+      ("ir", ir_tests);
+      ("differential", differential);
+    ]
