@@ -1,0 +1,21 @@
+.PHONY: all build test check ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# The differential soundness harness with fault injection on.
+check: build
+	dune exec bin/nmlc.exe -- check --count 200 --seed 42 --chaos
+
+# Everything a merge must survive.
+ci: build
+	dune runtest
+	dune build @soundness
+
+clean:
+	dune clean

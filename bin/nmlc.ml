@@ -8,7 +8,14 @@
                 enumeration engine, or a local test on the main call)
      optimize   print the optimized program and what was applied
      run        execute on the storage simulator and print statistics,
-                optionally comparing baseline and optimized runs *)
+                optionally comparing baseline and optimized runs
+     check      differential soundness harness: reference interpreter vs
+                machine (baseline / optimized / optimized under fault
+                injection) on a program corpus and random programs
+
+   Exit codes: 1 generic/runtime error or soundness divergence,
+   2 storage exhausted (Out_of_memory), 3 step budget exhausted
+   (Out_of_fuel); cmdliner reserves 124/125. *)
 
 open Cmdliner
 
@@ -44,6 +51,14 @@ let handle f =
   | Escape.Enumerate.Higher_order msg ->
       Printf.eprintf "enumeration engine: program is not first order: %s\n" msg;
       1
+  | Runtime.Machine.Out_of_memory ->
+      Printf.eprintf
+        "error: out of memory: the cell store is exhausted even after a collection \
+         (raise --heap, or drop --no-grow)\n";
+      2
+  | Runtime.Machine.Out_of_fuel | Nml.Eval.Out_of_fuel ->
+      Printf.eprintf "error: out of fuel: the step budget is exhausted (raise --fuel)\n";
+      3
 
 (* ---- common arguments ------------------------------------------------------ *)
 
@@ -202,12 +217,13 @@ let optimize_cmd =
     Term.(const run $ file_arg $ inline_arg $ options_term)
 
 let run_cmd =
-  let run file inline options optimized heap_size no_grow check compare =
+  let run file inline options optimized heap_size no_grow check compare fuel =
     handle (fun () ->
         let s = surface_of file inline in
         let exec ir =
           let m =
-            Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check ()
+            Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check
+              ?fuel ()
           in
           let w = Runtime.Machine.eval m ir in
           (Runtime.Machine.read_value m w, Runtime.Machine.stats m)
@@ -244,11 +260,103 @@ let run_cmd =
       value & flag
       & info [ "compare" ] ~doc:"Run both baseline and optimized, printing both.")
   in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Bound the number of machine steps.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute on the storage simulator and print statistics")
     Term.(
       const run $ file_arg $ inline_arg $ options_term $ optimized $ heap $ no_grow
-      $ check $ compare)
+      $ check $ compare $ fuel)
+
+let check_cmd =
+  let run files count seed heap fuel chaos fault =
+    handle (fun () ->
+        let count = max 0 count in
+        let cfg = { Check.Harness.heap; fuel; chaos; seed; fault } in
+        let corpus =
+          Check.Harness.builtin_corpus
+          @ List.map
+              (fun f -> (f, In_channel.with_open_text f In_channel.input_all))
+              files
+        in
+        let report kind = function
+          | Ok { Check.Harness.checked; passed; skipped } ->
+              Format.printf "%s: %d checked, %d ok, %d skipped@." kind checked passed
+                skipped;
+              true
+          | Error c ->
+              Format.printf "%a@." Check.Harness.pp_counterexample c;
+              false
+        in
+        let ok = report "corpus" (Check.Harness.check_corpus cfg corpus) in
+        let ok =
+          (count = 0 || report "random" (Check.Harness.check_random cfg ~count)) && ok
+        in
+        if not ok then failwith "soundness divergence (see counterexample above)";
+        Format.printf "soundness: OK (differential oracle%s)@."
+          (if chaos then ", chaos on" else ""))
+  in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random programs to generate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for program generation and fault injection; equal seeds reproduce \
+                identical runs, including any counterexample.")
+  in
+  let heap =
+    Arg.(
+      value
+      & opt int Check.Harness.default.Check.Harness.heap
+      & info [ "heap" ] ~docv:"CELLS" ~doc:"Capacity of the fixed-size chaos heaps.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt int Check.Harness.default.Check.Harness.fuel
+      & info [ "fuel" ] ~docv:"N" ~doc:"Step budget per run (0 = unlimited).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Inject faults into the machine: forced collections at pseudo-random \
+                allocation points and poisoning of freed cells.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Check.Harness.No_fault);
+               ("arena", Check.Harness.Widen_arena);
+               ("dcons", Check.Harness.Misuse_dcons);
+             ])
+          Check.Harness.No_fault
+      & info [ "inject-fault" ] ~docv:"KIND"
+          ~doc:"Deliberately break one optimizer verdict (arena: widen a stack/block \
+                verdict; dcons: misuse a reuse verdict) to demonstrate that the \
+                harness detects it.  Expected to exit nonzero.")
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Additional program files to check.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential soundness harness: reference interpreter vs machine under \
+             fault injection, on the builtin corpus and random programs")
+    Term.(const run $ files $ count $ seed $ heap $ fuel $ chaos $ fault)
 
 let () =
   let doc = "escape analysis on lists (Park & Goldberg, PLDI 1992)" in
@@ -258,5 +366,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; mono_cmd; optimize_cmd;
-            run_cmd;
+            run_cmd; check_cmd;
           ]))

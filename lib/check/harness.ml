@@ -1,0 +1,354 @@
+(* The differential soundness harness.
+
+   Each program is run several ways — reference interpreter, machine on
+   the unoptimized IR, machine on the optimized IR, and machine on the
+   optimized IR under fault injection (tiny fixed heaps, forced
+   collections, freed-cell poisoning) with arena validation on — and the
+   outcomes are compared.  A run stopped by a resource limit proves
+   nothing and is accepted; a run that crashes or answers differently
+   while the reference interpreter produced a value is a soundness
+   divergence.  After every machine run the Stats counters are checked
+   against the store's bookkeeping identities.
+
+   [fault] deliberately breaks one optimizer verdict, to demonstrate
+   that the oracle catches exactly this kind of bug. *)
+
+module M = Runtime.Machine
+module Ir = Runtime.Ir
+module Stats = Runtime.Stats
+module Eval = Nml.Eval
+
+type fault = No_fault | Widen_arena | Misuse_dcons
+
+type config = {
+  heap : int;  (* capacity of the fixed-size chaos heaps *)
+  fuel : int;  (* step budget per run; <= 0 means unlimited *)
+  chaos : bool;  (* forced collections + freed-cell poisoning *)
+  seed : int;  (* seeds both program generation and the machine PRNG *)
+  fault : fault;
+}
+
+let default = { heap = 24; fuel = 200_000; chaos = false; seed = 42; fault = No_fault }
+
+type outcome = Value of Eval.value | Limit of string | Crash of string
+
+let pp_outcome ppf = function
+  | Value v -> Eval.pp_value ppf v
+  | Limit msg -> Format.fprintf ppf "<resource limit: %s>" msg
+  | Crash msg -> Format.fprintf ppf "<crash: %s>" msg
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o
+
+type failure = { stage : string; expected : string; got : string }
+type verdict = Pass | Skip of string | Fail of failure
+
+(* ---- the ways to run one program ----------------------------------------- *)
+
+let fuel_opt cfg = if cfg.fuel > 0 then Some cfg.fuel else None
+
+let run_reference cfg surface =
+  match Eval.run ?fuel:(fuel_opt cfg) surface with
+  | v -> Value v
+  | exception Eval.Out_of_fuel -> Limit "reference interpreter out of fuel"
+  | exception Eval.Runtime_error msg -> Crash msg
+
+let chaos_of cfg =
+  if cfg.chaos then { M.gc_period = 3; poison = true; chaos_seed = cfg.seed }
+  else M.no_chaos
+
+let run_machine cfg ~heap ~grow ~chaos ir =
+  let m = M.create ~heap_size:heap ~grow ~check_arenas:true ?fuel:(fuel_opt cfg) ~chaos () in
+  let outcome =
+    match M.eval m ir with
+    | w -> (
+        match M.read_value m w with
+        | v -> Value v
+        | exception M.Error msg -> Crash msg)
+    | exception M.Error msg -> Crash msg
+    | exception M.Out_of_memory -> Limit "machine out of memory"
+    | exception M.Out_of_fuel -> Limit "machine out of fuel"
+  in
+  (outcome, m)
+
+(* ---- invariant counters --------------------------------------------------- *)
+
+let stats_violations m =
+  let s = M.stats m in
+  let live = M.live_cells m in
+  let total = Stats.total_allocs s in
+  List.filter_map
+    (fun (ok, msg) -> if ok then None else Some msg)
+    [
+      ( live = total - s.Stats.swept - s.Stats.arena_freed,
+        Printf.sprintf "live (%d) <> allocs (%d) - swept (%d) - arena_freed (%d)" live
+          total s.Stats.swept s.Stats.arena_freed );
+      (s.Stats.swept <= s.Stats.heap_allocs, "swept more cells than were heap-allocated");
+      ( s.Stats.arena_freed <= s.Stats.arena_allocs,
+        "freed more arena cells than were arena-allocated" );
+      (s.Stats.peak_live <= total, "peak_live exceeds total allocations");
+      (live <= s.Stats.peak_live, "live cells exceed peak_live");
+      (s.Stats.heap_capacity >= 1, "heap capacity vanished");
+    ]
+
+(* ---- comparison ------------------------------------------------------------ *)
+
+(* A resource-limited run proves nothing (fixed-size heaps and fuel
+   budgets legitimately stop correct programs); everything else must
+   match the reference interpreter's verdict. *)
+let agree reference got =
+  match (reference, got) with
+  | _, Limit _ -> true
+  | Value v, Value w -> Eval.equal_value v w
+  | Crash _, Crash _ -> true
+  | Value _, Crash _ | Crash _, Value _ -> false
+  | Limit _, _ -> true (* unreachable: the caller skips limited references *)
+
+(* ---- deliberate optimizer sabotage ----------------------------------------- *)
+
+(* Rewrite the first cons site into "reuse the tail cell in place" — a
+   verdict no sound reuse analysis can produce, since the tail is live
+   inside the very result being built. *)
+let rec break_first_cons e =
+  let open Ir in
+  match e with
+  | Prim Nml.Ast.Cons | ConsAt _ ->
+      ( Lam ("!h", Lam ("!t", App (App (App (Dcons, Var "!t"), Var "!h"), Var "!t"))),
+        true )
+  | Const _ | Prim _ | NodeAt _ | Dcons | Dnode | Var _ -> (e, false)
+  | App (f, a) ->
+      let f', hit = break_first_cons f in
+      if hit then (App (f', a), true)
+      else
+        let a', hit = break_first_cons a in
+        (App (f, a'), hit)
+  | Lam (x, b) ->
+      let b', hit = break_first_cons b in
+      (Lam (x, b'), hit)
+  | If (c, t, f) ->
+      let c', hit = break_first_cons c in
+      if hit then (If (c', t, f), true)
+      else
+        let t', hit = break_first_cons t in
+        if hit then (If (c, t', f), true)
+        else
+          let f', hit = break_first_cons f in
+          (If (c, t, f'), hit)
+  | Letrec (bs, body) ->
+      let rec go acc = function
+        | [] -> (List.rev acc, false)
+        | (x, rhs) :: rest ->
+            let rhs', hit = break_first_cons rhs in
+            if hit then (List.rev_append acc ((x, rhs') :: rest), true)
+            else go ((x, rhs) :: acc) rest
+      in
+      let bs', hit = go [] bs in
+      if hit then (Letrec (bs', body), true)
+      else
+        let body', hit = break_first_cons body in
+        (Letrec (bs, body'), hit)
+  | WithArena (k, i, b) ->
+      let b', hit = break_first_cons b in
+      (WithArena (k, i, b'), hit)
+
+let sabotage fault surface =
+  let ir = Ir.of_program surface in
+  match fault with
+  | No_fault -> None
+  | Widen_arena ->
+      (* pretend the analysis proved the first cons site local to the
+         whole program: any cell of it reaching the result escapes *)
+      Some
+        (Ir.WithArena
+           ( Ir.Region,
+             997,
+             Ir.map_conses (fun i -> if i = 0 then Ir.Arena 997 else Ir.Heap) ir ))
+  | Misuse_dcons ->
+      let ir', hit = break_first_cons ir in
+      if hit then Some ir' else None
+
+(* ---- the per-program oracle ------------------------------------------------ *)
+
+(* stage name, IR, heap capacity, growth, chaos *)
+let machine_stages cfg surface =
+  let baseline = Ir.of_program surface in
+  let optimized = (Optimize.Transform.optimize surface).Optimize.Transform.ir in
+  let chaos = chaos_of cfg in
+  let tiny = max 2 cfg.heap in
+  [
+    ("baseline machine", baseline, 4096, true, M.no_chaos);
+    ("optimized machine", optimized, 4096, true, M.no_chaos);
+    ("optimized, fixed heap", optimized, tiny, false, chaos);
+    ("optimized, tiny fixed heap", optimized, max 2 (tiny / 4), false, chaos);
+    ("optimized, growing heap under pressure", optimized, max 2 (tiny / 8), true, chaos);
+  ]
+  @
+  match sabotage cfg.fault surface with
+  | None -> []
+  | Some ir -> [ ("sabotaged", ir, tiny, true, { chaos with M.poison = true }) ]
+
+let check_src cfg src =
+  match Nml.Surface.of_string src with
+  | exception _ -> Skip "unparseable"
+  | surface -> (
+      match Nml.Infer.infer_program surface with
+      | exception _ -> Skip "ill-typed"
+      | _ -> (
+          match run_reference cfg surface with
+          | Limit msg -> Skip msg
+          | Value (Eval.Vclos _ | Eval.Vprim _) ->
+              (* a functional result cannot be read out of the store, so
+                 there is nothing to compare *)
+              Skip "the result is a function"
+          | reference -> (
+              let expected = outcome_to_string reference in
+              match machine_stages cfg surface with
+              | exception e ->
+                  Fail { stage = "transform"; expected; got = Printexc.to_string e }
+              | stages ->
+                  let rec go = function
+                    | [] -> Pass
+                    | (stage, ir, heap, grow, chaos) :: rest -> (
+                        let outcome, m = run_machine cfg ~heap ~grow ~chaos ir in
+                        if not (agree reference outcome) then
+                          Fail { stage; expected; got = outcome_to_string outcome }
+                        else
+                          match stats_violations m with
+                          | [] -> go rest
+                          | v :: _ ->
+                              Fail
+                                {
+                                  stage = stage ^ " (stats)";
+                                  expected = "consistent invariant counters";
+                                  got = v;
+                                })
+                  in
+                  go stages)))
+
+let check_ir cfg ~src ir =
+  match run_reference cfg (Nml.Surface.of_string src) with
+  | Limit msg -> Skip msg
+  | Value (Eval.Vclos _ | Eval.Vprim _) -> Skip "the result is a function"
+  | reference -> (
+      let expected = outcome_to_string reference in
+      let outcome, m = run_machine cfg ~heap:4096 ~grow:true ~chaos:(chaos_of cfg) ir in
+      if not (agree reference outcome) then
+        Fail { stage = "supplied ir"; expected; got = outcome_to_string outcome }
+      else
+        match stats_violations m with
+        | [] -> Pass
+        | v :: _ ->
+            Fail
+              {
+                stage = "supplied ir (stats)";
+                expected = "consistent invariant counters";
+                got = v;
+              })
+
+(* ---- corpus and random search ---------------------------------------------- *)
+
+type summary = { checked : int; passed : int; skipped : int }
+
+type counterexample = {
+  name : string;
+  original : string;
+  shrunk : string;
+  failure : failure;
+}
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf
+    "@[<v 0>soundness divergence in %s, stage %s@,\
+    \  expected: %s@,\
+    \  got:      %s@,\
+     counterexample (shrunk):@,\
+    \  %s@,\
+     original:@,\
+    \  %s@]"
+    c.name c.failure.stage c.failure.expected c.failure.got c.shrunk c.original
+
+let shrink_failing cfg src failure =
+  (* a candidate must reproduce the divergence at the same stage, so the
+     minimizer cannot drift into an unrelated failure class *)
+  let still_failing s =
+    match check_src cfg s with
+    | Fail f -> String.equal f.stage failure.stage
+    | Pass | Skip _ -> false
+  in
+  let shrunk = Shrink.minimize ~still_failing src in
+  let failure = match check_src cfg shrunk with Fail f -> f | _ -> failure in
+  (shrunk, failure)
+
+let builtin_corpus =
+  let open Nml.Examples in
+  [
+    ("partition-sort", partition_sort_program);
+    ("map-pair", map_pair_program);
+    ("reverse", rev_program);
+    ("isort", wrap [ insert_def; isort_def ] "isort [9, 3, 7, 1, 8, 2]");
+    ("concat", wrap [ append_def; concat_def ] "concat [[1], [2, 3], [], [4]]");
+    ("create-list", wrap [ create_list_def ] "create_list 12");
+    ( "filter-member",
+      wrap [ filter_def; member_def ] "filter (fun n -> member n [1, 2, 3]) [3, 1, 4, 1, 5]"
+    );
+    ( "take-drop",
+      wrap [ take_def; drop_def ] "cons (take 2 [1, 2, 3, 4]) (cons (drop 2 [1, 2, 3, 4]) nil)"
+    );
+    ("foldr", wrap [ foldr_def ] "foldr (fun a b -> cons (a * 2) b) nil [1, 2, 3]");
+    ("zip", wrap [ zip_def ] "zip [1, 2, 3] [4, 5, 6]");
+    ("swap", wrap [ swap_def ] "swap (mkpair [1] [2])");
+    ("assoc", wrap [ assoc_def ] "assoc 0 2 [mkpair 1 10, mkpair 2 20]");
+    ("bst", wrap [ tinsert_def; tsum_def ] "tsum (tinsert 4 (tinsert 9 (tinsert 1 leaf)))");
+    ( "mirror",
+      wrap [ tinsert_def; mirror_def; tsum_def ] "tsum (mirror (tinsert 4 (tinsert 9 leaf)))"
+    );
+    ( "tmap",
+      wrap [ tmap_def; tinsert_def; tsum_def ]
+        "tsum (tmap (fun n -> n + 1) (tinsert 2 (tinsert 5 leaf)))" );
+    ( "flatten",
+      wrap [ append_def; flatten_def; tinsert_def ]
+        "flatten (tinsert 3 (tinsert 1 (tinsert 2 leaf)))" );
+  ]
+
+let check_corpus cfg corpus =
+  let passed = ref 0 and skipped = ref 0 in
+  let rec go = function
+    | [] -> Ok { checked = List.length corpus; passed = !passed; skipped = !skipped }
+    | (name, src) :: rest -> (
+        match check_src cfg src with
+        | Pass ->
+            incr passed;
+            go rest
+        | Skip _ ->
+            incr skipped;
+            go rest
+        | Fail failure ->
+            let shrunk, failure = shrink_failing cfg src failure in
+            Error { name; original = src; shrunk; failure })
+  in
+  go corpus
+
+let check_random cfg ~count =
+  let rand = Random.State.make [| cfg.seed |] in
+  let passed = ref 0 and skipped = ref 0 in
+  let rec go i =
+    if i >= count then Ok { checked = count; passed = !passed; skipped = !skipped }
+    else
+      let src = QCheck.Gen.generate1 ~rand Gen.gen_any_program in
+      match check_src cfg src with
+      | Pass ->
+          incr passed;
+          go (i + 1)
+      | Skip _ ->
+          incr skipped;
+          go (i + 1)
+      | Fail failure ->
+          let shrunk, failure = shrink_failing cfg src failure in
+          Error
+            {
+              name = Printf.sprintf "generated program %d (seed %d)" i cfg.seed;
+              original = src;
+              shrunk;
+              failure;
+            }
+  in
+  go 0

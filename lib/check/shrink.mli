@@ -1,0 +1,20 @@
+(** Structural shrinking of [nml] programs (concrete syntax in, concrete
+    syntax out), used to minimize soundness counterexamples.
+
+    Candidates are single-rewrite simplifications — a node replaced by a
+    child, an integer halved, a [letrec] binding dropped, a subtree
+    collapsed to [nil] or [0] — filtered to those that still typecheck.
+    Every rewrite strictly shrinks the program, so greedy minimization
+    terminates. *)
+
+val candidates : string -> string list
+(** Simpler well-typed variants of a program, largest rewrites first.
+    Empty if the input does not parse. *)
+
+val minimize : ?max_steps:int -> still_failing:(string -> bool) -> string -> string
+(** Greedily replaces the program by its first candidate on which
+    [still_failing] holds, until none does (or [max_steps], default 300,
+    is reached). *)
+
+val iter : string -> (string -> unit) -> unit
+(** {!candidates} as a [QCheck.Iter.t], for [QCheck.make ~shrink]. *)

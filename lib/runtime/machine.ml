@@ -31,6 +31,16 @@ type cell = {
 
 type arena = { kind : Ir.arena_kind; dyn_id : int; mutable acells : int list }
 
+type chaos = {
+  gc_period : int;
+      (** >0: force a collection at pseudo-random allocation points, on
+          average one every [gc_period] allocations; 0 disables *)
+  poison : bool;
+      (** scribble over freed cells and fail any read through a dangling
+          pointer, so an unsound escape verdict crashes deterministically *)
+  chaos_seed : int;  (** seed of the deterministic fault-injection PRNG *)
+}
+
 type t = {
   mutable cells : cell array;
   mutable next : int;  (** bump pointer over never-used cells *)
@@ -45,6 +55,8 @@ type t = {
   mutable next_dyn_arena : int;
   mutable marked_closures : closure list;
   mutable fuel : int;  (** -1 = unlimited *)
+  chaos : chaos;
+  mutable rng : int;  (** fault-injection PRNG state *)
 }
 
 exception Error of string
@@ -56,7 +68,10 @@ let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
 let fresh_cell () =
   { car = Wnil; cdr = Wnil; lbl = Wnil; marked = false; free = true; arena = -1 }
 
-let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel () =
+let no_chaos = { gc_period = 0; poison = false; chaos_seed = 0 }
+
+let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel
+    ?(chaos = no_chaos) () =
   let stats = Stats.create () in
   stats.Stats.heap_capacity <- heap_size;
   {
@@ -73,6 +88,8 @@ let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel () =
     next_dyn_arena = 0;
     marked_closures = [];
     fuel = (match fuel with Some f -> f | None -> -1);
+    chaos;
+    rng = chaos.chaos_seed lxor 0x2545F4914F6CDD1D;
   }
 
 let stats t = t.stats
@@ -86,12 +103,50 @@ let tick m =
 let push m w = m.shadow <- w :: m.shadow
 let pop m = m.shadow <- List.tl m.shadow
 
+(* ---- fault injection ---------------------------------------------------- *)
+
+let poison_word = Wint 0x7EADBEEF
+(** scribbled into freed cells under [chaos.poison]: a dangling read that
+    slips past the barriers yields this recognizable junk instead of a
+    plausible [Wnil] *)
+
+(* the 48-bit LCG of java.util.Random; the low bits are weak, so draws
+   use the high 32 *)
+let chaos_draw m =
+  m.rng <- ((m.rng * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+  m.rng lsr 16
+
+(* scrub a cell as it is freed; poisoning makes any later read through a
+   stale pointer junk instead of a believable empty cell *)
+let scrub m c =
+  if m.chaos.poison then begin
+    c.car <- poison_word;
+    c.cdr <- poison_word;
+    c.lbl <- poison_word;
+    m.stats.Stats.poisoned <- m.stats.Stats.poisoned + 1
+  end
+  else begin
+    c.car <- Wnil;
+    c.cdr <- Wnil;
+    c.lbl <- Wnil
+  end
+
+(* a cell read through [car]/[cdr]/[fst]/[snd]/[label]/[left]/[right];
+   under poisoning a read of a freed cell is a deterministic crash *)
+let cell_read m what a =
+  let c = m.cells.(a) in
+  if m.chaos.poison && c.free then
+    error "chaos poison: %s reads cell %d after it was freed (use after free)" what a;
+  c
+
 (* ---- garbage collection ------------------------------------------------ *)
 
 let rec mark_word m = function
   | Wint _ | Wbool _ | Wnil | Wleaf -> ()
   | Wptr a | Wpair a | Wtree a ->
       let c = m.cells.(a) in
+      if m.chaos.poison && c.free then
+        error "chaos poison: the collector reached freed cell %d from a live root" a;
       if not c.marked then begin
         c.marked <- true;
         m.stats.Stats.marked <- m.stats.Stats.marked + 1;
@@ -128,9 +183,7 @@ let collect m =
     if c.marked then c.marked <- false
     else if (not c.free) && c.arena < 0 then begin
       c.free <- true;
-      c.car <- Wnil;
-      c.cdr <- Wnil;
-      c.lbl <- Wnil;
+      scrub m c;
       m.free_list <- a :: m.free_list;
       m.live <- m.live - 1;
       m.stats.Stats.swept <- m.stats.Stats.swept + 1
@@ -177,6 +230,12 @@ let take_addr m ~for_heap =
       end
 
 let alloc_cell m target hd tl =
+  (* gc chaos: force a collection at pseudo-random allocation points, so
+     any value the evaluator failed to root is swept out from under it *)
+  if m.chaos.gc_period > 0 && chaos_draw m mod m.chaos.gc_period = 0 then begin
+    m.stats.Stats.chaos_gcs <- m.stats.Stats.chaos_gcs + 1;
+    collect m
+  end;
   let arena = current_arena m target in
   let addr =
     match take_addr m ~for_heap:(arena = None) with
@@ -245,29 +304,29 @@ let delta m p args =
   | Ast.And, [ a; b ] -> Wbool (as_bool a && as_bool b)
   | Ast.Or, [ a; b ] -> Wbool (as_bool a || as_bool b)
   | Ast.Not, [ a ] -> Wbool (not (as_bool a))
-  | Ast.Car, [ Wptr a ] -> m.cells.(a).car
+  | Ast.Car, [ Wptr a ] -> (cell_read m "car" a).car
   | Ast.Car, [ Wnil ] -> error "car of nil"
   | Ast.Car, [ w ] -> error "car of a %s" (type_name w)
-  | Ast.Cdr, [ Wptr a ] -> m.cells.(a).cdr
+  | Ast.Cdr, [ Wptr a ] -> (cell_read m "cdr" a).cdr
   | Ast.Cdr, [ Wnil ] -> error "cdr of nil"
   | Ast.Cdr, [ w ] -> error "cdr of a %s" (type_name w)
   | Ast.Null, [ Wnil ] -> Wbool true
   | Ast.Null, [ Wptr _ ] -> Wbool false
   | Ast.Null, [ w ] -> error "null of a %s" (type_name w)
-  | Ast.Fst, [ Wpair a ] -> m.cells.(a).car
+  | Ast.Fst, [ Wpair a ] -> (cell_read m "fst" a).car
   | Ast.Fst, [ w ] -> error "fst of a %s" (type_name w)
-  | Ast.Snd, [ Wpair a ] -> m.cells.(a).cdr
+  | Ast.Snd, [ Wpair a ] -> (cell_read m "snd" a).cdr
   | Ast.Snd, [ w ] -> error "snd of a %s" (type_name w)
   | Ast.Isleaf, [ Wleaf ] -> Wbool true
   | Ast.Isleaf, [ Wtree _ ] -> Wbool false
   | Ast.Isleaf, [ w ] -> error "isleaf of a %s" (type_name w)
-  | Ast.Label, [ Wtree a ] -> m.cells.(a).lbl
+  | Ast.Label, [ Wtree a ] -> (cell_read m "label" a).lbl
   | Ast.Label, [ Wleaf ] -> error "label of leaf"
   | Ast.Label, [ w ] -> error "label of a %s" (type_name w)
-  | Ast.Left, [ Wtree a ] -> m.cells.(a).car
+  | Ast.Left, [ Wtree a ] -> (cell_read m "left" a).car
   | Ast.Left, [ Wleaf ] -> error "left of leaf"
   | Ast.Left, [ w ] -> error "left of a %s" (type_name w)
-  | Ast.Right, [ Wtree a ] -> m.cells.(a).cdr
+  | Ast.Right, [ Wtree a ] -> (cell_read m "right" a).cdr
   | Ast.Right, [ Wleaf ] -> error "right of leaf"
   | Ast.Right, [ w ] -> error "right of a %s" (type_name w)
   | (Ast.Cons | Ast.Pair | Ast.Node), _ -> assert false (* handled by the allocator *)
@@ -393,8 +452,7 @@ let rec eval_ir m env (e : Ir.expr) : word =
           if not c.free then begin
             c.free <- true;
             c.arena <- -1;
-            c.car <- Wnil;
-            c.cdr <- Wnil;
+            scrub m c;
             m.free_list <- addr :: m.free_list;
             m.live <- m.live - 1;
             m.stats.Stats.arena_freed <- m.stats.Stats.arena_freed + 1

@@ -43,12 +43,38 @@ exception Error of string
 exception Out_of_memory
 exception Out_of_fuel
 
-val create : ?heap_size:int -> ?grow:bool -> ?check_arenas:bool -> ?fuel:int -> unit -> t
+type chaos = {
+  gc_period : int;
+      (** [> 0]: force a collection at pseudo-random allocation points,
+          on average one every [gc_period] allocations; [0] disables *)
+  poison : bool;
+      (** scribble over cells as they are freed (by the sweep or at arena
+          exit) and fail any [car]/[cdr]/[fst]/[snd]/[label]/[left]/
+          [right] read of a freed cell, so an unsound escape verdict
+          becomes a deterministic crash instead of a silent wrong answer *)
+  chaos_seed : int;
+      (** seed of the machine's deterministic fault-injection PRNG; runs
+          with equal seeds inject faults at identical points *)
+}
+
+val no_chaos : chaos
+(** No forced collections, no poisoning: the machine of the seed. *)
+
+val create :
+  ?heap_size:int ->
+  ?grow:bool ->
+  ?check_arenas:bool ->
+  ?fuel:int ->
+  ?chaos:chaos ->
+  unit ->
+  t
 (** [heap_size] is the cell-store capacity (default 4096).  With
     [grow:false] the store never grows: exhausting it after a collection
     raises {!Out_of_memory} (default [grow:true], doubling).
     [check_arenas] enables the arena-safety validation (default false).
-    [fuel] bounds evaluation steps. *)
+    [fuel] bounds evaluation steps.  [chaos] (default {!no_chaos})
+    injects faults — forced collections and freed-cell poisoning — for
+    the soundness harness ({!Check.Harness}). *)
 
 val stats : t -> Stats.t
 

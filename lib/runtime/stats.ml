@@ -9,6 +9,8 @@ type t = {
   mutable heap_capacity : int;
   mutable peak_live : int;
   mutable steps : int;
+  mutable chaos_gcs : int;
+  mutable poisoned : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     heap_capacity = 0;
     peak_live = 0;
     steps = 0;
+    chaos_gcs = 0;
+    poisoned = 0;
   }
 
 let reset t =
@@ -35,7 +39,9 @@ let reset t =
   t.arena_freed <- 0;
   t.heap_capacity <- 0;
   t.peak_live <- 0;
-  t.steps <- 0
+  t.steps <- 0;
+  t.chaos_gcs <- 0;
+  t.poisoned <- 0
 
 let total_allocs t = t.heap_allocs + t.arena_allocs
 let gc_work t = t.marked + t.swept
@@ -52,6 +58,10 @@ let to_row t =
     ("heap_capacity", t.heap_capacity);
     ("peak_live", t.peak_live);
   ]
+  (* chaos counters only appear when fault injection was active, so the
+     output of plain runs is unchanged *)
+  @ (if t.chaos_gcs > 0 then [ ("chaos_gcs", t.chaos_gcs) ] else [])
+  @ if t.poisoned > 0 then [ ("poisoned", t.poisoned) ] else []
 
 let pp ppf t =
   Format.fprintf ppf "@[<v 0>";

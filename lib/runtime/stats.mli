@@ -15,6 +15,8 @@ type t = {
   mutable heap_capacity : int;  (** final size of the cell store *)
   mutable peak_live : int;  (** maximum simultaneously live cells *)
   mutable steps : int;  (** evaluation steps *)
+  mutable chaos_gcs : int;  (** collections forced by fault injection *)
+  mutable poisoned : int;  (** freed cells scribbled over by poisoning *)
 }
 
 val create : unit -> t

@@ -117,3 +117,39 @@ Trees:
     G(mirror, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
     sharing: top 1 of the result's 1 spine(s) are unshared in any call
   
+
+
+Resource limits map to distinct exit codes (2 = heap, 3 = fuel):
+
+  $ nmlc run -e 'letrec f l = f (cons 1 l) in f nil' --heap 8 --no-grow
+  error: out of memory: the cell store is exhausted even after a collection (raise --heap, or drop --no-grow)
+  [2]
+
+  $ nmlc eval -e 'letrec f x = f x in f 0' --fuel 100
+  error: out of fuel: the step budget is exhausted (raise --fuel)
+  [3]
+
+  $ nmlc run -e 'letrec f x = f x in f 0' --fuel 100
+  error: out of fuel: the step budget is exhausted (raise --fuel)
+  [3]
+
+The differential soundness harness:
+
+  $ nmlc check --count 10 --seed 42
+  corpus: 16 checked, 16 ok, 0 skipped
+  random: 10 checked, 10 ok, 0 skipped
+  soundness: OK (differential oracle)
+
+  $ nmlc check --count 5 --seed 42 --chaos
+  corpus: 16 checked, 16 ok, 0 skipped
+  random: 5 checked, 5 ok, 0 skipped
+  soundness: OK (differential oracle, chaos on)
+
+A deliberately broken optimizer verdict is caught, minimized, and turned
+into a nonzero exit:
+
+  $ nmlc check --count 5 --seed 7 --chaos --inject-fault arena > /dev/null 2>&1
+  [1]
+
+  $ nmlc check --count 5 --seed 7 --chaos --inject-fault dcons > /dev/null 2>&1
+  [1]

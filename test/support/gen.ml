@@ -206,3 +206,22 @@ let gen_tree_def =
 (* a random bst-ish input built from tinsert chains *)
 let tree_input_src input =
   List.fold_left (fun acc n -> Printf.sprintf "(node leaf (%d) %s)" n acc) "leaf" input
+
+(* ---- complete programs over every shape the machine supports ------------- *)
+
+let gen_pair_program =
+  (* a complete program folding f over a literal (int * int) list *)
+  let* def = gen_pair_def in
+  let* input = gen_pair_input in
+  return (Printf.sprintf "letrec %s in f %s" def (pair_input_src input))
+
+let gen_tree_program =
+  (* a complete program folding f over a literal left-spine int tree *)
+  let* def = gen_tree_def in
+  let* input = gen_input in
+  return (Printf.sprintf "letrec %s in f %s" def (tree_input_src input))
+
+let gen_any_program =
+  (* the union the soundness harness draws from: int-list, pair-list and
+     tree recursions, weighted towards the richer list programs *)
+  frequency [ (2, gen_program); (1, gen_pair_program); (1, gen_tree_program) ]

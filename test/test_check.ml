@@ -1,0 +1,171 @@
+(* Tests for the differential soundness harness: the oracle passes on the
+   corpus and on random programs (with and without chaos), deliberately
+   broken optimizer verdicts are detected and minimized, a hand-broken IR
+   fed through [check_ir] diverges, and the shrinker only proposes
+   smaller well-typed programs. *)
+
+module H = Check.Harness
+module Shrink = Check.Shrink
+module Ir = Runtime.Ir
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let chaos_cfg = { H.default with H.chaos = true }
+
+let fail_counterexample c =
+  Alcotest.failf "unexpected divergence: %a" H.pp_counterexample c
+
+let expect_fail name verdict =
+  match verdict with
+  | H.Fail f -> f
+  | H.Pass -> Alcotest.failf "%s: expected a divergence, got Pass" name
+  | H.Skip r -> Alcotest.failf "%s: expected a divergence, got Skip (%s)" name r
+
+(* ---- the oracle on sound inputs -------------------------------------------- *)
+
+let oracle_tests =
+  [
+    Alcotest.test_case "builtin-corpus-passes" `Quick (fun () ->
+        match H.check_corpus H.default H.builtin_corpus with
+        | Ok s ->
+            checki "all checked" (List.length H.builtin_corpus) s.H.checked;
+            checki "all passed" s.H.checked (s.H.passed + s.H.skipped);
+            checki "nothing skipped" 0 s.H.skipped
+        | Error c -> fail_counterexample c);
+    Alcotest.test_case "builtin-corpus-passes-under-chaos" `Quick (fun () ->
+        match H.check_corpus chaos_cfg H.builtin_corpus with
+        | Ok s -> checki "all passed" s.H.checked s.H.passed
+        | Error c -> fail_counterexample c);
+    Alcotest.test_case "random-programs-pass-under-chaos" `Quick (fun () ->
+        match H.check_random chaos_cfg ~count:60 with
+        | Ok s ->
+            checki "all checked" 60 s.H.checked;
+            (* generated programs are complete and first-order: few skips *)
+            checkb "mostly passed" true (s.H.passed >= 50)
+        | Error c -> fail_counterexample c);
+    Alcotest.test_case "unparseable-is-skipped" `Quick (fun () ->
+        match H.check_src H.default "car (" with
+        | H.Skip _ -> ()
+        | _ -> Alcotest.fail "expected Skip");
+    Alcotest.test_case "ill-typed-is-skipped" `Quick (fun () ->
+        match H.check_src H.default "1 + nil" with
+        | H.Skip _ -> ()
+        | _ -> Alcotest.fail "expected Skip");
+    Alcotest.test_case "function-result-is-skipped" `Quick (fun () ->
+        (* read_value cannot compare closures; the oracle must not call
+           that a divergence *)
+        match H.check_src H.default "fun x -> cons x nil" with
+        | H.Skip _ -> ()
+        | _ -> Alcotest.fail "expected Skip");
+  ]
+
+(* ---- injected faults are caught --------------------------------------------- *)
+
+let fault_tests =
+  [
+    Alcotest.test_case "widened-arena-is-caught" `Quick (fun () ->
+        let cfg = { chaos_cfg with H.fault = H.Widen_arena } in
+        let f = expect_fail "widen" (H.check_src cfg "[1, 2]") in
+        Alcotest.check Alcotest.string "stage" "sabotaged" f.H.stage);
+    Alcotest.test_case "misused-dcons-is-caught" `Quick (fun () ->
+        let cfg = { chaos_cfg with H.fault = H.Misuse_dcons } in
+        let f = expect_fail "dcons" (H.check_src cfg "cons 1 (cons 2 nil)") in
+        Alcotest.check Alcotest.string "stage" "sabotaged" f.H.stage);
+    Alcotest.test_case "faults-need-a-cons-site" `Quick (fun () ->
+        (* nothing to sabotage in a cons-free program *)
+        checkb "dcons" true (H.sabotage H.Misuse_dcons (Nml.Surface.of_string "1 + 2") = None));
+    Alcotest.test_case "random-search-finds-and-shrinks-the-fault" `Quick (fun () ->
+        let cfg = { chaos_cfg with H.fault = H.Widen_arena } in
+        match H.check_random cfg ~count:40 with
+        | Ok _ -> Alcotest.fail "the injected fault was never caught"
+        | Error c ->
+            checkb "shrunk no larger than original" true
+              (String.length c.H.shrunk <= String.length c.H.original);
+            (* the minimized program must still exhibit the same failure *)
+            (match H.check_src cfg c.H.shrunk with
+            | H.Fail f -> Alcotest.check Alcotest.string "stage" c.H.failure.H.stage f.H.stage
+            | _ -> Alcotest.fail "shrunk program no longer fails"));
+  ]
+
+(* ---- a hand-broken IR diverges ---------------------------------------------- *)
+
+(* [let x = [7, 8] in mkpair (cons 9 nil) (car x)], but with the fresh
+   cons replaced by [dcons x 9 nil]: the reuse clobbers x's head cell, so
+   [car x] reads 9 instead of 7 — the kind of IR an unsound reuse verdict
+   would emit. *)
+let broken_reuse_src = "let x = [7, 8] in mkpair (cons 9 nil) (car x)"
+
+let broken_reuse_ir =
+  let open Ir in
+  let int n = Const (Nml.Ast.Cint n) in
+  let list_78 =
+    App (App (ConsAt Heap, int 7), App (App (ConsAt Heap, int 8), Const Nml.Ast.Cnil))
+  in
+  App
+    ( Lam
+        ( "x",
+          App
+            ( App
+                ( Prim Nml.Ast.Pair,
+                  App (App (App (Dcons, Var "x"), int 9), Const Nml.Ast.Cnil) ),
+              App (Prim Nml.Ast.Car, Var "x") ) ),
+      list_78 )
+
+let ir_tests =
+  [
+    Alcotest.test_case "sound-ir-passes" `Quick (fun () ->
+        let ir = Ir.of_program (Nml.Surface.of_string broken_reuse_src) in
+        match H.check_ir H.default ~src:broken_reuse_src ir with
+        | H.Pass -> ()
+        | H.Fail f -> Alcotest.failf "unexpected: %s vs %s" f.H.expected f.H.got
+        | H.Skip r -> Alcotest.failf "unexpected Skip (%s)" r);
+    Alcotest.test_case "broken-reuse-ir-diverges" `Quick (fun () ->
+        let f =
+          expect_fail "broken reuse"
+            (H.check_ir H.default ~src:broken_reuse_src broken_reuse_ir)
+        in
+        checkb "answers differ" true (not (String.equal f.H.expected f.H.got)));
+  ]
+
+(* ---- the shrinker ------------------------------------------------------------ *)
+
+let shrink_tests =
+  [
+    Alcotest.test_case "candidates-are-smaller-and-well-typed" `Quick (fun () ->
+        let src = "letrec f l = if null l then nil else cons (car l) (f (cdr l)) in f [1, 2, 3]" in
+        let cs = Shrink.candidates src in
+        checkb "has candidates" true (cs <> []);
+        List.iter
+          (fun c ->
+            checkb "strictly different" true (not (String.equal c src));
+            (* every candidate must itself be shrinkable input, i.e. parse *)
+            match Nml.Surface.of_string c with
+            | _ -> ()
+            | exception _ -> Alcotest.failf "candidate does not parse: %s" c)
+          cs);
+    Alcotest.test_case "unparseable-has-no-candidates" `Quick (fun () ->
+        checki "none" 0 (List.length (Shrink.candidates "cons (")));
+    Alcotest.test_case "minimize-reaches-a-small-program" `Quick (fun () ->
+        (* minimize under "still conses" (the pretty-printer spells cons
+           as ::) keeps one cons site but strips everything else *)
+        let has_cons s =
+          let rec go i =
+            i + 2 <= String.length s && (String.sub s i 2 = "::" || go (i + 1))
+          in
+          go 0
+        in
+        let src = "letrec f l = if null l then nil else cons (car l) (f (cdr l)) in f [1, 2, 3]" in
+        let min = Shrink.minimize ~still_failing:has_cons src in
+        checkb "still has a cons" true (has_cons min);
+        checkb "much smaller" true (String.length min < String.length src / 2));
+  ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ("oracle", oracle_tests);
+      ("faults", fault_tests);
+      ("broken-ir", ir_tests);
+      ("shrink", shrink_tests);
+    ]

@@ -110,6 +110,50 @@ let gc_tests =
         | _ -> Alcotest.fail "expected Out_of_fuel");
   ]
 
+(* ---- resource limits leave the counters consistent -------------------------- *)
+
+(* live cells = allocations - sweeps - arena frees, even when the run is
+   cut short by an exception *)
+let check_live_invariant m =
+  let s = M.stats m in
+  checki "live invariant"
+    (Stats.total_allocs s - s.Stats.swept - s.Stats.arena_freed)
+    (M.live_cells m)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let limit_tests =
+  [
+    Alcotest.test_case "oom-only-after-a-collection" `Quick (fun () ->
+        (* a fixed-size heap raises only once a collection failed to help *)
+        let src = Ex.wrap [ Ex.create_list_def ] "create_list 50" in
+        let m = M.create ~heap_size:16 ~grow:false () in
+        (match M.run m (Surface.of_string src) with
+        | exception M.Out_of_memory -> ()
+        | _ -> Alcotest.fail "expected Out_of_memory");
+        checkb "collected first" true ((M.stats m).Stats.gc_runs >= 1);
+        checki "capacity unchanged" 16 (M.stats m).Stats.heap_capacity;
+        check_live_invariant m);
+    Alcotest.test_case "fuel-exhaustion-stats" `Quick (fun () ->
+        let m = M.create ~fuel:100 () in
+        (match M.run m (Surface.of_string "letrec f x = f x in f 0") with
+        | exception M.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "expected Out_of_fuel");
+        checkb "steps consumed the budget" true ((M.stats m).Stats.steps >= 100);
+        check_live_invariant m);
+    Alcotest.test_case "oom-mid-build-stats" `Quick (fun () ->
+        (* interrupted while consing: counters still add up *)
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev (append [1,2,3] [4,5,6])" in
+        let m = M.create ~heap_size:4 ~grow:false () in
+        (match M.run m (Surface.of_string src) with
+        | exception M.Out_of_memory -> ()
+        | _ -> Alcotest.fail "expected Out_of_memory");
+        check_live_invariant m);
+  ]
+
 (* ---- arenas ---------------------------------------------------------------- *)
 
 let ir_parse src = Ir.of_ast (Nml.Parser.parse src)
@@ -216,6 +260,72 @@ let arena_tests =
         checki "result" 0 (match w with M.Wint n -> n | _ -> -1);
         checki "arena allocs" 4 (M.stats m).Stats.arena_allocs;
         checki "arena freed" 4 (M.stats m).Stats.arena_freed);
+  ]
+
+(* ---- chaos mode -------------------------------------------------------------- *)
+
+let chaos_on = { M.gc_period = 1; poison = true; chaos_seed = 7 }
+
+(* [car] of a cell that died with its arena: the classic consequence of
+   an unsound stack-allocation verdict *)
+let use_after_free_program =
+  let open Ir in
+  App
+    ( Prim Nml.Ast.Car,
+      WithArena
+        ( Region,
+          0,
+          App (App (ConsAt (Arena 0), Const (Nml.Ast.Cint 1)), Const Nml.Ast.Cnil) ) )
+
+let chaos_tests =
+  [
+    Alcotest.test_case "chaos-gc-preserves-agreement" `Quick (fun () ->
+        (* collecting at every allocation point must not change results *)
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5,6,7,8]" in
+        let m = M.create ~heap_size:4 ~grow:true ~check_arenas:true ~chaos:chaos_on () in
+        let v = M.read_value m (M.run m (Surface.of_string src)) in
+        Alcotest.check value "result" (eval_src src) v;
+        checkb "chaos collections happened" true ((M.stats m).Stats.chaos_gcs > 0);
+        check_live_invariant m);
+    Alcotest.test_case "chaos-is-deterministic" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5]" in
+        let run () =
+          let m = M.create ~heap_size:4 ~chaos:chaos_on () in
+          ignore (M.run m (Surface.of_string src));
+          ((M.stats m).Stats.chaos_gcs, (M.stats m).Stats.gc_runs)
+        in
+        let a = run () and b = run () in
+        checki "same forced collections" (fst a) (fst b);
+        checki "same total collections" (snd a) (snd b));
+    Alcotest.test_case "use-after-free-is-silent-without-poison" `Quick (fun () ->
+        (* the machine of the seed scrubs freed cells to nil: the dangling
+           car *succeeds* with a wrong answer — exactly what poisoning is
+           there to catch *)
+        let m = M.create ~check_arenas:false () in
+        (match M.eval m use_after_free_program with
+        | M.Wnil -> ()
+        | w -> Alcotest.failf "expected the silent nil, got %a" (M.pp_word m) w));
+    Alcotest.test_case "poison-crashes-use-after-free" `Quick (fun () ->
+        let m =
+          M.create ~check_arenas:false
+            ~chaos:{ M.no_chaos with M.poison = true }
+            ()
+        in
+        (match M.eval m use_after_free_program with
+        | exception M.Error msg ->
+            checkb "mentions use after free" true (contains_substring msg "freed")
+        | w -> Alcotest.failf "expected a crash, got %a" (M.pp_word m) w);
+        checkb "poisoned cells counted" true ((M.stats m).Stats.poisoned > 0));
+    Alcotest.test_case "poison-does-not-disturb-sound-arenas" `Quick (fun () ->
+        let m =
+          M.create ~check_arenas:true
+            ~chaos:{ chaos_on with M.gc_period = 2 }
+            ()
+        in
+        let w = M.eval m region_program in
+        checki "result" 2 (match w with M.Wint n -> n | _ -> -1);
+        checki "arena freed" 2 (M.stats m).Stats.arena_freed;
+        check_live_invariant m);
   ]
 
 (* ---- pairs in the store ------------------------------------------------------ *)
@@ -350,7 +460,9 @@ let () =
     [
       ("agreement", agreement_tests);
       ("gc", gc_tests);
+      ("limits", limit_tests);
       ("arenas", arena_tests);
+      ("chaos", chaos_tests);
       ("pairs", pair_tests);
       ("dcons", dcons_tests);
       ("ir", ir_tests);
