@@ -1,4 +1,4 @@
-.PHONY: all build test check ci clean
+.PHONY: all build test check bench bench-smoke ci clean
 
 all: build
 
@@ -12,10 +12,23 @@ test: build
 check: build
 	dune exec bin/nmlc.exe -- check --count 200 --seed 42 --chaos
 
+# The full benchmark suite; S1/S2 write the solver trajectory artifact.
+bench: build
+	dune exec bench/main.exe -- S1 S2 --json BENCH_PR2.json
+	dune exec bench/main.exe -- --validate BENCH_PR2.json
+
+# Tiny-budget solver benchmarks: exercises the --json trajectory end to
+# end (emit, then re-parse and check the worklist-beats-round-robin
+# invariant) without the full measurement quota.
+bench-smoke: build
+	dune exec bench/main.exe -- S1 S2 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- --validate _build/bench_smoke.json
+
 # Everything a merge must survive.
 ci: build
 	dune runtest
 	dune build @soundness
+	$(MAKE) bench-smoke
 
 clean:
 	dune clean

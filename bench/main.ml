@@ -649,23 +649,433 @@ let x2 () =
   in
   print_table [ "n"; "allocs"; "allocs'"; "reuses" ] rows
 
+(* ---- S1/S2: solver stress and the JSON benchmark trajectory ----------------------- *)
+
+(* Hand-rolled JSON (emit + minimal parse): the point of --json/--validate
+   is a machine-checkable benchmark artifact without new dependencies. *)
+module J = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Bool of bool
+
+  let int i = Num (float_of_int i)
+
+  let add_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec emit ?(indent = 0) b t =
+    let pad n = Buffer.add_string b (String.make n ' ') in
+    match t with
+    | Obj fields ->
+        Buffer.add_string b "{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            add_string b k;
+            Buffer.add_string b ": ";
+            emit ~indent b v)
+          fields;
+        Buffer.add_string b "}"
+    | Arr xs ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (indent + 2);
+            emit ~indent:(indent + 2) b v)
+          xs;
+        Buffer.add_char b '\n';
+        pad indent;
+        Buffer.add_char b ']'
+    | Str s -> add_string b s
+    | Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.0f" f)
+        else Buffer.add_string b (Printf.sprintf "%.3f" f)
+    | Bool bo -> Buffer.add_string b (if bo then "true" else "false")
+
+  let to_string t =
+    let b = Buffer.create 1024 in
+    emit b t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> incr pos
+        | Some '\\' -> (
+            incr pos;
+            match peek () with
+            | Some 'n' ->
+                Buffer.add_char b '\n';
+                incr pos;
+                go ()
+            | Some c ->
+                Buffer.add_char b c;
+                incr pos;
+                go ()
+            | None -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let number () =
+      let start = !pos in
+      let numeric = function
+        | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+        | _ -> false
+      in
+      while !pos < n && numeric s.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail "unexpected character"
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              incr pos;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              elems (v :: acc)
+          | Some ']' ->
+              incr pos;
+              Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+end
+
+let smoke = ref false
+let json_records : J.t list ref = ref []
+
+(* Wide program: a chain of n non-recursive wrappers.  Dependency-driven
+   solving needs exactly one evaluation per definition; the round-robin
+   baseline re-evaluates everything demanded so far on every pass. *)
+let wide_chain_src n =
+  let defs =
+    List.init n (fun i ->
+        if i = 0 then "w0 x = cons 0 x"
+        else Printf.sprintf "w%d x = w%d (cons %d x)" i (i - 1) i)
+  in
+  Ex.wrap defs (Printf.sprintf "w%d [1, 2]" (n - 1))
+
+(* Deep program: a nest of k self-recursive definitions, each also calling
+   its predecessor — every entry sits in a cycle, so this stresses the SCC
+   sweep rather than the recursive descent. *)
+let rec_chain_src k =
+  let defs =
+    List.init k (fun i ->
+        if i = 0 then "f0 x y = if null x then y else cons (car x) (f0 (cdr x) y)"
+        else
+          Printf.sprintf
+            "f%d x y = if null x then f%d y x else f%d (cdr x) (cons (car x) y)" i
+            (i - 1) i)
+  in
+  Ex.wrap defs "0"
+
+(* One cold-start solver run: reset the process-global engine state,
+   solve, snapshot the statistics, then time identical runs. *)
+let run_engine ~engine ~demand src =
+  Escape.Dvalue.reset_engine ();
+  let t = Fix.of_source ~max_iters:1000 ~engine src in
+  demand t;
+  let stats = Fix.stats t in
+  let wall =
+    measure_ns (Fix.engine_name engine) (fun () ->
+        Escape.Dvalue.reset_engine ();
+        let t = Fix.of_source ~max_iters:1000 ~engine src in
+        demand t)
+  in
+  Escape.Dvalue.reset_engine ();
+  (stats, wall)
+
+let push_record ~experiment ~workload ~size ~wall (s : Fix.stats) =
+  json_records :=
+    J.Obj
+      [
+        ("experiment", J.Str experiment);
+        ("workload", J.Str workload);
+        ("size", J.int size);
+        ("engine", J.Str (Fix.engine_name s.Fix.stats_engine));
+        ("entries", J.int s.Fix.stats_entries);
+        ("evaluations", J.int s.Fix.stats_evaluations);
+        ("passes", J.int s.Fix.stats_passes);
+        ("iterations", J.int s.Fix.stats_iterations);
+        ("sccs", J.int s.Fix.stats_sccs);
+        ("largest_scc", J.int s.Fix.stats_largest_scc);
+        ("cache_hits", J.int s.Fix.stats_cache_hits);
+        ("cache_misses", J.int s.Fix.stats_cache_misses);
+        ("cache_invalidated", J.int s.Fix.stats_cache_invalidated);
+        ("dbound", J.int s.Fix.stats_dbound);
+        ("capped", J.Bool s.Fix.stats_capped);
+        ("wall_ns", J.int (int_of_float wall));
+      ]
+    :: !json_records
+
+let solver_row size (s : Fix.stats) wall =
+  [
+    string_of_int size;
+    Fix.engine_name s.Fix.stats_engine;
+    string_of_int s.Fix.stats_entries;
+    string_of_int s.Fix.stats_evaluations;
+    string_of_int s.Fix.stats_passes;
+    string_of_int s.Fix.stats_iterations;
+    string_of_int s.Fix.stats_sccs;
+    string_of_int s.Fix.stats_cache_hits;
+    string_of_int s.Fix.stats_cache_invalidated;
+    ms wall;
+  ]
+
+let solver_header =
+  [ "size"; "engine"; "entries"; "evals"; "passes"; "iters"; "sccs"; "hits";
+    "invalidated"; "ms" ]
+
+let stress workload ~experiment ~sizes ~src_of ~demand_of =
+  let rows = ref [] in
+  let wins = ref true in
+  List.iter
+    (fun n ->
+      let src = src_of n in
+      let demand = demand_of n in
+      let wl, wl_ns = run_engine ~engine:Fix.Worklist ~demand src in
+      let rr, rr_ns = run_engine ~engine:Fix.Round_robin ~demand src in
+      push_record ~experiment ~workload ~size:n ~wall:wl_ns wl;
+      push_record ~experiment ~workload ~size:n ~wall:rr_ns rr;
+      if wl.Fix.stats_evaluations >= rr.Fix.stats_evaluations then wins := false;
+      rows := solver_row n rr rr_ns :: solver_row n wl wl_ns :: !rows)
+    sizes;
+  print_table solver_header (List.rev !rows);
+  Printf.printf "\nworklist needs strictly fewer entry evaluations on every size: %s\n"
+    (if !wins then "yes" else "NO (regression)")
+
+let s1 () =
+  section "S1" "solver stress -- wide chain of non-recursive definitions";
+  let sizes = if !smoke then [ 6; 12 ] else [ 10; 20; 40; 80 ] in
+  stress "wide-chain" ~experiment:"S1" ~sizes ~src_of:wide_chain_src
+    ~demand_of:(fun n t -> ignore (Fix.value t (Printf.sprintf "w%d" (n - 1)) None));
+  Printf.printf
+    "expected shape: worklist evaluations grow linearly in the chain length,\n\
+     round-robin quadratically (every pass re-evaluates the whole prefix).\n"
+
+let s2 () =
+  section "S2" "solver stress -- deep recursion nests at chain bound d = 3";
+  let ks = if !smoke then [ 3 ] else [ 4; 8; 16 ] in
+  let rec deep k = if k = 0 then Ty.Int else Ty.List (deep (k - 1)) in
+  let inst = Ty.Arrow (deep 3, Ty.Arrow (deep 3, deep 3)) in
+  stress "deep-recursion" ~experiment:"S2" ~sizes:ks ~src_of:rec_chain_src
+    ~demand_of:(fun k t ->
+      ignore (Fix.value t (Printf.sprintf "f%d" (k - 1)) (Some inst)));
+  Printf.printf
+    "expected shape: every definition is cyclic, so both engines iterate; the\n\
+     worklist still wins by re-evaluating only entries whose dependencies moved\n\
+     and by keeping application memos alive across passes.\n"
+
+(* ---- JSON validation ---------------------------------------------------------------- *)
+
+let field name = function J.Obj fs -> List.assoc_opt name fs | _ -> None
+
+let validate_json file =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  match J.parse src with
+  | exception J.Parse_error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+      false
+  | json -> (
+      match field "records" json with
+      | Some (J.Arr records) when records <> [] ->
+          let str_fields = [ "experiment"; "workload"; "engine" ] in
+          let num_fields =
+            [ "size"; "entries"; "evaluations"; "passes"; "iterations"; "sccs";
+              "largest_scc"; "cache_hits"; "cache_misses"; "cache_invalidated";
+              "dbound"; "wall_ns" ]
+          in
+          let well_formed r =
+            List.for_all
+              (fun k -> match field k r with Some (J.Str _) -> true | _ -> false)
+              str_fields
+            && List.for_all
+                 (fun k -> match field k r with Some (J.Num _) -> true | _ -> false)
+                 num_fields
+            && (match field "capped" r with Some (J.Bool _) -> true | _ -> false)
+          in
+          let shape_ok = List.for_all well_formed records in
+          if not shape_ok then Printf.eprintf "%s: record with missing/ill-typed fields\n" file;
+          (* the PR's headline claim, checked from the artifact itself:
+             strictly fewer entry evaluations on every wide-chain size *)
+          let get_num k r = match field k r with Some (J.Num f) -> f | _ -> Float.nan in
+          let get_str k r = match field k r with Some (J.Str s) -> s | _ -> "" in
+          let wide = List.filter (fun r -> get_str "workload" r = "wide-chain") records in
+          let sizes =
+            List.sort_uniq compare (List.map (fun r -> get_num "size" r) wide)
+          in
+          let beats =
+            wide <> []
+            && List.for_all
+                 (fun sz ->
+                   let of_engine e =
+                     List.find_opt
+                       (fun r -> get_num "size" r = sz && get_str "engine" r = e)
+                       wide
+                   in
+                   match (of_engine "worklist", of_engine "round-robin") with
+                   | Some w, Some r ->
+                       get_num "evaluations" w < get_num "evaluations" r
+                   | _ -> false)
+                 sizes
+          in
+          if not beats then
+            Printf.eprintf
+              "%s: worklist does not beat round-robin on every wide-chain size\n" file;
+          if shape_ok && beats then
+            Printf.printf "%s: OK (%d records, worklist < round-robin on %d wide sizes)\n"
+              file (List.length records) (List.length sizes);
+          shape_ok && beats
+      | _ ->
+          Printf.eprintf "%s: no \"records\" array\n" file;
+          false)
+
 (* ---- driver -------------------------------------------------------------------------- *)
 
 let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
+    ("S1", s1); ("S2", s2);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+  let json_file = ref None in
+  let validate = ref None in
+  let rec parse_args ids = function
+    | [] -> List.rev ids
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse_args ids rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args ids rest
+    | "--validate" :: file :: rest ->
+        validate := Some file;
+        parse_args ids rest
+    | id :: rest -> parse_args (id :: ids) rest
   in
-  List.iter
-    (fun id ->
-      match List.assoc_opt (String.uppercase_ascii id) experiments with
-      | Some f -> f ()
-      | None -> Printf.eprintf "unknown experiment %s (known: F1, T1..T9, X1, X2)\n" id)
-    requested
+  let ids = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  match !validate with
+  | Some file -> if not (validate_json file) then exit 1
+  | None ->
+      let requested = if ids = [] then List.map fst experiments else ids in
+      List.iter
+        (fun id ->
+          match List.assoc_opt (String.uppercase_ascii id) experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %s (known: F1, T1..T9, X1, X2, S1, S2)\n"
+                id)
+        requested;
+      match !json_file with
+      | None -> ()
+      | Some file ->
+          let doc =
+            J.Obj
+              [
+                ("schema", J.Str "escape-bench/solver-v1");
+                ("records", J.Arr (List.rev !json_records));
+              ]
+          in
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (J.to_string doc));
+          Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) file

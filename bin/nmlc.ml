@@ -111,7 +111,7 @@ let eval_cmd =
     Term.(const run $ file_arg $ inline_arg $ fuel)
 
 let analyze_cmd =
-  let run file inline func enumerate local =
+  let run file inline func enumerate local engine show_stats =
     handle (fun () ->
         let s = surface_of file inline in
         if enumerate then begin
@@ -131,10 +131,13 @@ let analyze_cmd =
             (Escape.Enumerate.iterations e)
         end
         else begin
-          let t = Escape.Fixpoint.make (Nml.Infer.infer_program s) in
+          let t = Escape.Fixpoint.make ~engine (Nml.Infer.infer_program s) in
           (match func with
           | Some f -> Format.printf "%a@." (fun ppf () -> Escape.Report.definition ppf t f) ()
           | None -> Format.printf "%a@." Escape.Report.program t);
+          if show_stats then
+            Format.printf "-- solver --@.%a@." Escape.Fixpoint.pp_stats
+              (Escape.Fixpoint.stats t);
           if local then begin
             match s.Nml.Surface.main with
             | Nml.Ast.App (_, _, _) as call ->
@@ -170,9 +173,30 @@ let analyze_cmd =
       value & flag
       & info [ "local" ] ~doc:"Also run the local escape test on the main call.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("worklist", Escape.Fixpoint.Worklist);
+               ("round-robin", Escape.Fixpoint.Round_robin);
+             ])
+          Escape.Fixpoint.Worklist
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Fixpoint engine: $(b,worklist) (dependency-driven, default) or \
+                $(b,round-robin) (legacy full re-evaluation).")
+  in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print solver statistics (passes, entry evaluations, SCCs, application \
+                cache behaviour) after the report.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Escape analysis report (global tests and sharing)")
-    Term.(const run $ file_arg $ inline_arg $ func $ enumerate $ local)
+    Term.(const run $ file_arg $ inline_arg $ func $ enumerate $ local $ engine $ show_stats)
 
 let options_term =
   let no_mono =

@@ -35,6 +35,77 @@ let d_ref = ref 0
 let ensure_d d = if d > !d_ref then d_ref := d
 let current_d () = !d_ref
 
+(* ---- dependency sources ------------------------------------------------- *)
+
+(* A [source] is a generation-stamped cell of mutable analysis state (one
+   per fixpoint entry).  Computations register the sources they read in
+   the innermost open frame; a memoized application records its read set
+   and is discarded only when one of those sources has since been
+   touched — the selective replacement for wholesale cache clearing. *)
+
+type source = { sid : int; mutable gen : int }
+
+let next_sid = ref 0
+
+let new_source () =
+  incr next_sid;
+  { sid = !next_sid; gen = 0 }
+
+let touch s = s.gen <- s.gen + 1
+let source_id s = s.sid
+
+type frame = { reads : (int, source * int) Hashtbl.t; isolated : bool }
+
+let frames : frame list ref = ref []
+
+(* Keep the generation of the *first* read: if the source moved on since,
+   the computation that used the older value must be considered stale. *)
+let note_read_gen s g =
+  match !frames with
+  | [] -> ()
+  | f :: _ -> if not (Hashtbl.mem f.reads s.sid) then Hashtbl.add f.reads s.sid (s, g)
+
+let note_read s = note_read_gen s s.gen
+
+let push_frame ~isolated = frames := { reads = Hashtbl.create 8; isolated } :: !frames
+
+let pop_frame () =
+  match !frames with
+  | [] -> []
+  | f :: rest ->
+      frames := rest;
+      let srcs = Hashtbl.fold (fun _ sg acc -> sg :: acc) f.reads [] in
+      (* an application's reads are also reads of whatever computation
+         encloses it; an isolated frame (a solver evaluating one entry)
+         keeps them to itself *)
+      if not f.isolated then List.iter (fun (s, g) -> note_read_gen s g) srcs;
+      srcs
+
+let with_reads fn =
+  push_frame ~isolated:true;
+  match fn () with
+  | v -> (v, pop_frame ())
+  | exception exn ->
+      ignore (pop_frame ());
+      raise exn
+
+(* ---- interning ----------------------------------------------------------- *)
+
+(* Probe and worst-case values are deterministic in (esc, type), so
+   repeated constructions can share one physical value — and therefore
+   one [id], which is what lets [equal]/[leq] and the escape tests hit
+   the application memo across passes and across queries. *)
+
+let intern_table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let interned key build =
+  match Hashtbl.find_opt intern_table key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Hashtbl.add intern_table key v;
+      v
+
 (* ---- lattice constants --------------------------------------------------- *)
 
 let rec bottom ty =
@@ -94,6 +165,8 @@ let rec w_stage acc ty =
   | Ty.Sprod _ -> saturate ~esc:acc ty
 
 let w_value ~esc ty =
+  interned (Printf.sprintf "w:%s:%s" (Besc.to_string esc) (Ty.to_string ty))
+  @@ fun () ->
   match Ty.shape ty with
   | Ty.Sbase -> base ~ty esc
   | Ty.Sarrow (_, b) -> v ~ty ~esc ~app:(fun x -> w_stage (total_esc x) b)
@@ -110,8 +183,11 @@ let rec probe_arg ~interesting ty =
   | Ty.Sprod (a, b) ->
       pair ~ty ~esc (probe_arg ~interesting a, probe_arg ~interesting b)
 
-let interesting ty = probe_arg ~interesting:true ty
-let boring ty = probe_arg ~interesting:false ty
+let interesting ty =
+  interned ("pi:" ^ Ty.to_string ty) (fun () -> probe_arg ~interesting:true ty)
+
+let boring ty =
+  interned ("pb:" ^ Ty.to_string ty) (fun () -> probe_arg ~interesting:false ty)
 
 (* Local-test marking (section 4.2): keep the value's actual behaviour
    but replace its containment — every structural level gets its own
@@ -133,6 +209,12 @@ let mark_boring t = mark ~interesting:false t
 type component = Cfst | Csnd
 
 let rec probe_component ~path ty =
+  interned
+    (Printf.sprintf "pc:%s:%s"
+       (String.concat ""
+          (List.map (function Cfst -> "f" | Csnd -> "s") path))
+       (Ty.to_string ty))
+  @@ fun () ->
   match (path, Ty.shape ty) with
   | [], _ -> probe_arg ~interesting:true ty
   | Cfst :: rest, Ty.Sprod (a, b) ->
@@ -166,11 +248,21 @@ let rec key_of arg =
   | Ty.Sarrow _ -> Kfun arg.id
   | Ty.Sprod _ -> Kprod (arg.esc, key_of (fst_of arg), key_of (snd_of arg))
 
-type entry = { mutable value : t; mutable complete : bool; mutable reentered : bool }
+type entry = {
+  mutable value : t;
+  mutable complete : bool;
+  mutable reentered : bool;
+  mutable sources : (source * int) list;
+      (* sources read while computing, with the generation read; the
+         entry is stale as soon as any of them has been touched since *)
+}
 
 let cache : (int * arg_key, entry) Hashtbl.t = Hashtbl.create 4096
 let hits = ref 0
 let misses = ref 0
+let invalidated = ref 0
+
+let entry_valid e = List.for_all (fun (s, g) -> s.gen = g) e.sources
 
 (* Probe values are cached per (bound, type) so repeated comparisons apply
    the same values and hit the application cache. *)
@@ -236,8 +328,20 @@ and apply f x =
   let key = (f.id, key_of x) in
   match Hashtbl.find_opt cache key with
   | Some e when e.complete ->
-      incr hits;
-      e.value
+      if entry_valid e then begin
+        incr hits;
+        (* a hit stands in for the computation: its reads become reads of
+           whatever computation encloses this application *)
+        List.iter (fun (s, g) -> note_read_gen s g) e.sources;
+        e.value
+      end
+      else begin
+        (* an entry this application depended on changed: discard just
+           this memo and recompute against the current values *)
+        incr invalidated;
+        Hashtbl.remove cache key;
+        apply f x
+      end
   | Some e ->
       (* re-entered while computing: yield the approximation *)
       e.reentered <- true;
@@ -249,8 +353,11 @@ and apply f x =
         | Ty.Sarrow (_, b) -> b
         | Ty.Sbase | Ty.Sprod _ -> f.ty (* err will raise before the type is used *)
       in
-      let e = { value = bottom result_ty; complete = false; reentered = false } in
+      let e =
+        { value = bottom result_ty; complete = false; reentered = false; sources = [] }
+      in
       Hashtbl.add cache key e;
+      push_frame ~isolated:false;
       let rec loop n =
         e.reentered <- false;
         let r = f.app x in
@@ -263,17 +370,28 @@ and apply f x =
       in
       (try loop 0
        with exn ->
+         ignore (pop_frame ());
          Hashtbl.remove cache key;
          raise exn);
+      e.sources <- pop_frame ();
       e.complete <- true;
       e.value
 
 let apply_all f xs = List.fold_left apply f xs
 let clear_cache () = Hashtbl.reset cache
 let cache_stats () = (!hits, !misses)
+let invalidations () = !invalidated
 
 let reset_stats () =
   hits := 0;
-  misses := 0
+  misses := 0;
+  invalidated := 0
+
+let reset_engine () =
+  Hashtbl.reset cache;
+  Hashtbl.reset probe_table;
+  Hashtbl.reset intern_table;
+  d_ref := 0;
+  reset_stats ()
 
 let pp ppf t = Format.fprintf ppf "@[%a : %a@]" Besc.pp t.esc Ty.pp t.ty

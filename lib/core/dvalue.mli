@@ -92,6 +92,44 @@ val ensure_d : int -> unit
 
 val current_d : unit -> int
 
+(** {2 Dependency sources and selective invalidation}
+
+    The bodies behind abstract function components read other
+    definitions' values {e at application time} (through the solver's
+    global hook), so a memoized application silently depends on solver
+    state that may move between fixpoint passes.  Rather than dropping
+    the whole memo table between passes, every mutable input is
+    represented by a generation-stamped {!source}: the solver calls
+    {!note_read} when a value is read and {!touch} when it changes, each
+    memo entry records the sources (and generations) its computation
+    read, and {!apply} discards an entry only when one of its recorded
+    sources has actually been touched since. *)
+
+type source
+(** A generation-stamped cell of mutable analysis state (the solver
+    allocates one per fixpoint entry). *)
+
+val new_source : unit -> source
+val source_id : source -> int
+(** Process-unique identifier, stable for the source's lifetime. *)
+
+val touch : source -> unit
+(** Advance the generation: every memo entry that read this source is now
+    stale and will be recomputed on its next lookup. *)
+
+val note_read : source -> unit
+(** Record a read of the source (at its current generation) in the
+    innermost open read frame; no-op outside any frame. *)
+
+val with_reads : (unit -> 'a) -> 'a * (source * int) list
+(** [with_reads f] runs [f] in a fresh {e isolated} read frame and
+    returns its result together with every (source, generation-at-read)
+    pair noted during the run — including reads replayed from memo hits,
+    so the list is the computation's true transitive read set.  Isolated
+    means the reads are not propagated to any enclosing frame: they
+    belong to the solver entry being evaluated, not to an enclosing
+    application. *)
+
 (** {2 Operations} *)
 
 val join : t -> t -> t
@@ -155,12 +193,29 @@ val mark_component : path:component list -> t -> t
 (** {2 Caches and statistics} *)
 
 val clear_cache : unit -> unit
-(** Drops application entries (results stay correct; cost/memory only). *)
+(** Drops every application entry wholesale (results stay correct;
+    cost/memory only).  The legacy round-robin solver clears between
+    passes; the worklist solver never needs to — staleness is detected
+    per entry via the recorded sources. *)
 
 val cache_stats : unit -> int * int
 (** (hits, misses) since {!reset_stats}. *)
 
+val invalidations : unit -> int
+(** Memo entries discarded because a recorded source was touched, since
+    {!reset_stats}. *)
+
 val reset_stats : unit -> unit
+
+val reset_engine : unit -> unit
+(** Deterministically resets the process-global engine state: the
+    application memo, the probe and intern tables, the chain bound and
+    the statistics counters.  Value identifiers are {e not} reset (their
+    uniqueness is load-bearing for the memo keys), so values created
+    before the reset remain well-formed — but their comparisons become
+    coarse (bound 0) until {!ensure_d} is raised again.  Intended for
+    benchmarks and tests that need identical cold-start conditions;
+    don't call it while a solver you still plan to query is alive. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the basic component and the type, e.g. [<1,1> : int list]. *)

@@ -6,23 +6,50 @@
     is used, the solver memoizes abstract values per
     {e (definition, ground instance type)} pair, re-typing the definition
     at each demanded instance ({!Nml.Infer.instantiate_def}) — the lazy
-    equivalent of whole-program monomorphization.  Mutual and self
-    recursion are solved by chaotic iteration over the memo table, with
-    convergence decided by {!Probe.equal}.
+    equivalent of whole-program monomorphization.
 
-    Iteration is capped ([max_iters], default 200 rounds); on a cap hit
-    every cached value is widened to the top of its type — the safe
-    direction (everything escapes) — and {!capped} reports it. *)
+    Two engines solve the resulting equation system:
+
+    {ul
+    {- {!Worklist} (default): dependency-driven.  Every evaluation runs
+       inside a read frame ({!Dvalue.with_reads}) that records which other
+       entries it consulted, giving the instance-level dependency graph
+       for free.  Fresh entries are solved by recursive descent
+       (dependencies settle before their reader is evaluated, so a
+       non-recursive definition is evaluated exactly once); the cyclic
+       remainder is condensed into strongly connected components
+       ({!Nml.Callgraph.Scc}) and settled bottom-up, re-evaluating only
+       entries whose recorded dependencies actually changed.  Application
+       memos survive across the whole solve: a value change bumps the
+       entry's {!Dvalue.source} generation and only memos that read it
+       are invalidated.}
+    {- {!Round_robin}: the original solver, retained as a differential
+       baseline.  Every pass drops the application memo wholesale and
+       re-evaluates every demanded instance until a pass changes
+       nothing.}}
+
+    Both compute the same least fixpoint; convergence is decided by
+    {!Probe.equal} in either case.  Iteration is capped ([max_iters],
+    default 200 rounds); on a cap hit every cached value is widened to
+    the top of its type — the safe direction (everything escapes) — and
+    {!capped} reports it. *)
+
+type engine = Worklist | Round_robin
+
+val engine_name : engine -> string
+(** ["worklist"] / ["round-robin"]. *)
 
 type t
 
-val make : ?max_iters:int -> Nml.Infer.program -> t
+val make : ?max_iters:int -> ?engine:engine -> Nml.Infer.program -> t
 (** Builds a solver; nothing is computed until a value is demanded. *)
 
-val of_source : ?max_iters:int -> string -> t
+val of_source : ?max_iters:int -> ?engine:engine -> string -> t
 (** Parse, infer and wrap a program given as source text. *)
 
 val program : t -> Nml.Infer.program
+
+val engine : t -> engine
 
 val d : t -> int
 (** Current chain bound: the largest spine count of any list type seen in
@@ -47,7 +74,7 @@ val main_value : t -> Dvalue.t
 (** Abstract value of the program's main expression. *)
 
 val stabilize : t -> unit
-(** Runs chaotic iteration until no cached value changes. *)
+(** Runs the selected engine until no entry's value changes. *)
 
 (** {2 Statistics (for the cost experiments)} *)
 
@@ -55,9 +82,37 @@ val iterations : t -> int
 (** Total Kleene rounds, including nested [letrec]s. *)
 
 val passes : t -> int
-(** Chaotic-iteration passes over the memo table. *)
+(** Worklist: outer passes (descent + SCC sweep); round-robin: chaotic
+    iteration passes over the memo table. *)
+
+val evaluations : t -> int
+(** Top-level entry evaluations — the head-to-head cost metric between
+    the engines (each evaluation runs the abstract semantics over one
+    definition body). *)
 
 val instances : t -> (string * Nml.Ty.t) list
 (** Every (definition, instance) pair materialized so far. *)
 
 val capped : t -> bool
+
+type stats = {
+  stats_engine : engine;
+  stats_passes : int;
+  stats_iterations : int;
+  stats_entries : int;
+  stats_evaluations : int;
+  stats_sccs : int;  (** components in the last condensation (worklist) *)
+  stats_largest_scc : int;
+  stats_cache_hits : int;  (** application-memo hits since [make] *)
+  stats_cache_misses : int;
+  stats_cache_invalidated : int;  (** memos discarded as stale since [make] *)
+  stats_dbound : int;
+  stats_capped : bool;
+}
+
+val stats : t -> stats
+(** Snapshot of the solver counters.  The cache numbers are deltas
+    against the process-global counters at [make] time, so they are only
+    meaningful when a single solver ran in between. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,234 @@
+(* Tests for the worklist fixpoint engine: the call-graph/SCC machinery it
+   schedules with, differential agreement with the retained round-robin
+   baseline (fixed programs, the paper's appendix values and a random
+   corpus), isolation of concurrently live solvers (the Dvalue engine
+   state is process-global but generation-validated), and the efficiency
+   claim the engine exists for — strictly fewer entry evaluations. *)
+
+module B = Escape.Besc
+module D = Escape.Dvalue
+module Fix = Escape.Fixpoint
+module An = Escape.Analysis
+module Cg = Nml.Callgraph
+module Surface = Nml.Surface
+module Ty = Nml.Ty
+module Examples = Nml.Examples
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let infer src = Nml.Infer.infer_program (Surface.of_string src)
+
+(* ---- call graph / SCC ---------------------------------------------------- *)
+
+let mutual_src =
+  Examples.wrap
+    [
+      "take xs = if null xs then nil else cons (car xs) (skip (cdr xs))";
+      "skip xs = if null xs then nil else take (cdr xs)";
+      "len xs = if null xs then 0 else 1 + len (cdr xs)";
+    ]
+    "len (take [1, 2, 3, 4])"
+
+let callgraph_units =
+  [
+    Alcotest.test_case "scc-order-is-dependencies-first" `Quick (fun () ->
+        (* 0 -> 1 -> 2, 2 -> 1 (cycle {1,2}), 3 isolated *)
+        let succs = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 1 ] | _ -> [] in
+        let comps = Cg.Scc.compute ~n:4 ~succs in
+        checki "count" 3 (List.length comps);
+        let pos v =
+          let rec go i = function
+            | [] -> -1
+            | c :: rest -> if List.mem v c then i else go (i + 1) rest
+          in
+          go 0 comps
+        in
+        checkb "cycle before its reader" true (pos 1 < pos 0);
+        checkb "1 and 2 share a component" true (pos 1 = pos 2));
+    Alcotest.test_case "out-of-range-successors-ignored" `Quick (fun () ->
+        let comps = Cg.Scc.compute ~n:2 ~succs:(fun _ -> [ 5; -1 ]) in
+        checki "count" 2 (List.length comps));
+    Alcotest.test_case "refs-and-recursion" `Quick (fun () ->
+        let g = Cg.of_program (infer mutual_src) in
+        checkb "take refs skip" true (List.mem "skip" (Cg.refs g "take"));
+        checkb "mutual pair is recursive" true
+          (Cg.is_recursive g "take" && Cg.is_recursive g "skip");
+        checkb "len is recursive (self)" true (Cg.is_recursive g "len");
+        checkb "unknown name" false (Cg.is_recursive g "nosuch"));
+    Alcotest.test_case "program-sccs" `Quick (fun () ->
+        let g = Cg.of_program (infer Examples.partition_sort_program) in
+        (* append and split are self-cycles; ps depends on both *)
+        let comps = Cg.sccs g in
+        checki "three components" 3 (List.length comps);
+        checks "ps last" "ps" (List.hd (List.nth comps 2)));
+  ]
+
+(* ---- differential: worklist vs round-robin ------------------------------- *)
+
+(* Every global verdict of every definition, under the given engine.  The
+   solvers share the process-global application memo; agreement must hold
+   without any reset in between — that is the selective-invalidation
+   correctness claim. *)
+let verdicts ~engine src =
+  let t = Fix.of_source ~engine src in
+  List.concat_map
+    (fun (name, _) ->
+      List.map
+        (fun (v : An.verdict) -> (name, v.An.arg, B.to_string v.An.esc))
+        (An.global_all t name))
+    (infer src).Nml.Infer.schemes
+
+let check_differential src =
+  let wl = verdicts ~engine:Fix.Worklist src in
+  let rr = verdicts ~engine:Fix.Round_robin src in
+  List.iter2
+    (fun (name, arg, a) (name', arg', b) ->
+      checks "same verdict order" name name';
+      checki "same arg" arg arg';
+      checks (Printf.sprintf "G(%s, %d)" name arg) a b)
+    wl rr
+
+let fixed_programs =
+  [
+    ("partition-sort", Examples.partition_sort_program);
+    ("map-pair", Examples.map_pair_program);
+    ("rev", Examples.rev_program);
+    ("mutual", mutual_src);
+    ( "zip",
+      Examples.wrap [ Examples.zip_def ] "zip [1, 2, 3] [4, 5, 6]" );
+    ( "trees",
+      Examples.wrap
+        [ Examples.tmap_def; Examples.mirror_def; Examples.tinsert_def ]
+        "0" );
+  ]
+
+let differential_units =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("engines-agree-" ^ name) `Quick (fun () ->
+          check_differential src))
+    fixed_programs
+  @ [
+      Alcotest.test_case "engines-agree-random-corpus" `Slow (fun () ->
+          let rand = Random.State.make [| 20260807 |] in
+          for _ = 1 to 40 do
+            let src = QCheck.Gen.generate1 ~rand Gen.gen_any_program in
+            check_differential src
+          done);
+    ]
+
+(* ---- appendix values under the worklist engine --------------------------- *)
+
+let appendix_units =
+  [
+    Alcotest.test_case "appendix-values" `Quick (fun () ->
+        let t = Fix.of_source Examples.partition_sort_program in
+        let g name arg = B.to_string (An.global t name ~arg).An.esc in
+        checks "G(append,1)" "<1,0>" (g "append" 1);
+        checks "G(append,2)" "<1,1>" (g "append" 2);
+        checks "G(split,1)" "<0,0>" (g "split" 1);
+        checks "G(split,2)" "<1,0>" (g "split" 2);
+        checks "G(split,3)" "<1,1>" (g "split" 3);
+        checks "G(split,4)" "<1,1>" (g "split" 4);
+        checks "G(ps,1)" "<1,0>" (g "ps" 1);
+        checkb "not capped" true (not (Fix.capped t)));
+    Alcotest.test_case "worklist-single-pass-on-appendix" `Quick (fun () ->
+        let t = Fix.of_source Examples.partition_sort_program in
+        ignore (Fix.value t "ps" None);
+        checkb "few passes" true (Fix.passes t <= 2));
+  ]
+
+(* ---- solver isolation (global Dvalue state) ------------------------------- *)
+
+let isolation_units =
+  [
+    Alcotest.test_case "interleaved-solvers-match-solo" `Quick (fun () ->
+        (* solo reference runs, from cold engine state *)
+        D.reset_engine ();
+        let solo_a =
+          B.to_string
+            (An.global (Fix.of_source Examples.partition_sort_program) "append" ~arg:2)
+              .An.esc
+        in
+        D.reset_engine ();
+        let solo_b =
+          B.to_string
+            (An.global (Fix.of_source Examples.map_pair_program) "map" ~arg:2).An.esc
+        in
+        (* two live solvers with interleaved queries, mixed engines, no
+           resets: the round-robin solver clears the shared memo wholesale
+           and the worklist solver touches generations; neither may
+           corrupt the other *)
+        D.reset_engine ();
+        let a = Fix.of_source ~engine:Fix.Worklist Examples.partition_sort_program in
+        let b = Fix.of_source ~engine:Fix.Round_robin Examples.map_pair_program in
+        let a1 = B.to_string (An.global a "append" ~arg:2).An.esc in
+        let b1 = B.to_string (An.global b "map" ~arg:2).An.esc in
+        let a2 = B.to_string (An.global a "append" ~arg:2).An.esc in
+        let b2 = B.to_string (An.global b "map" ~arg:2).An.esc in
+        checks "a matches solo" solo_a a1;
+        checks "b matches solo" solo_b b1;
+        checks "a stable across interleaving" a1 a2;
+        checks "b stable across interleaving" b1 b2);
+    Alcotest.test_case "reset-engine-restores-cold-start" `Quick (fun () ->
+        D.reset_engine ();
+        let t = Fix.of_source Examples.partition_sort_program in
+        ignore (Fix.value t "ps" None);
+        let _, misses1 = D.cache_stats () in
+        D.reset_engine ();
+        let hits0, misses0 = D.cache_stats () in
+        checki "hits reset" 0 hits0;
+        checki "misses reset" 0 misses0;
+        let t2 = Fix.of_source Examples.partition_sort_program in
+        ignore (Fix.value t2 "ps" None);
+        let _, misses2 = D.cache_stats () in
+        checki "cold start reproduced" misses1 misses2);
+  ]
+
+(* ---- efficiency: the reason the engine exists ----------------------------- *)
+
+let wide_chain n =
+  Examples.wrap
+    (List.init n (fun i ->
+         if i = 0 then "w0 x = cons 0 x"
+         else Printf.sprintf "w%d x = w%d (cons %d x)" i (i - 1) i))
+    (Printf.sprintf "w%d [1, 2]" (n - 1))
+
+let efficiency_units =
+  [
+    Alcotest.test_case "worklist-beats-round-robin-on-wide-chain" `Quick (fun () ->
+        let n = 12 in
+        let solve engine =
+          let t = Fix.of_source ~max_iters:1000 ~engine (wide_chain n) in
+          ignore (Fix.value t (Printf.sprintf "w%d" (n - 1)) None);
+          (Fix.evaluations t, Fix.capped t)
+        in
+        let wl, wl_capped = solve Fix.Worklist in
+        let rr, rr_capped = solve Fix.Round_robin in
+        checkb "neither capped" false (wl_capped || rr_capped);
+        checki "worklist is linear" n wl;
+        checkb
+          (Printf.sprintf "strictly fewer evaluations (%d < %d)" wl rr)
+          true (wl < rr));
+    Alcotest.test_case "non-recursive-entries-evaluated-once" `Quick (fun () ->
+        let t = Fix.of_source ~engine:Fix.Worklist (wide_chain 6) in
+        ignore (Fix.value t "w5" None);
+        let s = Fix.stats t in
+        checki "entries" 6 s.Fix.stats_entries;
+        checki "evaluations" 6 s.Fix.stats_evaluations;
+        checki "one pass" 1 s.Fix.stats_passes;
+        checki "six singleton sccs" 6 s.Fix.stats_sccs;
+        checki "largest scc" 1 s.Fix.stats_largest_scc);
+  ]
+
+let () =
+  Alcotest.run "solver"
+    [
+      ("callgraph", callgraph_units);
+      ("differential", differential_units);
+      ("appendix", appendix_units);
+      ("isolation", isolation_units);
+      ("efficiency", efficiency_units);
+    ]
