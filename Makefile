@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke ci clean
 
 all: build
 
@@ -11,6 +11,15 @@ test: build
 # The differential soundness harness with fault injection on.
 check: build
 	dune exec bin/nmlc.exe -- check --count 200 --seed 42 --chaos
+
+# The independent annotation verifier over every shipped example, plus
+# a seeded mutation-testing smoke (every unsound edit must be caught).
+vet: build
+	for f in examples/programs/*.nml; do \
+	  dune exec bin/nmlc.exe -- vet $$f || exit 1; \
+	done
+	dune exec bin/nmlc.exe -- vet examples/programs/reverse.nml --mutate 40
+	dune exec bin/nmlc.exe -- vet examples/programs/partition_sort.nml --mutate 60
 
 # The full benchmark suite; S1/S2 write the solver trajectory artifact.
 bench: build
@@ -28,6 +37,7 @@ bench-smoke: build
 ci: build
 	dune runtest
 	dune build @soundness
+	$(MAKE) vet
 	$(MAKE) bench-smoke
 
 clean:

@@ -651,193 +651,9 @@ let x2 () =
 
 (* ---- S1/S2: solver stress and the JSON benchmark trajectory ----------------------- *)
 
-(* Hand-rolled JSON (emit + minimal parse): the point of --json/--validate
-   is a machine-checkable benchmark artifact without new dependencies. *)
-module J = struct
-  type t =
-    | Obj of (string * t) list
-    | Arr of t list
-    | Str of string
-    | Num of float
-    | Bool of bool
-
-  let int i = Num (float_of_int i)
-
-  let add_string b s =
-    Buffer.add_char b '"';
-    String.iter
-      (function
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"'
-
-  let rec emit ?(indent = 0) b t =
-    let pad n = Buffer.add_string b (String.make n ' ') in
-    match t with
-    | Obj fields ->
-        Buffer.add_string b "{";
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string b ", ";
-            add_string b k;
-            Buffer.add_string b ": ";
-            emit ~indent b v)
-          fields;
-        Buffer.add_string b "}"
-    | Arr xs ->
-        Buffer.add_string b "[\n";
-        List.iteri
-          (fun i v ->
-            if i > 0 then Buffer.add_string b ",\n";
-            pad (indent + 2);
-            emit ~indent:(indent + 2) b v)
-          xs;
-        Buffer.add_char b '\n';
-        pad indent;
-        Buffer.add_char b ']'
-    | Str s -> add_string b s
-    | Num f ->
-        if Float.is_integer f && Float.abs f < 1e15 then
-          Buffer.add_string b (Printf.sprintf "%.0f" f)
-        else Buffer.add_string b (Printf.sprintf "%.3f" f)
-    | Bool bo -> Buffer.add_string b (if bo then "true" else "false")
-
-  let to_string t =
-    let b = Buffer.create 1024 in
-    emit b t;
-    Buffer.add_char b '\n';
-    Buffer.contents b
-
-  exception Parse_error of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          incr pos;
-          skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () = Some c then incr pos else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> incr pos
-        | Some '\\' -> (
-            incr pos;
-            match peek () with
-            | Some 'n' ->
-                Buffer.add_char b '\n';
-                incr pos;
-                go ()
-            | Some c ->
-                Buffer.add_char b c;
-                incr pos;
-                go ()
-            | None -> fail "bad escape")
-        | Some c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let lit word v =
-      let l = String.length word in
-      if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
-        pos := !pos + l;
-        v
-      end
-      else fail ("expected " ^ word)
-    in
-    let number () =
-      let start = !pos in
-      let numeric = function
-        | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
-        | _ -> false
-      in
-      while !pos < n && numeric s.[!pos] do
-        incr pos
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' -> obj ()
-      | Some '[' -> arr ()
-      | Some '"' -> Str (string_lit ())
-      | Some 't' -> lit "true" (Bool true)
-      | Some 'f' -> lit "false" (Bool false)
-      | Some ('-' | '0' .. '9') -> number ()
-      | _ -> fail "unexpected character"
-    and obj () =
-      expect '{';
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Obj []
-      end
-      else
-        let rec fields acc =
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              incr pos;
-              fields ((k, v) :: acc)
-          | Some '}' ->
-              incr pos;
-              Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        fields []
-    and arr () =
-      expect '[';
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        Arr []
-      end
-      else
-        let rec elems acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              incr pos;
-              elems (v :: acc)
-          | Some ']' ->
-              incr pos;
-              Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elems []
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing input";
-    v
-end
+(* Machine-checkable benchmark artifact without new dependencies: the
+   shared hand-rolled JSON tree lives in [Nml.Json]. *)
+module J = Nml.Json
 
 let smoke = ref false
 let json_records : J.t list ref = ref []
@@ -966,7 +782,7 @@ let s2 () =
 
 (* ---- JSON validation ---------------------------------------------------------------- *)
 
-let field name = function J.Obj fs -> List.assoc_opt name fs | _ -> None
+let field = J.member
 
 let validate_json file =
   let src = In_channel.with_open_text file In_channel.input_all in

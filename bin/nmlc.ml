@@ -12,12 +12,29 @@
      check      differential soundness harness: reference interpreter vs
                 machine (baseline / optimized / optimized under fault
                 injection) on a program corpus and random programs
+     vet        independent annotation verifier: re-derive the proof
+                obligation behind every storage annotation of the
+                optimized program, with source-located diagnostics and
+                seeded mutation testing of the verifier itself
 
-   Exit codes: 1 generic/runtime error or soundness divergence,
+   Exit codes: 0 clean, 1 findings / divergence / user error,
    2 storage exhausted (Out_of_memory), 3 step budget exhausted
-   (Out_of_fuel); cmdliner reserves 124/125. *)
+   (Out_of_fuel), 124 internal error. *)
 
 open Cmdliner
+
+(* a diagnostic-producing stage found something: details are already
+   printed, only the exit code is left to set *)
+exception Findings
+
+(* test hook for the internal-error path: any command aborts before
+   doing work when NMLC_INTERNAL_ERROR is set *)
+exception Internal_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Internal_error msg -> Some msg
+    | _ -> None)
 
 let read_input file inline =
   match (file, inline) with
@@ -33,17 +50,31 @@ let surface_of file inline =
   let name, src = read_input file inline in
   Nml.Surface.of_string ~file:name src
 
-let handle f =
+let diagnose format ~code loc msg =
+  Format.eprintf "%a@."
+    (Nml.Diagnostic.render format)
+    [ Nml.Diagnostic.error ~code loc msg ]
+
+let handle ?(format = Nml.Diagnostic.Human) f =
   try
+    (match Sys.getenv_opt "NMLC_INTERNAL_ERROR" with
+    | Some _ -> raise (Internal_error "forced by NMLC_INTERNAL_ERROR")
+    | None -> ());
     f ();
     0
   with
+  | Findings -> 1
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       1
-  | Nml.Lexer.Error (loc, msg) | Nml.Parser.Error (loc, msg) | Nml.Infer.Error (loc, msg)
-    ->
-      Printf.eprintf "%s: %s\n" (Nml.Loc.to_string loc) msg;
+  | Nml.Lexer.Error (loc, msg) ->
+      diagnose format ~code:"LEX001" loc msg;
+      1
+  | Nml.Parser.Error (loc, msg) ->
+      diagnose format ~code:"PARSE001" loc msg;
+      1
+  | Nml.Infer.Error (loc, msg) ->
+      diagnose format ~code:"TYPE001" loc msg;
       1
   | Nml.Eval.Runtime_error msg | Runtime.Machine.Error msg ->
       Printf.eprintf "runtime error: %s\n" msg;
@@ -59,6 +90,9 @@ let handle f =
   | Runtime.Machine.Out_of_fuel | Nml.Eval.Out_of_fuel ->
       Printf.eprintf "error: out of fuel: the step budget is exhausted (raise --fuel)\n";
       3
+  | e ->
+      Printf.eprintf "nmlc: internal error: %s\n" (Printexc.to_string e);
+      124
 
 (* ---- common arguments ------------------------------------------------------ *)
 
@@ -110,11 +144,39 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Run the reference interpreter")
     Term.(const run $ file_arg $ inline_arg $ fuel)
 
+let stats_json stats =
+  let module J = Nml.Json in
+  let module Fix = Escape.Fixpoint in
+  J.Obj
+    [
+      ("schema", J.Str "nmlc/solver-stats-v1");
+      ("engine", J.Str (Fix.engine_name stats.Fix.stats_engine));
+      ("passes", J.int stats.Fix.stats_passes);
+      ("iterations", J.int stats.Fix.stats_iterations);
+      ("entries", J.int stats.Fix.stats_entries);
+      ("evaluations", J.int stats.Fix.stats_evaluations);
+      ("sccs", J.int stats.Fix.stats_sccs);
+      ("largest_scc", J.int stats.Fix.stats_largest_scc);
+      ("cache_hits", J.int stats.Fix.stats_cache_hits);
+      ("cache_misses", J.int stats.Fix.stats_cache_misses);
+      ("cache_invalidated", J.int stats.Fix.stats_cache_invalidated);
+      ("d_bound", J.int stats.Fix.stats_dbound);
+      ("capped", J.Bool stats.Fix.stats_capped);
+    ]
+
 let analyze_cmd =
-  let run file inline func enumerate local engine show_stats =
+  let run file inline func enumerate local engine show_stats json =
     handle (fun () ->
         let s = surface_of file inline in
-        if enumerate then begin
+        if json then begin
+          if enumerate then
+            failwith "--json reports the fixpoint solver, not --enumerate";
+          let t = Escape.Fixpoint.make ~engine (Nml.Infer.infer_program s) in
+          (* drive the same queries the report makes, then emit the counters *)
+          ignore (Format.asprintf "%a" Escape.Report.program t);
+          print_string (Nml.Json.to_string (stats_json (Escape.Fixpoint.stats t)))
+        end
+        else if enumerate then begin
           let e = Escape.Enumerate.solve (Nml.Infer.infer_program s) in
           List.iter
             (fun (name, _) ->
@@ -194,9 +256,18 @@ let analyze_cmd =
           ~doc:"Print solver statistics (passes, entry evaluations, SCCs, application \
                 cache behaviour) after the report.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the solver statistics as a JSON document instead of the report \
+                (not available with --enumerate).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Escape analysis report (global tests and sharing)")
-    Term.(const run $ file_arg $ inline_arg $ func $ enumerate $ local $ engine $ show_stats)
+    Term.(
+      const run $ file_arg $ inline_arg $ func $ enumerate $ local $ engine $ show_stats
+      $ json)
 
 let options_term =
   let no_mono =
@@ -382,6 +453,102 @@ let check_cmd =
              fault injection, on the builtin corpus and random programs")
     Term.(const run $ files $ count $ seed $ heap $ fuel $ chaos $ fault)
 
+let vet_cmd =
+  let run file inline options format mutate seed fault =
+    handle ~format (fun () ->
+        let s = surface_of file inline in
+        let ir =
+          match fault with
+          | Check.Harness.No_fault ->
+              (Optimize.Transform.optimize ~options s).Optimize.Transform.ir
+          | f -> (
+              match Check.Harness.sabotage f s with
+              | Some ir -> ir
+              | None -> failwith "the requested fault does not apply to this program")
+        in
+        match mutate with
+        | Some count ->
+            let o = Vet.Mutate.campaign ~seed ~count ~source:s ir in
+            if o.Vet.Mutate.points = 0 then
+              Format.printf "vet: no mutation points in this program@."
+            else begin
+              Format.printf
+                "vet: %d mutation point(s), %d draw(s), %d detected, %d survived@."
+                o.Vet.Mutate.points o.Vet.Mutate.draws o.Vet.Mutate.detected
+                (o.Vet.Mutate.draws - o.Vet.Mutate.detected);
+              List.iter
+                (fun l -> Format.printf "survivor: %s@." l)
+                o.Vet.Mutate.survivors;
+              if o.Vet.Mutate.detected < o.Vet.Mutate.draws then raise Findings
+            end
+        | None -> (
+            let ds, summary = Vet.Verify.audit ~source:s ir in
+            match format with
+            | Nml.Diagnostic.Human ->
+                if ds <> [] then
+                  Format.printf "%a@." (Nml.Diagnostic.render Nml.Diagnostic.Human) ds;
+                Format.printf "vet: %d annotation(s) audited, %d finding(s)@."
+                  summary.Vet.Verify.audited summary.Vet.Verify.findings;
+                if summary.Vet.Verify.findings > 0 then raise Findings
+            | Nml.Diagnostic.Json ->
+                let module J = Nml.Json in
+                print_string
+                  (J.to_string
+                     (J.Obj
+                        [
+                          ("schema", J.Str "nmlc/vet-v1");
+                          ("audited", J.int summary.Vet.Verify.audited);
+                          ("findings", J.int summary.Vet.Verify.findings);
+                          ( "diagnostics",
+                            J.Arr (List.map Nml.Diagnostic.to_json ds) );
+                        ]));
+                if summary.Vet.Verify.findings > 0 then raise Findings))
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum [ ("human", Nml.Diagnostic.Human); ("json", Nml.Diagnostic.Json) ])
+          Nml.Diagnostic.Human
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Diagnostic rendering: $(b,human) (default) or $(b,json).")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mutate" ] ~docv:"N"
+          ~doc:"Mutation-test the verifier: draw N seeded mutations of the optimized \
+                program's annotations and require every mutant to be detected.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"Seed for --mutate; equal seeds reproduce runs.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Check.Harness.No_fault);
+               ("arena", Check.Harness.Widen_arena);
+               ("dcons", Check.Harness.Misuse_dcons);
+             ])
+          Check.Harness.No_fault
+      & info [ "inject-fault" ] ~docv:"KIND"
+          ~doc:"Vet a deliberately broken annotation (arena: widen a stack/block \
+                verdict; dcons: misuse a reuse verdict) instead of the optimizer's \
+                output.  Expected to exit nonzero.")
+  in
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:"Independently re-verify the optimizer's storage annotations, reporting \
+             violated proof obligations as source-located diagnostics")
+    Term.(
+      const run $ file_arg $ inline_arg $ options_term $ format $ mutate $ seed $ fault)
+
 let () =
   let doc = "escape analysis on lists (Park & Goldberg, PLDI 1992)" in
   let info = Cmd.info "nmlc" ~version:"1.0.0" ~doc in
@@ -390,5 +557,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; mono_cmd; optimize_cmd;
-            run_cmd; check_cmd;
+            run_cmd; check_cmd; vet_cmd;
           ]))

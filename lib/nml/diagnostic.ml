@@ -1,0 +1,77 @@
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+let make severity ?(notes = []) ~code loc message =
+  { severity; code; loc; message; notes }
+
+let error ?notes ~code loc message = make Error ?notes ~code loc message
+let warning ?notes ~code loc message = make Warning ?notes ~code loc message
+
+let errorf ?notes ~code loc fmt =
+  Format.kasprintf (fun message -> error ?notes ~code loc message) fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
+
+let compare a b =
+  let pos d = (d.loc.Loc.file, d.loc.Loc.start_pos.Loc.line, d.loc.Loc.start_pos.Loc.col) in
+  match Stdlib.compare (pos a) (pos b) with
+  | 0 -> Stdlib.compare (a.code, a.message) (b.code, b.message)
+  | c -> c
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s[%s]: %s" Loc.pp d.loc (severity_name d.severity) d.code
+    d.message;
+  List.iter
+    (fun (loc, note) ->
+      Format.fprintf ppf "@.  note: %a: %s" Loc.pp loc note)
+    d.notes
+
+let pos_json p = Json.Obj [ ("line", Json.int p.Loc.line); ("col", Json.int p.Loc.col) ]
+
+let loc_json (loc : Loc.t) =
+  Json.Obj
+    [
+      ("file", Json.Str loc.Loc.file);
+      ("start", pos_json loc.Loc.start_pos);
+      ("end", pos_json loc.Loc.end_pos);
+    ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_name d.severity));
+      ("code", Json.Str d.code);
+      ("loc", loc_json d.loc);
+      ("message", Json.Str d.message);
+      ( "notes",
+        Json.Arr
+          (List.map
+             (fun (loc, note) ->
+               Json.Obj [ ("loc", loc_json loc); ("message", Json.Str note) ])
+             d.notes) );
+    ]
+
+type format = Human | Json
+
+let render format ppf ds =
+  let ds = List.sort compare ds in
+  match format with
+  | Human -> List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds
+  | Json ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "nmlc/diagnostics-v1");
+            ("diagnostics", Json.Arr (List.map to_json ds));
+          ]
+      in
+      Format.fprintf ppf "%s" (Json.to_string doc)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds

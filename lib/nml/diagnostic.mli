@@ -1,0 +1,49 @@
+(** Structured, source-located diagnostics.
+
+    Every user-facing complaint of the toolchain — parse and type errors
+    as well as the annotation verifier's findings — is a value of this
+    type: a severity, a stable machine-readable code (["TYPE001"],
+    ["VET003"], ...), a source {!Loc.t} span, a message and optional
+    secondary notes.  Two renderers are provided: a human one
+    (["file:1.2-1.9: error[VET003]: ..."]) and a JSON one for tooling
+    ([--format json]). *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. ["VET003"] *)
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;  (** secondary spans, rendered indented *)
+}
+
+val error : ?notes:(Loc.t * string) list -> code:string -> Loc.t -> string -> t
+val warning : ?notes:(Loc.t * string) list -> code:string -> Loc.t -> string -> t
+
+val errorf :
+  ?notes:(Loc.t * string) list ->
+  code:string ->
+  Loc.t ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [errorf ~code loc fmt ...] builds an error with a formatted message. *)
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["note"]. *)
+
+val compare : t -> t -> int
+(** Orders by source position, then code — the rendering order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One diagnostic in the human format, notes included. *)
+
+val to_json : t -> Json.t
+
+type format = Human | Json
+
+val render : format -> Format.formatter -> t list -> unit
+(** All diagnostics, sorted with {!compare}.  The JSON form is a single
+    document [{"schema": "nmlc/diagnostics-v1", "diagnostics": [...]}]. *)
+
+val has_errors : t list -> bool

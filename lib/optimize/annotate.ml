@@ -2,13 +2,20 @@ module A = Nml.Ast
 module Ir = Runtime.Ir
 module An = Escape.Analysis
 
-type stack_annotation = { func : string; arg : int; levels : int; arena : int }
+type stack_annotation = {
+  func : string;
+  arg : int;
+  levels : int;
+  arena : int;
+  loc : Nml.Loc.t;  (** surface position of the annotated literal *)
+}
 
 type block_annotation = {
   consumer : string;
   producer : string;
   specialized : string;
   arena : int;
+  loc : Nml.Loc.t;  (** surface position of the producer call *)
 }
 
 type report = { stack : stack_annotation list; block : block_annotation list }
@@ -112,7 +119,8 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
                         r
                   in
                   stack_anns :=
-                    { func = f; arg = j + 1; levels; arena } :: !stack_anns;
+                    { func = f; arg = j + 1; levels; arena; loc = A.loc a }
+                    :: !stack_anns;
                   annotate_literal ~arena ~levels ~recurse:go a
                 end
                 else go a
@@ -124,7 +132,7 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
                        && has_result_cons (List.assoc g defs)
                        && keep_of f args j >= 1 ->
                     let arena = block_arena_for g in
-                    blocks := (g, arena) :: !blocks;
+                    blocks := (g, arena, A.loc a) :: !blocks;
                     List.fold_left
                       (fun acc ga -> Ir.App (acc, go ga))
                       (Ir.Var (g ^ "_blk"))
@@ -145,9 +153,15 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
               | None -> call
             in
             List.fold_left
-              (fun acc (g, arena) ->
+              (fun acc (g, arena, gloc) ->
                 block_anns :=
-                  { consumer = f; producer = g; specialized = g ^ "_blk"; arena }
+                  {
+                    consumer = f;
+                    producer = g;
+                    specialized = g ^ "_blk";
+                    arena;
+                    loc = gloc;
+                  }
                   :: !block_anns;
                 Ir.WithArena (Ir.Block, arena, acc))
               call !blocks

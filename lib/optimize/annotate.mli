@@ -11,13 +11,20 @@
       argument into a block wrapped around the call, via a specialized
       block-allocating copy of the producer (block allocation). *)
 
-type stack_annotation = { func : string; arg : int; levels : int; arena : int }
+type stack_annotation = {
+  func : string;
+  arg : int;
+  levels : int;
+  arena : int;
+  loc : Nml.Loc.t;  (** surface position of the annotated literal argument *)
+}
 
 type block_annotation = {
   consumer : string;
   producer : string;
   specialized : string;
   arena : int;
+  loc : Nml.Loc.t;  (** surface position of the producer call argument *)
 }
 
 type report = {

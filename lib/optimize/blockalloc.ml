@@ -3,6 +3,7 @@ type annotation = {
   producer : string;
   specialized : string;
   arena : int;
+  loc : Nml.Loc.t;
 }
 
 type report = { annotations : annotation list }
@@ -17,6 +18,7 @@ let annotate t surface =
           producer = a.Annotate.producer;
           specialized = a.Annotate.specialized;
           arena = a.Annotate.arena;
+          loc = a.Annotate.loc;
         })
       r.Annotate.block
   in

@@ -17,6 +17,7 @@ type annotation = {
   producer : string;  (** [g], whose result spine fills the block *)
   specialized : string;  (** name of the block-allocating copy of [g] *)
   arena : int;
+  loc : Nml.Loc.t;  (** surface position of the producer call argument *)
 }
 
 type report = { annotations : annotation list }

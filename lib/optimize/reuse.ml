@@ -10,11 +10,22 @@ type candidate = {
   primed : string;
   arg : int;
   param : string;
+  loc : Nml.Loc.t;  (** surface position of the reused parameter's binder *)
   sites : Liveness.site list;  (** cons sites rewritten to [DCONS] *)
   node_sites : Liveness.site list;  (** node sites rewritten to [DNODE] *)
 }
 
 type report = { candidates : candidate list; substituted_calls : int }
+
+(* Location of the [i]-th (1-based) leading lambda binder of a
+   definition's right-hand side — where the reused parameter is bound in
+   the surface program (locations survive monomorphization). *)
+let param_loc rhs i =
+  let rec walk j = function
+    | A.Lam (l, _, b) -> if j = i then l else walk (j + 1) b
+    | _ -> Nml.Loc.dummy
+  in
+  walk 1 rhs
 
 let candidates t (surface : Nml.Surface.t) =
   List.filter_map
@@ -54,7 +65,15 @@ let candidates t (surface : Nml.Surface.t) =
                     if sites = [] && node_sites = [] then next ()
                     else
                       Some
-                        { def = name; primed = name ^ "'"; arg = i; param; sites; node_sites }
+                        {
+                          def = name;
+                          primed = name ^ "'";
+                          arg = i;
+                          param;
+                          loc = param_loc rhs i;
+                          sites;
+                          node_sites;
+                        }
           in
           pick 1 arg_tys)
     surface.Nml.Surface.defs

@@ -24,6 +24,9 @@ type candidate = {
   primed : string;  (** name of the destructive version, [def ^ "'"] *)
   arg : int;  (** 1-based reused parameter position *)
   param : string;
+  loc : Nml.Loc.t;
+      (** surface position of the reused parameter's binder (locations
+          survive monomorphization, so this points at source) *)
   sites : Liveness.site list;  (** cons sites rewritten to [DCONS] *)
   node_sites : Liveness.site list;
       (** tree-node sites rewritten to [DNODE] (tree-typed parameters) *)

@@ -1,4 +1,10 @@
-type annotation = { func : string; arg : int; levels : int; arena : int }
+type annotation = {
+  func : string;
+  arg : int;
+  levels : int;
+  arena : int;
+  loc : Nml.Loc.t;
+}
 type report = { annotations : annotation list }
 
 let annotate t surface =
@@ -11,6 +17,7 @@ let annotate t surface =
           arg = a.Annotate.arg;
           levels = a.Annotate.levels;
           arena = a.Annotate.arena;
+          loc = a.Annotate.loc;
         })
       r.Annotate.stack
   in

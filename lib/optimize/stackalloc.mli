@@ -13,6 +13,7 @@ type annotation = {
   arg : int;  (** annotated argument position *)
   levels : int;  (** how many top spine levels go to the region *)
   arena : int;  (** static arena id *)
+  loc : Nml.Loc.t;  (** surface position of the annotated literal *)
 }
 
 type report = { annotations : annotation list }

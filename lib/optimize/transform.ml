@@ -44,6 +44,7 @@ let optimize_with t options (surface : Nml.Surface.t) =
                       arg = a.Annotate.arg;
                       levels = a.Annotate.levels;
                       arena = a.Annotate.arena;
+                      loc = a.Annotate.loc;
                     })
                   rep.Annotate.stack;
             }
@@ -61,6 +62,7 @@ let optimize_with t options (surface : Nml.Surface.t) =
                       producer = a.Annotate.producer;
                       specialized = a.Annotate.specialized;
                       arena = a.Annotate.arena;
+                      loc = a.Annotate.loc;
                     })
                   rep.Annotate.block;
             }

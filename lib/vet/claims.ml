@@ -1,0 +1,128 @@
+module Ir = Runtime.Ir
+module D = Nml.Diagnostic
+
+type reuse_claim = {
+  def : string;
+  base : string;
+  param : string;
+  arg : int;
+  arity : int;
+  cons_sites : int;
+  node_sites : int;
+}
+
+type arena_claim = {
+  owner : string option;
+  kind : Ir.arena_kind;
+  id : int;
+  body : Ir.expr;
+}
+
+let leading_params e =
+  let rec go acc = function
+    | Ir.Lam (x, b) -> go (x :: acc) b
+    | b -> (List.rev acc, b)
+  in
+  go [] e
+
+let head_and_args e =
+  let rec go acc = function Ir.App (f, a) -> go (a :: acc) f | h -> (h, acc) in
+  go [] e
+
+let extract ~loc_of_def ~mono_names defs main =
+  let diags = ref [] in
+  let claims = ref [] in
+  let arenas = ref [] in
+  let scan ~owner rhs =
+    let params, body =
+      match owner with Some _ -> leading_params rhs | None -> ([], rhs)
+    in
+    let name = match owner with Some n -> n | None -> "the main expression" in
+    let dloc = match owner with Some n -> loc_of_def n | None -> Nml.Loc.dummy in
+    let record ~tree p =
+      let key = (name, p) in
+      match List.assoc_opt key !claims with
+      | Some c ->
+          let c =
+            if tree then { c with node_sites = c.node_sites + 1 }
+            else { c with cons_sites = c.cons_sites + 1 }
+          in
+          claims := (key, c) :: List.remove_assoc key !claims
+      | None ->
+          let base = Erase.base ~defs:mono_names name in
+          if not (List.mem base mono_names) then
+            diags :=
+              D.errorf ~code:"VET016" dloc
+                "cannot verify the destructive claim in %s: no such definition \
+                 in the analyzed program"
+                name
+              :: !diags
+          else
+            let rec idx i = function
+              | [] -> 0
+              | q :: _ when String.equal q p -> i
+              | _ :: r -> idx (i + 1) r
+            in
+            let c =
+              {
+                def = name;
+                base;
+                param = p;
+                arg = idx 1 params;
+                arity = List.length params;
+                cons_sites = (if tree then 0 else 1);
+                node_sites = (if tree then 1 else 0);
+              }
+            in
+            claims := (key, c) :: !claims
+    in
+    let site ~tree shadow args =
+      let want = if tree then 4 else 3 in
+      let prim = if tree then "dnode" else "dcons" in
+      if List.length args <> want then
+        diags :=
+          D.errorf ~code:"VET017" dloc
+            "%s applied to %d argument(s) in %s, expected %d" prim
+            (List.length args) name want
+          :: !diags
+      else
+        match List.hd args with
+        | Ir.Var p when List.mem p params && not (List.mem p shadow) ->
+            record ~tree p
+        | _ ->
+            diags :=
+              D.errorf ~code:"VET010" dloc
+                "%s source in %s is not an unshadowed leading parameter" prim
+                name
+              :: !diags
+    in
+    let rec go shadow e =
+      match e with
+      | Ir.WithArena (kind, id, b) ->
+          arenas := { owner; kind; id; body = b } :: !arenas;
+          go shadow b
+      | Ir.Lam (x, b) -> go (x :: shadow) b
+      | Ir.If (c, t, f) ->
+          go shadow c;
+          go shadow t;
+          go shadow f
+      | Ir.Letrec (bs, b) ->
+          let shadow = List.map fst bs @ shadow in
+          List.iter (fun (_, r) -> go shadow r) bs;
+          go shadow b
+      | Ir.App _ ->
+          let head, args = head_and_args e in
+          (match head with
+          | Ir.Dcons -> site ~tree:false shadow args
+          | Ir.Dnode -> site ~tree:true shadow args
+          | _ -> go shadow head);
+          List.iter (go shadow) args
+      | Ir.Dcons -> site ~tree:false shadow []
+      | Ir.Dnode -> site ~tree:true shadow []
+      | Ir.Const _ | Ir.Prim _ | Ir.ConsAt _ | Ir.NodeAt _ | Ir.Var _ -> ()
+    in
+    go [] body
+  in
+  List.iter (fun (n, rhs) -> scan ~owner:(Some n) rhs) defs;
+  scan ~owner:None main;
+  (List.rev_map snd !claims, List.rev !arenas, List.rev !diags)

@@ -1,0 +1,46 @@
+(** Extraction of annotation {e claims} from an annotated program.
+
+    Every storage annotation in the IR is an implicit claim that some
+    proof obligation holds.  This module only finds and classifies the
+    claims — {!Verify} discharges the obligations:
+
+    - a [DCONS]/[DNODE] site claims its source is a consumable parameter
+      of the enclosing definition (in-place reuse, section 6);
+    - a [WithArena] delimiter claims that every cell allocated into its
+      arena is dead when the delimiter is left (stack and block
+      allocation, section 5). *)
+
+type reuse_claim = {
+  def : string;  (** IR definition holding the destructive sites *)
+  base : string;  (** analyzed definition it derives from *)
+  param : string;  (** consumed parameter *)
+  arg : int;  (** 1-based position of [param] *)
+  arity : int;  (** number of leading parameters of [def] *)
+  cons_sites : int;  (** [DCONS] sites recycling [param] *)
+  node_sites : int;  (** [DNODE] sites recycling [param] *)
+}
+
+type arena_claim = {
+  owner : string option;  (** enclosing definition, [None] for main *)
+  kind : Runtime.Ir.arena_kind;
+  id : int;
+  body : Runtime.Ir.expr;  (** what the delimiter wraps *)
+}
+
+val leading_params : Runtime.Ir.expr -> string list * Runtime.Ir.expr
+(** Leading lambda binders of a definition body and what remains. *)
+
+val head_and_args : Runtime.Ir.expr -> Runtime.Ir.expr * Runtime.Ir.expr list
+
+val extract :
+  loc_of_def:(string -> Nml.Loc.t) ->
+  mono_names:string list ->
+  (string * Runtime.Ir.expr) list ->
+  Runtime.Ir.expr ->
+  reuse_claim list * arena_claim list * Nml.Diagnostic.t list
+(** [extract ~loc_of_def ~mono_names defs main] walks every definition
+    body and the main expression.  Destructive sites whose source is not
+    an unshadowed leading parameter ([VET010]), unsaturated destructive
+    primitives ([VET017]) and claims over unknown definitions ([VET016])
+    are reported immediately; well-formed claims come back grouped per
+    (definition, parameter) in program order. *)

@@ -1,0 +1,43 @@
+module A = Nml.Ast
+module Ir = Runtime.Ir
+
+let base ~defs n =
+  if List.mem n defs then n
+  else
+    let strip suffix =
+      if String.length n > String.length suffix
+         && String.sub n (String.length n - String.length suffix) (String.length suffix)
+            = suffix
+      then
+        let b = String.sub n 0 (String.length n - String.length suffix) in
+        if List.mem b defs then Some b else None
+      else None
+    in
+    match strip "'" with
+    | Some b -> b
+    | None -> ( match strip "_blk" with Some b -> b | None -> n)
+
+let expr ~defs e =
+  let l = Nml.Loc.dummy in
+  let rec go e =
+    match e with
+    (* saturated destructive sites: forget the recycled cell *)
+    | Ir.App (Ir.App (Ir.App (Ir.Dcons, _src), h), t) ->
+        A.App (l, A.App (l, A.Prim (l, A.Cons), go h), go t)
+    | Ir.App (Ir.App (Ir.App (Ir.App (Ir.Dnode, _src), lt), x), rt) ->
+        A.App (l, A.App (l, A.App (l, A.Prim (l, A.Node), go lt), go x), go rt)
+    (* an unsaturated dcons/dnode still erases to the allocating primitive *)
+    | Ir.Dcons -> A.Lam (l, "!c", A.Prim (l, A.Cons))
+    | Ir.Dnode -> A.Lam (l, "!n", A.Prim (l, A.Node))
+    | Ir.Const c -> A.Const (l, c)
+    | Ir.Prim p -> A.Prim (l, p)
+    | Ir.ConsAt _ -> A.Prim (l, A.Cons)
+    | Ir.NodeAt _ -> A.Prim (l, A.Node)
+    | Ir.Var x -> A.Var (l, base ~defs x)
+    | Ir.App (f, a) -> A.App (l, go f, go a)
+    | Ir.Lam (x, b) -> A.Lam (l, x, go b)
+    | Ir.If (c, t, f) -> A.If (l, go c, go t, go f)
+    | Ir.Letrec (bs, b) -> A.Letrec (l, List.map (fun (x, r) -> (x, go r)) bs, go b)
+    | Ir.WithArena (_, _, b) -> go b
+  in
+  go e

@@ -1,0 +1,18 @@
+(** Annotation erasure: back from the runtime {!Runtime.Ir} to the
+    surface {!Nml.Ast}, forgetting every storage decision.
+
+    The verifier re-derives each annotation's proof obligation against
+    the {e unannotated} program, so its escape and sharing queries must
+    be phrased over surface expressions.  Erasure maps [cons@arena] back
+    to [cons], [DCONS]/[DNODE] back to [cons]/[node], drops arena
+    delimiters, and renames the optimizer's derived definitions
+    ([f'], [f_blk]) back to the definition they were split from, so that
+    the type checker can see through redirected calls. *)
+
+val base : defs:string list -> string -> string
+(** [base ~defs n] is the definition [n] was derived from: [n] itself
+    when it is in [defs], otherwise [n] stripped of a trailing ['] or
+    [_blk] suffix when that stripped name is in [defs]. *)
+
+val expr : defs:string list -> Runtime.Ir.expr -> Nml.Ast.expr
+(** Erasure proper.  Locations are synthetic ({!Nml.Loc.dummy}). *)

@@ -1,0 +1,24 @@
+(** Syntactic freshness: how many top spines of an expression's value
+    are certainly fresh and unshared (Theorem 2, clause 1, applied
+    syntactically — the verifier's independent counterpart of the
+    optimizer's redirection test).
+
+    A destructive call [f' e] is only sound when [e]'s top spine is
+    unshared and dead after the call; the verifier demands
+    [depth e >= 1] for every consumed argument that is not a recursive
+    suffix of a parameter the surrounding definition itself consumes. *)
+
+val inf : int
+(** Freshness of [nil] and [leaf]: no cells, nothing to share. *)
+
+val depth :
+  Escape.Fixpoint.t ->
+  defs:string list ->
+  (string * int) list ->
+  Runtime.Ir.expr ->
+  int
+(** [depth t ~defs env e]: certainly-fresh top spines of [e].  [env]
+    gives the freshness of let-bound variables whose occurrences project
+    pairwise disjoint substructures; [defs] are the monomorphized
+    definition names ({!Erase.base} resolves derived names against
+    them). *)

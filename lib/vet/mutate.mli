@@ -1,0 +1,38 @@
+(** Mutation testing of the verifier.
+
+    A mutation point is a small, deliberately unsound (or undeclared)
+    edit of an annotated program: retargeting an allocation site to an
+    arena nobody opens, removing an arena delimiter that sites still
+    target, flipping a destructive site's source to an unguarded
+    parameter, or injecting a destructive site into a definition the
+    optimizer did not claim.  Each mutant must make {!Verify.audit}
+    report at least one finding — a surviving mutant is a verifier bug.
+
+    Enumeration is deterministic (pre-order site numbering), and a
+    campaign draws points with a seeded PRNG so runs are reproducible. *)
+
+type point = {
+  label : string;  (** stable human description of the edit *)
+  mutant : Runtime.Ir.expr Lazy.t;
+}
+
+val points : source:Nml.Surface.t -> Runtime.Ir.expr -> point list
+(** Every applicable mutation point of the program, in a deterministic
+    order.  Only edits guaranteed to be unsound (no equivalent mutants)
+    are proposed. *)
+
+type outcome = {
+  points : int;
+  draws : int;
+  detected : int;
+  survivors : string list;  (** labels of undetected mutants *)
+}
+
+val campaign :
+  ?seed:int ->
+  count:int ->
+  source:Nml.Surface.t ->
+  Runtime.Ir.expr ->
+  outcome
+(** [campaign ~count ~source ir] draws [count] points (with replacement)
+    from {!points} and audits each mutant.  [seed] defaults to 0. *)

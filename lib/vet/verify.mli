@@ -1,0 +1,52 @@
+(** The annotation verifier.
+
+    [audit ~source ir] re-derives, by its own flow-insensitive traversal
+    of the annotated IR, the proof obligation behind every storage
+    annotation and reports each violated obligation as a
+    {!Nml.Diagnostic.t}.  It deliberately shares {e no} traversal code
+    with the optimizer's emitters ({!Optimize.Reuse},
+    {!Optimize.Annotate}): where the optimizer decides what is sound to
+    emit, the verifier independently checks what was emitted.
+
+    Obligations, with their stable diagnostic codes:
+
+    - [VET001] an allocation (direct, or reachable through a call) targets
+      an arena that is not open at that point;
+    - [VET002] an arena delimiter does not delimit a saturated call of a
+      known definition;
+    - [VET003] a region allocation sits at a spine level deeper than the
+      escape analysis' bound for that argument (or at a position the
+      verifier cannot relate to a spine level);
+    - [VET004] a block arena's producer violates the whole-structure
+      discipline (escaping result, allocation outside result position,
+      producer not the head of the argument);
+    - [VET005] an arena id is opened again while already open;
+    - [VET010] a destructive site's source is not an unshadowed leading
+      parameter (reported by {!Claims});
+    - [VET011] a destructive site is not nil/leaf-guarded;
+    - [VET012] a consumed parameter is destroyed under a lambda, or read
+      after one of its cells is destroyed;
+    - [VET013] the recycled cell leaks into the destructive site's own
+      arguments;
+    - [VET014] the consumed parameter may escape its definition
+      (Theorem 2's escape side);
+    - [VET015] a destructive call's consumed argument is not provably
+      fresh and unshared (and is no suffix of a consumed parameter), or
+      the destructive definition is partially applied / used as a value;
+    - [VET016] an obligation could not be checked at all;
+    - [VET017] a destructive primitive is unsaturated (reported by
+      {!Claims}). *)
+
+type summary = {
+  audited : int;
+      (** discharged obligations: reuse claims + arena claims +
+          destructive call-site audits *)
+  findings : int;
+}
+
+val audit :
+  source:Nml.Surface.t ->
+  Runtime.Ir.expr ->
+  Nml.Diagnostic.t list * summary
+(** The diagnostics come back deduplicated and sorted
+    ({!Nml.Diagnostic.compare}). *)
