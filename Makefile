@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke batch-smoke ci clean
 
 all: build
 
@@ -21,17 +21,29 @@ vet: build
 	dune exec bin/nmlc.exe -- vet examples/programs/reverse.nml --mutate 40
 	dune exec bin/nmlc.exe -- vet examples/programs/partition_sort.nml --mutate 60
 
-# The full benchmark suite; S1/S2 write the solver trajectory artifact.
+# The full benchmark suite; S1/S2 write the solver trajectory artifact,
+# S3/S4 the batch-scaling and summary-cache artifact.
 bench: build
 	dune exec bench/main.exe -- S1 S2 --json BENCH_PR2.json
 	dune exec bench/main.exe -- --validate BENCH_PR2.json
+	dune exec bench/main.exe -- S3 S4 --json BENCH_PR4.json
+	dune exec bench/main.exe -- --validate BENCH_PR4.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
-# end (emit, then re-parse and check the worklist-beats-round-robin
-# invariant) without the full measurement quota.
+# end (emit, then re-parse and check the worklist-beats-round-robin and
+# warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
+
+# The persistent cache end to end through the CLI: a second batch run
+# over the unchanged examples must perform zero entry evaluations.
+batch-smoke: build
+	rm -rf _build/batch_smoke_cache
+	dune exec bin/nmlc.exe -- batch examples/programs --jobs 2 \
+	  --cache _build/batch_smoke_cache > /dev/null
+	dune exec bin/nmlc.exe -- batch examples/programs --jobs 2 \
+	  --cache _build/batch_smoke_cache | grep -q '; 0 entry evaluation(s)'
 
 # Everything a merge must survive.
 ci: build
@@ -39,6 +51,7 @@ ci: build
 	dune build @soundness
 	$(MAKE) vet
 	$(MAKE) bench-smoke
+	$(MAKE) batch-smoke
 
 clean:
 	dune clean

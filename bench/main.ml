@@ -780,10 +780,193 @@ let s2 () =
      worklist still wins by re-evaluating only entries whose dependencies moved\n\
      and by keeping application memos alive across passes.\n"
 
+(* ---- S3/S4: batch scaling and the persistent summary cache ------------------------- *)
+
+(* Single-shot wall time (nanoseconds).  Cache experiments mutate the
+   store, so the repeated-run OLS estimate of [measure_ns] would time the
+   warm path; cold and edited phases are timed once instead. *)
+let time_once fn =
+  let t0 = Unix.gettimeofday () in
+  fn ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let scratch_dir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nmlc-bench-%s-%d" name (Unix.getpid ()))
+  in
+  if Sys.file_exists d then rm_rf d;
+  Sys.mkdir d 0o755;
+  d
+
+(* The batch corpus: every named program of the soundness harness written
+   out as a file, plus the shipped examples when run from the repo root. *)
+let batch_corpus dir =
+  let builtin =
+    List.map
+      (fun (name, src) ->
+        let path = Filename.concat dir (name ^ ".nml") in
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc src);
+        path)
+      Check.Harness.builtin_corpus
+  in
+  let shipped =
+    let root = Filename.concat "examples" "programs" in
+    if Sys.file_exists root && Sys.is_directory root then
+      Sys.readdir root |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".nml")
+      |> List.sort compare
+      |> List.map (Filename.concat root)
+    else []
+  in
+  builtin @ shipped
+
+let batch_totals results =
+  List.fold_left
+    (fun (ev, hits, misses, errs) (r : Cache.Batch.result) ->
+      ( ev + r.Cache.Batch.evaluations,
+        hits + r.Cache.Batch.scc_hits,
+        misses + r.Cache.Batch.scc_misses,
+        errs + if r.Cache.Batch.code = 0 then 0 else 1 ))
+    (0, 0, 0, 0) results
+
+let s3 () =
+  section "S3" "batch scaling -- domain pool over the soundness corpus + examples";
+  let cores = Domain.recommended_domain_count () in
+  let dir = scratch_dir "s3" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let files = batch_corpus dir in
+  let jobs_list = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let base = ref Float.nan in
+  let rows =
+    List.map
+      (fun jobs ->
+        let results = Cache.Batch.run ~jobs files in
+        let ev, _, _, errs = batch_totals results in
+        let wall =
+          measure_ns
+            (Printf.sprintf "jobs%d" jobs)
+            (fun () -> ignore (Cache.Batch.run ~jobs files))
+        in
+        if jobs = 1 then base := wall;
+        json_records :=
+          J.Obj
+            [
+              ("experiment", J.Str "S3");
+              ("workload", J.Str "batch-scaling");
+              ("jobs", J.int jobs);
+              ("files", J.int (List.length files));
+              ("cores", J.int cores);
+              ("evaluations", J.int ev);
+              ("errors", J.int errs);
+              ("wall_ns", J.int (int_of_float wall));
+            ]
+          :: !json_records;
+        [
+          string_of_int jobs;
+          string_of_int (List.length files);
+          string_of_int ev;
+          string_of_int errs;
+          ms wall;
+          Printf.sprintf "%.2fx" (!base /. wall);
+        ])
+      jobs_list
+  in
+  print_table [ "jobs"; "files"; "evals"; "errors"; "ms"; "speedup" ] rows;
+  Printf.printf
+    "\nthis machine reports %d available core(s); speedups above 1x are only\n\
+     reachable when the pool actually gets more than one core.\n"
+    cores
+
+let s4 () =
+  section "S4" "persistent summary cache -- cold, warm, and one-definition edits";
+  let dir = scratch_dir "s4" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let corpus = Filename.concat dir "corpus" in
+  Sys.mkdir corpus 0o755;
+  let edited_file = Filename.concat corpus "zz_edit.nml" in
+  let edit_src body =
+    Ex.wrap
+      [
+        Printf.sprintf "callee l = %s" body;
+        "reader l = callee (cons (car l) l)";
+        "loner l = cons 1 l";
+      ]
+      "reader [1, 2]"
+  in
+  let write path src =
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc src)
+  in
+  write edited_file (edit_src "cons (car l) nil");
+  let files = batch_corpus corpus @ [ edited_file ] in
+  let store = Cache.Store.create (Filename.concat dir "cache") in
+  let rows = ref [] in
+  let record phase wall results =
+    let ev, hits, misses, _ = batch_totals results in
+    json_records :=
+      J.Obj
+        [
+          ("experiment", J.Str "S4");
+          ("workload", J.Str "summary-cache");
+          ("phase", J.Str phase);
+          ("files", J.int (List.length files));
+          ("evaluations", J.int ev);
+          ("scc_hits", J.int hits);
+          ("scc_misses", J.int misses);
+          ("wall_ns", J.int (int_of_float wall));
+        ]
+      :: !json_records;
+    rows :=
+      [
+        phase; string_of_int (List.length files); string_of_int ev;
+        string_of_int hits; string_of_int misses; ms wall;
+      ]
+      :: !rows
+  in
+  (* cold: empty store, every SCC is solved and written (timed once --
+     a second run would be warm) *)
+  let cold = ref [] in
+  let cold_ns = time_once (fun () -> cold := Cache.Batch.run ~store ~jobs:1 files) in
+  record "cold" cold_ns !cold;
+  (* warm: nothing changed, the whole corpus is served from the store *)
+  let warm = Cache.Batch.run ~store ~jobs:1 files in
+  let warm_ns =
+    measure_ns "warm" (fun () -> ignore (Cache.Batch.run ~store ~jobs:1 files))
+  in
+  record "warm" warm_ns warm;
+  (* edited: one definition's body changes, so only its SCC and the
+     readers above it re-solve; everything else still hits *)
+  write edited_file (edit_src "cons 7 nil");
+  let edited = ref [] in
+  let edited_ns =
+    time_once (fun () -> edited := Cache.Batch.run ~store ~jobs:1 files)
+  in
+  record "edited" edited_ns !edited;
+  print_table
+    [ "phase"; "files"; "evals"; "scc hits"; "scc misses"; "ms" ]
+    (List.rev !rows);
+  let ev_of rs = let ev, _, _, _ = batch_totals rs in ev in
+  Printf.printf
+    "\nexpected shape: warm = 0 evaluations with bit-identical reports;\n\
+     the edit re-solves only its invalidation cone (%d of %d cold evaluations).\n"
+    (ev_of !edited) (ev_of !cold)
+
 (* ---- JSON validation ---------------------------------------------------------------- *)
 
 let field = J.member
 
+(* Three record families share one "records" array: solver runs (S1/S2,
+   recognized by their "engine" field), batch-scaling runs (S3) and
+   summary-cache runs (S4).  Each family carries its own shape and its
+   own headline invariant, checked from the artifact itself. *)
 let validate_json file =
   let src = In_channel.with_open_text file In_channel.input_all in
   match J.parse src with
@@ -793,53 +976,93 @@ let validate_json file =
   | json -> (
       match field "records" json with
       | Some (J.Arr records) when records <> [] ->
-          let str_fields = [ "experiment"; "workload"; "engine" ] in
-          let num_fields =
-            [ "size"; "entries"; "evaluations"; "passes"; "iterations"; "sccs";
-              "largest_scc"; "cache_hits"; "cache_misses"; "cache_invalidated";
-              "dbound"; "wall_ns" ]
-          in
-          let well_formed r =
-            List.for_all
-              (fun k -> match field k r with Some (J.Str _) -> true | _ -> false)
-              str_fields
-            && List.for_all
-                 (fun k -> match field k r with Some (J.Num _) -> true | _ -> false)
-                 num_fields
-            && (match field "capped" r with Some (J.Bool _) -> true | _ -> false)
-          in
-          let shape_ok = List.for_all well_formed records in
-          if not shape_ok then Printf.eprintf "%s: record with missing/ill-typed fields\n" file;
-          (* the PR's headline claim, checked from the artifact itself:
-             strictly fewer entry evaluations on every wide-chain size *)
           let get_num k r = match field k r with Some (J.Num f) -> f | _ -> Float.nan in
           let get_str k r = match field k r with Some (J.Str s) -> s | _ -> "" in
-          let wide = List.filter (fun r -> get_str "workload" r = "wide-chain") records in
+          let shaped ~strs ~nums r =
+            List.for_all
+              (fun k -> match field k r with Some (J.Str _) -> true | _ -> false)
+              strs
+            && List.for_all
+                 (fun k -> match field k r with Some (J.Num _) -> true | _ -> false)
+                 nums
+          in
+          let well_formed r =
+            match get_str "experiment" r with
+            | "S3" ->
+                shaped ~strs:[ "workload" ]
+                  ~nums:[ "jobs"; "files"; "cores"; "evaluations"; "errors"; "wall_ns" ]
+                  r
+            | "S4" ->
+                shaped
+                  ~strs:[ "workload"; "phase" ]
+                  ~nums:[ "files"; "evaluations"; "scc_hits"; "scc_misses"; "wall_ns" ]
+                  r
+            | _ ->
+                shaped
+                  ~strs:[ "workload"; "engine" ]
+                  ~nums:
+                    [ "size"; "entries"; "evaluations"; "passes"; "iterations";
+                      "sccs"; "largest_scc"; "cache_hits"; "cache_misses";
+                      "cache_invalidated"; "dbound"; "wall_ns" ]
+                  r
+                && (match field "capped" r with Some (J.Bool _) -> true | _ -> false)
+          in
+          let shape_ok = List.for_all well_formed records in
+          if not shape_ok then
+            Printf.eprintf "%s: record with missing/ill-typed fields\n" file;
+          let solver =
+            List.filter (fun r -> match field "engine" r with Some _ -> true | None -> false) records
+          in
+          let s4 = List.filter (fun r -> get_str "experiment" r = "S4") records in
+          (* solver headline: strictly fewer entry evaluations on every
+             wide-chain size *)
+          let wide = List.filter (fun r -> get_str "workload" r = "wide-chain") solver in
           let sizes =
             List.sort_uniq compare (List.map (fun r -> get_num "size" r) wide)
           in
           let beats =
-            wide <> []
-            && List.for_all
-                 (fun sz ->
-                   let of_engine e =
-                     List.find_opt
-                       (fun r -> get_num "size" r = sz && get_str "engine" r = e)
-                       wide
-                   in
-                   match (of_engine "worklist", of_engine "round-robin") with
-                   | Some w, Some r ->
-                       get_num "evaluations" w < get_num "evaluations" r
-                   | _ -> false)
-                 sizes
+            solver = []
+            || wide <> []
+               && List.for_all
+                    (fun sz ->
+                      let of_engine e =
+                        List.find_opt
+                          (fun r -> get_num "size" r = sz && get_str "engine" r = e)
+                          wide
+                      in
+                      match (of_engine "worklist", of_engine "round-robin") with
+                      | Some w, Some r ->
+                          get_num "evaluations" w < get_num "evaluations" r
+                      | _ -> false)
+                    sizes
           in
           if not beats then
             Printf.eprintf
               "%s: worklist does not beat round-robin on every wide-chain size\n" file;
-          if shape_ok && beats then
-            Printf.printf "%s: OK (%d records, worklist < round-robin on %d wide sizes)\n"
-              file (List.length records) (List.length sizes);
-          shape_ok && beats
+          (* cache headline: a warm rerun performs zero entry evaluations,
+             and an edit costs strictly less than the cold solve *)
+          let phase p = List.filter (fun r -> get_str "phase" r = p) s4 in
+          let cache_ok =
+            s4 = []
+            || phase "warm" <> []
+               && List.for_all (fun r -> get_num "evaluations" r = 0.) (phase "warm")
+               && List.for_all (fun r -> get_num "evaluations" r > 0.) (phase "cold")
+               && List.exists
+                    (fun e ->
+                      List.exists
+                        (fun c -> get_num "evaluations" e < get_num "evaluations" c)
+                        (phase "cold"))
+                    (phase "edited")
+          in
+          if not cache_ok then
+            Printf.eprintf
+              "%s: cache invariants broken (warm must be 0 evaluations, an edit \
+               cheaper than cold)\n"
+              file;
+          if shape_ok && beats && cache_ok then
+            Printf.printf "%s: OK (%d records; %d solver, %d cache)\n" file
+              (List.length records) (List.length solver) (List.length s4);
+          shape_ok && beats && cache_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
@@ -850,7 +1073,7 @@ let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
-    ("S1", s1); ("S2", s2);
+    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4);
   ]
 
 let () =
@@ -879,8 +1102,8 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: F1, T1..T9, X1, X2, S1, S2)\n"
-                id)
+              Printf.eprintf
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4)\n" id)
         requested;
       match !json_file with
       | None -> ()

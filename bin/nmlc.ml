@@ -6,6 +6,8 @@
      eval       run the reference interpreter
      analyze    global escape + sharing report (optionally the
                 enumeration engine, or a local test on the main call)
+     batch      analyze many files on a pool of domains through the
+                persistent summary cache
      optimize   print the optimized program and what was applied
      run        execute on the storage simulator and print statistics,
                 optionally comparing baseline and optimized runs
@@ -197,9 +199,6 @@ let analyze_cmd =
           (match func with
           | Some f -> Format.printf "%a@." (fun ppf () -> Escape.Report.definition ppf t f) ()
           | None -> Format.printf "%a@." Escape.Report.program t);
-          if show_stats then
-            Format.printf "-- solver --@.%a@." Escape.Fixpoint.pp_stats
-              (Escape.Fixpoint.stats t);
           if local then begin
             match s.Nml.Surface.main with
             | Nml.Ast.App (_, _, _) as call ->
@@ -215,7 +214,12 @@ let analyze_cmd =
                       ()
                 | _ -> failwith "--local: the main expression is not a call of a definition")
             | _ -> failwith "--local: the main expression is not a call"
-          end
+          end;
+          (* last, so a failing stage above never leaves a misleading
+             half-report with statistics attached *)
+          if show_stats then
+            Format.printf "-- solver --@.%a@." Escape.Fixpoint.pp_stats
+              (Escape.Fixpoint.stats t)
         end)
   in
   let func =
@@ -268,6 +272,116 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ inline_arg $ func $ enumerate $ local $ engine $ show_stats
       $ json)
+
+let batch_cmd =
+  let expand path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".nml")
+      |> List.sort String.compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  let run paths jobs cache_dir no_cache format =
+    let rc = ref 0 in
+    let code =
+      handle (fun () ->
+          let files = List.concat_map expand paths in
+          if files = [] then failwith "no .nml program files to analyze";
+          let store = if no_cache then None else Some (Cache.Store.create cache_dir) in
+          let jobs = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
+          let results = Cache.Batch.run ?store ~jobs files in
+          let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+          let ok = List.length (List.filter (fun r -> r.Cache.Batch.code = 0) results) in
+          let evals = total (fun r -> r.Cache.Batch.evaluations) in
+          let hits = total (fun r -> r.Cache.Batch.scc_hits) in
+          let misses = total (fun r -> r.Cache.Batch.scc_misses) in
+          (match format with
+          | `Human ->
+              List.iter
+                (fun r ->
+                  Format.printf "== %s ==@." r.Cache.Batch.path;
+                  print_string r.Cache.Batch.output;
+                  (* keep each file's stderr next to its header in
+                     captured output *)
+                  flush stdout;
+                  prerr_string r.Cache.Batch.errors;
+                  flush stderr)
+                results;
+              Format.printf
+                "batch: %d file(s), %d ok, %d error(s); %d entry evaluation(s), %d scc \
+                 hit(s), %d scc miss(es)@."
+                (List.length results) ok
+                (List.length results - ok)
+                evals hits misses
+          | `Json ->
+              let module J = Nml.Json in
+              let file_json r =
+                J.Obj
+                  ([
+                     ("path", J.Str r.Cache.Batch.path);
+                     ("code", J.int r.Cache.Batch.code);
+                     ("defs", J.int r.Cache.Batch.defs);
+                     ("evaluations", J.int r.Cache.Batch.evaluations);
+                     ("scc_hits", J.int r.Cache.Batch.scc_hits);
+                     ("scc_misses", J.int r.Cache.Batch.scc_misses);
+                   ]
+                  @
+                  if r.Cache.Batch.errors = "" then []
+                  else [ ("errors", J.Str r.Cache.Batch.errors) ])
+              in
+              print_string
+                (J.to_string
+                   (J.Obj
+                      [
+                        ("schema", J.Str "nmlc/batch-v1");
+                        ("files", J.Arr (List.map file_json results));
+                        ("evaluations", J.int evals);
+                        ("scc_hits", J.int hits);
+                        ("scc_misses", J.int misses);
+                        ("errors", J.int (List.length results - ok));
+                      ])));
+          rc := Cache.Batch.exit_code results)
+    in
+    if code <> 0 then code else !rc
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"PATH"
+          ~doc:"Program files, or directories scanned for $(b,*.nml) files.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Number of analysis domains (default: the machine's recommended \
+                domain count).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string ".nmlc-cache"
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Persistent summary cache directory.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Analyze cold, without reading or writing the cache.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Report rendering: $(b,human) (default, per-file reports and a summary \
+                line) or $(b,json) (one machine-readable document, no timing data).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Analyze many programs in parallel through the persistent summary cache")
+    Term.(const run $ paths $ jobs $ cache_dir $ no_cache $ format)
 
 let options_term =
   let no_mono =
@@ -556,6 +670,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; mono_cmd; optimize_cmd;
-            run_cmd; check_cmd; vet_cmd;
+            parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; batch_cmd; mono_cmd;
+            optimize_cmd; run_cmd; check_cmd; vet_cmd;
           ]))

@@ -1,0 +1,89 @@
+(* Parallel batch analysis: every input file is parsed, inferred and
+   analyzed (through the summary cache when one is given) independently,
+   on a pool of [Domain.spawn] workers pulling file indices from a shared
+   atomic counter.  Workers share nothing but the striped store and the
+   results array — each solver owns its private [Dvalue.state] — and
+   every result carries its rendered output, so the driver can print a
+   merged report in input order no matter which domain finished first. *)
+
+type result = {
+  path : string;
+  output : string;  (* what [nmlc analyze] would print on stdout *)
+  errors : string;  (* what [nmlc analyze] would print on stderr *)
+  code : int;  (* 0 clean, 1 diagnostics/user error, 124 internal *)
+  defs : int;
+  evaluations : int;
+  scc_hits : int;
+  scc_misses : int;
+}
+
+let render_diag ~code loc msg =
+  Format.asprintf "%a@."
+    (Nml.Diagnostic.render Nml.Diagnostic.Human)
+    [ Nml.Diagnostic.error ~code loc msg ]
+
+let failed path ~code ~errors =
+  { path; output = ""; errors; code; defs = 0; evaluations = 0; scc_hits = 0; scc_misses = 0 }
+
+(* Mirrors the per-file part of the driver's exception regime, with the
+   rendered text captured instead of printed. *)
+let analyze_file ?store path =
+  match
+    let src = In_channel.with_open_text path In_channel.input_all in
+    let prog = Nml.Infer.infer_program (Nml.Surface.of_string ~file:path src) in
+    Summary.analyze ?store prog
+  with
+  | o ->
+      {
+        path;
+        output = Format.asprintf "%a@." Escape.Report.pp_program_summaries o.Summary.summaries;
+        errors = "";
+        code = 0;
+        defs = List.length o.Summary.summaries;
+        evaluations = o.Summary.evaluations;
+        scc_hits = o.Summary.scc_hits;
+        scc_misses = o.Summary.scc_misses;
+      }
+  | exception Nml.Lexer.Error (loc, msg) ->
+      failed path ~code:1 ~errors:(render_diag ~code:"LEX001" loc msg)
+  | exception Nml.Parser.Error (loc, msg) ->
+      failed path ~code:1 ~errors:(render_diag ~code:"PARSE001" loc msg)
+  | exception Nml.Infer.Error (loc, msg) ->
+      failed path ~code:1 ~errors:(render_diag ~code:"TYPE001" loc msg)
+  | exception Sys_error msg ->
+      failed path ~code:1 ~errors:(Printf.sprintf "error: %s\n" msg)
+  | exception (Failure msg | Invalid_argument msg) ->
+      failed path ~code:1 ~errors:(Printf.sprintf "error: %s\n" msg)
+  | exception e ->
+      failed path ~code:124
+        ~errors:(Printf.sprintf "nmlc: internal error: %s\n" (Printexc.to_string e))
+
+let run ?store ~jobs paths =
+  let paths = Array.of_list paths in
+  let n = Array.length paths in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (analyze_file ?store paths.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = max 1 (min jobs n) in
+  if workers = 1 then worker ()
+  else begin
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list (Array.map Option.get results)
+
+let exit_code results =
+  List.fold_left
+    (fun acc r ->
+      if r.code = 124 || acc = 124 then 124 else max acc (min r.code 1))
+    0 results

@@ -1,0 +1,31 @@
+(** Parallel batch analysis over a list of program files.
+
+    Files are distributed over [jobs] domains (spawned with the stdlib
+    [Domain.spawn]; [jobs <= 1] runs inline).  Each file's analysis is
+    exactly what [nmlc analyze] performs — optionally through the
+    persistent summary cache — and each {!result} carries the rendered
+    stdout/stderr text, so reporting is deterministic: results come back
+    in input order regardless of completion order. *)
+
+type result = {
+  path : string;
+  output : string;  (** what [nmlc analyze] would print on stdout *)
+  errors : string;  (** what [nmlc analyze] would print on stderr *)
+  code : int;  (** 0 clean, 1 diagnostics/user error, 124 internal *)
+  defs : int;
+  evaluations : int;  (** fixpoint entry evaluations ([0] = fully warm) *)
+  scc_hits : int;
+  scc_misses : int;
+}
+
+val analyze_file : ?store:Store.t -> string -> result
+(** One file, inline (the sequential baseline the differential tests
+    compare the pool against). *)
+
+val run : ?store:Store.t -> jobs:int -> string list -> result list
+(** Results in input order. *)
+
+val exit_code : result list -> int
+(** The batch exit code under the driver's regime: [124] if any file hit
+    an internal error, else [1] if any file produced findings or errors,
+    else [0]. *)

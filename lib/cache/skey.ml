@@ -1,0 +1,73 @@
+(* Content-addressed keys for the persistent summary cache.
+
+   One key per SCC of the definition-level callgraph.  The key digests
+   everything the SCC's summaries can depend on:
+
+   - the schema version (a format bump invalidates every entry),
+   - each member's name, simplest-instance type and *normalized* body
+     (the pretty-printed AST, so whitespace and comments don't move the
+     key),
+   - the chain bound of the SCC's own cone (the largest list depth of any
+     type in a member's instantiated body),
+   - the keys of every callee SCC.
+
+   The last point makes dirtiness transitive along [Nml.Callgraph]:
+   editing a definition changes its SCC's key and, through the recursive
+   digest, the key of every SCC that (transitively) reads it — while the
+   SCCs it depends on keep their keys and stay warm. *)
+
+module Infer = Nml.Infer
+module Ty = Nml.Ty
+
+let schema_version = "nmlc/summary-cache-v1"
+
+type t = {
+  sccs : (string * string list) list;  (* (key, members) dependencies first *)
+  by_def : (string, string) Hashtbl.t;  (* member name -> its SCC's key *)
+}
+
+let sccs t = t.sccs
+let key_of_def t name = Hashtbl.find_opt t.by_def name
+
+let cone_depth prog name =
+  let d = ref 0 in
+  let tast = Infer.instantiate_def prog name None in
+  Nml.Tast.iter_tys (fun ty -> d := max !d (Ty.max_list_depth ty)) tast;
+  !d
+
+let member_descriptor prog name =
+  let inst = Infer.simplest_instance prog name in
+  let body = Nml.Surface.def prog.Infer.surface name in
+  Printf.sprintf "%s : %s = %s" name (Ty.to_string inst) (Nml.Pretty.to_string body)
+
+let of_program prog =
+  let cg = Nml.Callgraph.of_program prog in
+  let by_def = Hashtbl.create 16 in
+  let sccs =
+    List.map
+      (fun members ->
+        let sorted = List.sort String.compare members in
+        let descriptors = List.map (member_descriptor prog) sorted in
+        let d = List.fold_left (fun acc m -> max acc (cone_depth prog m)) 0 sorted in
+        let callee_keys =
+          List.concat_map
+            (fun m ->
+              List.filter_map
+                (fun r ->
+                  if List.mem r members then None else Hashtbl.find_opt by_def r)
+                (Nml.Callgraph.refs cg m))
+            sorted
+          |> List.sort_uniq String.compare
+        in
+        let key =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "\n"
+                  ((schema_version :: Printf.sprintf "d=%d" d :: descriptors)
+                  @ ("callees:" :: callee_keys))))
+        in
+        List.iter (fun m -> Hashtbl.replace by_def m key) members;
+        (key, members))
+      (Nml.Callgraph.sccs cg)
+  in
+  { sccs; by_def }

@@ -1,0 +1,19 @@
+(** Content-addressed keys for the persistent summary cache: one hex
+    digest per SCC of the definition callgraph, covering the members'
+    normalized bodies, their simplest-instance types, the cone's chain
+    bound and — recursively — the keys of every callee SCC, so editing a
+    definition re-keys exactly its SCC and its transitive readers. *)
+
+val schema_version : string
+(** Digested into every key and stamped into every stored record; bump it
+    to invalidate the on-disk format wholesale. *)
+
+type t
+
+val of_program : Nml.Infer.program -> t
+
+val sccs : t -> (string * string list) list
+(** [(key, member names)] per SCC, dependencies first. *)
+
+val key_of_def : t -> string -> string option
+(** The key of the SCC a definition belongs to. *)

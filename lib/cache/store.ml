@@ -1,0 +1,58 @@
+(* On-disk half of the persistent summary cache.
+
+   Layout: [root/ab/abcdef....json] — entries are sharded by the first
+   two hex characters of their key so no directory grows unboundedly.
+   Writes go through a temporary file in the same shard followed by
+   [Sys.rename], so readers never observe a half-written entry from a
+   well-behaved writer; 16 striped in-process mutexes serialize writers
+   from different domains of one process.  Entries are content-addressed
+   (the key digests everything the payload depends on), so concurrent
+   writers of one key write identical bytes and the last rename wins.
+
+   The cache is strictly best-effort: every failure to read, parse or
+   decode is a miss, and every failure to write is ignored.  A corrupted
+   or truncated entry can cost a re-solve, never an error. *)
+
+type t = { root : string; locks : Mutex.t array }
+
+let stripes = 16
+
+let create root = { root; locks = Array.init stripes (fun _ -> Mutex.create ()) }
+
+let root t = t.root
+
+let shard_of key = if String.length key >= 2 then String.sub key 0 2 else "xx"
+
+let path_of t key = Filename.concat (Filename.concat t.root (shard_of key)) (key ^ ".json")
+
+let stripe_of key = (Hashtbl.hash key) land (stripes - 1)
+
+let with_stripe t key f =
+  let m = t.locks.(stripe_of key) in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let mkdir_p dir =
+  (* no recursion needed beyond root/shard; tolerate races with other
+     processes creating the same directories *)
+  let ensure d = try Sys.mkdir d 0o755 with Sys_error _ -> () in
+  ensure (Filename.dirname dir);
+  ensure dir
+
+let load t ~key =
+  match In_channel.with_open_bin (path_of t key) In_channel.input_all with
+  | contents -> ( try Some (Nml.Json.parse contents) with _ -> None)
+  | exception _ -> None
+
+let save t ~key json =
+  with_stripe t key @@ fun () ->
+  try
+    let final = path_of t key in
+    mkdir_p (Filename.dirname final);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int)
+    in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (Nml.Json.to_string json));
+    Sys.rename tmp final
+  with _ -> ()

@@ -1,0 +1,18 @@
+(** Sharded, best-effort on-disk JSON store for the summary cache.
+
+    Entries live at [root/<k[0..1]>/<key>.json]; writes are staged in a
+    temporary file and published with an atomic rename, serialized per
+    key stripe across the domains of one process.  Reading anything that
+    is missing, truncated or unparsable is a miss ([None]); writing never
+    raises — a failed write just forfeits the entry. *)
+
+type t
+
+val create : string -> t
+(** Wraps a cache root directory (created lazily on first save). *)
+
+val root : t -> string
+
+val load : t -> key:string -> Nml.Json.t option
+
+val save : t -> key:string -> Nml.Json.t -> unit

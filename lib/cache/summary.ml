@@ -1,0 +1,172 @@
+(* Serialization of definition summaries and the cache-aware analysis:
+   one stored record per callgraph SCC, holding the member definitions'
+   settled global-test summaries ({!Escape.Report.def_summary}).
+
+   Abstract values contain closures and cannot be persisted; what the
+   reports actually consume — and therefore what the cache stores — is
+   the summary data behind them.  A fully warm program is reported
+   without constructing a solver at all (zero entry evaluations); a
+   partial hit builds one solver and summarizes only the missing SCCs'
+   members, whose solve demand-evaluates just their cones. *)
+
+module J = Nml.Json
+module Report = Escape.Report
+module Besc = Escape.Besc
+
+exception Decode of string
+
+let besc_to_string = Besc.to_string
+
+let besc_of_string s =
+  match Scanf.sscanf_opt s "<%d,%d>" (fun a b -> (a, b)) with
+  | Some (0, 0) -> Besc.zero
+  | Some (1, k) when k >= 0 -> Besc.one k
+  | _ -> raise (Decode ("bad escape value " ^ s))
+
+let arg_to_json (a : Report.arg_summary) =
+  J.Obj
+    [
+      ("arg", J.int a.Report.s_arg);
+      ("spines", J.int a.Report.s_spines);
+      ("esc", J.Str (besc_to_string a.Report.s_esc));
+      ( "components",
+        J.Arr
+          (List.map
+             (fun (path, esc) -> J.Arr [ J.Str path; J.Str (besc_to_string esc) ])
+             a.Report.s_components) );
+    ]
+
+let def_to_json (s : Report.def_summary) =
+  let sharing =
+    match s.Report.s_sharing with
+    | None -> []
+    | Some (top, spines) -> [ ("sharing", J.Arr [ J.int top; J.int spines ]) ]
+  in
+  J.Obj
+    ([
+       ("name", J.Str s.Report.s_name);
+       ("inst", J.Str s.Report.s_inst);
+       ("args", J.Arr (List.map arg_to_json s.Report.s_args));
+     ]
+    @ sharing)
+
+let get field j =
+  match J.member field j with
+  | Some v -> v
+  | None -> raise (Decode ("missing field " ^ field))
+
+let str = function J.Str s -> s | _ -> raise (Decode "expected a string")
+let num = function J.Num f -> int_of_float f | _ -> raise (Decode "expected a number")
+let arr = function J.Arr xs -> xs | _ -> raise (Decode "expected an array")
+
+let arg_of_json j =
+  {
+    Report.s_arg = num (get "arg" j);
+    s_spines = num (get "spines" j);
+    s_esc = besc_of_string (str (get "esc" j));
+    s_components =
+      List.map
+        (function
+          | J.Arr [ p; e ] -> (str p, besc_of_string (str e))
+          | _ -> raise (Decode "bad component"))
+        (arr (get "components" j));
+  }
+
+let def_of_json j =
+  {
+    Report.s_name = str (get "name" j);
+    s_inst = str (get "inst" j);
+    s_args = List.map arg_of_json (arr (get "args" j));
+    s_sharing =
+      (match J.member "sharing" j with
+      | None -> None
+      | Some (J.Arr [ a; b ]) -> Some (num a, num b)
+      | Some _ -> raise (Decode "bad sharing"));
+  }
+
+let record_to_json ~key summaries =
+  J.Obj
+    [
+      ("schema", J.Str Skey.schema_version);
+      ("key", J.Str key);
+      ("defs", J.Arr (List.map def_to_json summaries));
+    ]
+
+(* [None] on any shape mismatch: the caller treats it as a miss. *)
+let record_of_json ~key ~members j =
+  match
+    let schema = str (get "schema" j) in
+    let stored_key = str (get "key" j) in
+    let defs = List.map def_of_json (arr (get "defs" j)) in
+    (schema, stored_key, defs)
+  with
+  | exception _ -> None
+  | schema, stored_key, defs ->
+      let names = List.sort String.compare (List.map (fun d -> d.Report.s_name) defs) in
+      if
+        String.equal schema Skey.schema_version
+        && String.equal stored_key key
+        && names = List.sort String.compare members
+      then Some defs
+      else None
+
+(* ---- cache-aware analysis -------------------------------------------------- *)
+
+type outcome = {
+  summaries : Report.def_summary list;  (* one per definition, program order *)
+  evaluations : int;  (* solver entry evaluations actually performed *)
+  scc_hits : int;
+  scc_misses : int;
+}
+
+let analyze ?store prog =
+  match store with
+  | None ->
+      let t = Escape.Fixpoint.make prog in
+      let summaries = Report.summarize_program t in
+      {
+        summaries;
+        evaluations = Escape.Fixpoint.evaluations t;
+        scc_hits = 0;
+        scc_misses = 0;
+      }
+  | Some store ->
+      let keys = Skey.of_program prog in
+      let by_name = Hashtbl.create 16 in
+      let solver = ref None in
+      let the_solver () =
+        match !solver with
+        | Some t -> t
+        | None ->
+            let t = Escape.Fixpoint.make prog in
+            solver := Some t;
+            t
+      in
+      let hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun (key, members) ->
+          let cached =
+            match Store.load store ~key with
+            | None -> None
+            | Some j -> record_of_json ~key ~members j
+          in
+          match cached with
+          | Some defs ->
+              incr hits;
+              List.iter (fun d -> Hashtbl.replace by_name d.Report.s_name d) defs
+          | None ->
+              incr misses;
+              let defs = List.map (Report.summarize (the_solver ())) members in
+              List.iter (fun d -> Hashtbl.replace by_name d.Report.s_name d) defs;
+              Store.save store ~key (record_to_json ~key defs))
+        (Skey.sccs keys);
+      {
+        summaries =
+          List.map
+            (fun (name, _) -> Hashtbl.find by_name name)
+            prog.Nml.Infer.schemes;
+        evaluations =
+          (match !solver with None -> 0 | Some t -> Escape.Fixpoint.evaluations t);
+        scc_hits = !hits;
+        scc_misses = !misses;
+      }

@@ -25,6 +25,7 @@ let global ?inst ?arity t fname ~arg =
   let inst = match inst with Some ty -> ty | None -> Fixpoint.instance_ty t fname in
   let arity = match arity with Some n -> n | None -> Ty.arity inst in
   check_arg ~what:"global" ~arg ~arity;
+  Fixpoint.with_state t @@ fun () ->
   let arg_tys = Ty.arg_tys inst arity in
   let fval = Fixpoint.value t fname (Some inst) in
   let ys =
@@ -63,6 +64,7 @@ let local_call t (call : Tast.texpr) ~arg =
   let arity = List.length args in
   check_arg ~what:"local_call" ~arg ~arity;
   let inst = head.Tast.ty in
+  Fixpoint.with_state t @@ fun () ->
   let fval = Fixpoint.value t fname (Some inst) in
   let zs =
     List.mapi
@@ -101,6 +103,7 @@ let global_components ?inst t fname ~arg =
   let inst = match inst with Some ty -> ty | None -> Fixpoint.instance_ty t fname in
   let arity = Ty.arity inst in
   check_arg ~what:"global_components" ~arg ~arity;
+  Fixpoint.with_state t @@ fun () ->
   let arg_tys = Ty.arg_tys inst arity in
   let arg_ty = List.nth arg_tys (arg - 1) in
   let fval = Fixpoint.value t fname (Some inst) in

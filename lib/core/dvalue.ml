@@ -11,29 +11,23 @@ type t = {
 exception Err_applied
 
 let err _ = raise Err_applied
-let next_id = ref 0
 
-let make ~prod ~ty ~esc ~app =
-  incr next_id;
-  { id = !next_id; ty; esc; app; prod }
+(* Value ids are process-global and atomic: they are pure identity tags
+   (the application memo and [key_of] rely on their uniqueness), so two
+   solver states — even in different domains — must never mint the same
+   id.  Everything else mutable is per-{!state}. *)
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
+let make ~prod ~ty ~esc ~app = { id = fresh_id (); ty; esc; app; prod }
 let v ~ty ~esc ~app = make ~prod:None ~ty ~esc ~app
 let base ~ty esc = v ~ty ~esc ~app:err
 let pair ~ty ~esc (a, b) = make ~prod:(Some (a, b)) ~ty ~esc ~app:err
 
 let with_esc esc t =
-  if Besc.equal esc t.esc then t
-  else (
-    incr next_id;
-    { t with id = !next_id; esc })
+  if Besc.equal esc t.esc then t else { t with id = fresh_id (); esc }
 
 let with_ty ty t = { t with ty }
-
-(* ---- chain bound ------------------------------------------------------- *)
-
-let d_ref = ref 0
-let ensure_d d = if d > !d_ref then d_ref := d
-let current_d () = !d_ref
 
 (* ---- dependency sources ------------------------------------------------- *)
 
@@ -45,35 +39,105 @@ let current_d () = !d_ref
 
 type source = { sid : int; mutable gen : int }
 
-let next_sid = ref 0
-
-let new_source () =
-  incr next_sid;
-  { sid = !next_sid; gen = 0 }
-
+(* Source ids share the global atomic regime of value ids: a solver maps
+   them back to entries, so two states colliding on an id would alias
+   unrelated entries. *)
+let next_sid = Atomic.make 0
+let new_source () = { sid = Atomic.fetch_and_add next_sid 1 + 1; gen = 0 }
 let touch s = s.gen <- s.gen + 1
 let source_id s = s.sid
 
 type frame = { reads : (int, source * int) Hashtbl.t; isolated : bool }
 
-let frames : frame list ref = ref []
+(* ---- solver state --------------------------------------------------------- *)
+
+(* Everything mutable the application engine works over, hoisted out of
+   module-level globals so each solver owns one and two solvers — in one
+   domain or in different domains — cannot interfere.  The members:
+
+   - [d]: the chain bound, the largest spine count seen so far;
+   - [frames]: the stack of open read frames;
+   - [intern_table]: probe/worst-case value interning (one physical value,
+     hence one id, per (kind, esc, type));
+   - [cache]: the application memo;
+   - [probe_table]: probe families per (d, type);
+   - hit/miss/invalidation counters. *)
+
+type arg_key = Kbase of Besc.t | Kfun of int | Kprod of Besc.t * arg_key * arg_key
+
+type centry = {
+  mutable value : t;
+  mutable complete : bool;
+  mutable reentered : bool;
+  mutable sources : (source * int) list;
+      (* sources read while computing, with the generation read; the
+         entry is stale as soon as any of them has been touched since *)
+}
+
+type state = {
+  mutable d : int;
+  mutable frames : frame list;
+  intern_table : (string, t) Hashtbl.t;
+  cache : (int * arg_key, centry) Hashtbl.t;
+  probe_table : (int * string, t list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidated : int;
+}
+
+let create_state () =
+  {
+    d = 0;
+    frames = [];
+    intern_table = Hashtbl.create 64;
+    cache = Hashtbl.create 4096;
+    probe_table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    invalidated = 0;
+  }
+
+(* The ambient state is domain-local: a domain that never installs a
+   state (unit tests poking at values directly, the kleene trace) gets a
+   private default, and worker domains of the batch driver are
+   shared-nothing by construction. *)
+let ambient : state Domain.DLS.key = Domain.DLS.new_key create_state
+let current_state () = Domain.DLS.get ambient
+
+let with_state s f =
+  let old = Domain.DLS.get ambient in
+  Domain.DLS.set ambient s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient old) f
+
+(* ---- chain bound ------------------------------------------------------- *)
+
+let ensure_d d =
+  let st = current_state () in
+  if d > st.d then st.d <- d
+
+let current_d () = (current_state ()).d
+
+(* ---- read frames ---------------------------------------------------------- *)
 
 (* Keep the generation of the *first* read: if the source moved on since,
    the computation that used the older value must be considered stale. *)
 let note_read_gen s g =
-  match !frames with
+  match (current_state ()).frames with
   | [] -> ()
   | f :: _ -> if not (Hashtbl.mem f.reads s.sid) then Hashtbl.add f.reads s.sid (s, g)
 
 let note_read s = note_read_gen s s.gen
 
-let push_frame ~isolated = frames := { reads = Hashtbl.create 8; isolated } :: !frames
+let push_frame ~isolated =
+  let st = current_state () in
+  st.frames <- { reads = Hashtbl.create 8; isolated } :: st.frames
 
 let pop_frame () =
-  match !frames with
+  let st = current_state () in
+  match st.frames with
   | [] -> []
   | f :: rest ->
-      frames := rest;
+      st.frames <- rest;
       let srcs = Hashtbl.fold (fun _ sg acc -> sg :: acc) f.reads [] in
       (* an application's reads are also reads of whatever computation
          encloses it; an isolated frame (a solver evaluating one entry)
@@ -96,14 +160,13 @@ let with_reads fn =
    one [id], which is what lets [equal]/[leq] and the escape tests hit
    the application memo across passes and across queries. *)
 
-let intern_table : (string, t) Hashtbl.t = Hashtbl.create 64
-
 let interned key build =
-  match Hashtbl.find_opt intern_table key with
+  let st = current_state () in
+  match Hashtbl.find_opt st.intern_table key with
   | Some v -> v
   | None ->
       let v = build () in
-      Hashtbl.add intern_table key v;
+      Hashtbl.add st.intern_table key v;
       v
 
 (* ---- lattice constants --------------------------------------------------- *)
@@ -240,38 +303,21 @@ let rec mark_component ~path t =
 
 (* ---- application engine ------------------------------------------------ *)
 
-type arg_key = Kbase of Besc.t | Kfun of int | Kprod of Besc.t * arg_key * arg_key
-
 let rec key_of arg =
   match Ty.shape arg.ty with
   | Ty.Sbase -> Kbase arg.esc
   | Ty.Sarrow _ -> Kfun arg.id
   | Ty.Sprod _ -> Kprod (arg.esc, key_of (fst_of arg), key_of (snd_of arg))
 
-type entry = {
-  mutable value : t;
-  mutable complete : bool;
-  mutable reentered : bool;
-  mutable sources : (source * int) list;
-      (* sources read while computing, with the generation read; the
-         entry is stale as soon as any of them has been touched since *)
-}
-
-let cache : (int * arg_key, entry) Hashtbl.t = Hashtbl.create 4096
-let hits = ref 0
-let misses = ref 0
-let invalidated = ref 0
-
 let entry_valid e = List.for_all (fun (s, g) -> s.gen = g) e.sources
 
 (* Probe values are cached per (bound, type) so repeated comparisons apply
    the same values and hit the application cache. *)
-let probe_table : (int * string, t list) Hashtbl.t = Hashtbl.create 64
-
 let rec probes ty =
-  let d = !d_ref in
+  let st = current_state () in
+  let d = st.d in
   let k = (d, Ty.to_string ty) in
-  match Hashtbl.find_opt probe_table k with
+  match Hashtbl.find_opt st.probe_table k with
   | Some ps -> ps
   | None ->
       let escs = Besc.all ~d in
@@ -290,7 +336,7 @@ let rec probes ty =
                 List.map (fun pb -> pair ~ty ~esc:Besc.zero (pa, pb)) (probes b))
               (probes a)
       in
-      Hashtbl.add probe_table k ps;
+      Hashtbl.add st.probe_table k ps;
       ps
 
 let rec cmp ~op a b =
@@ -325,11 +371,12 @@ and join a b =
    iteration cap is a defensive backstop that widens to top (the safe
    direction). *)
 and apply f x =
+  let st = current_state () in
   let key = (f.id, key_of x) in
-  match Hashtbl.find_opt cache key with
+  match Hashtbl.find_opt st.cache key with
   | Some e when e.complete ->
       if entry_valid e then begin
-        incr hits;
+        st.hits <- st.hits + 1;
         (* a hit stands in for the computation: its reads become reads of
            whatever computation encloses this application *)
         List.iter (fun (s, g) -> note_read_gen s g) e.sources;
@@ -338,8 +385,8 @@ and apply f x =
       else begin
         (* an entry this application depended on changed: discard just
            this memo and recompute against the current values *)
-        incr invalidated;
-        Hashtbl.remove cache key;
+        st.invalidated <- st.invalidated + 1;
+        Hashtbl.remove st.cache key;
         apply f x
       end
   | Some e ->
@@ -347,7 +394,7 @@ and apply f x =
       e.reentered <- true;
       e.value
   | None ->
-      incr misses;
+      st.misses <- st.misses + 1;
       let result_ty =
         match Ty.shape f.ty with
         | Ty.Sarrow (_, b) -> b
@@ -356,7 +403,7 @@ and apply f x =
       let e =
         { value = bottom result_ty; complete = false; reentered = false; sources = [] }
       in
-      Hashtbl.add cache key e;
+      Hashtbl.add st.cache key e;
       push_frame ~isolated:false;
       let rec loop n =
         e.reentered <- false;
@@ -364,34 +411,44 @@ and apply f x =
         let widened = join e.value r in
         if e.reentered && not (equal widened e.value) then begin
           e.value <- widened;
-          if n >= 64 then e.value <- top ~d:!d_ref result_ty else loop (n + 1)
+          if n >= 64 then e.value <- top ~d:st.d result_ty else loop (n + 1)
         end
         else e.value <- widened
       in
       (try loop 0
        with exn ->
          ignore (pop_frame ());
-         Hashtbl.remove cache key;
+         Hashtbl.remove st.cache key;
          raise exn);
       e.sources <- pop_frame ();
       e.complete <- true;
       e.value
 
 let apply_all f xs = List.fold_left apply f xs
-let clear_cache () = Hashtbl.reset cache
-let cache_stats () = (!hits, !misses)
-let invalidations () = !invalidated
+let clear_cache () = Hashtbl.reset (current_state ()).cache
+
+let cache_stats () =
+  let st = current_state () in
+  (st.hits, st.misses)
+
+let invalidations () = (current_state ()).invalidated
 
 let reset_stats () =
-  hits := 0;
-  misses := 0;
-  invalidated := 0
+  let st = current_state () in
+  st.hits <- 0;
+  st.misses <- 0;
+  st.invalidated <- 0
 
+(* Compatibility shim from the era of process-global engine state: now
+   that every solver owns a {!state}, this only restores the *current*
+   (usually the domain's ambient) state to a cold start. *)
 let reset_engine () =
-  Hashtbl.reset cache;
-  Hashtbl.reset probe_table;
-  Hashtbl.reset intern_table;
-  d_ref := 0;
+  let st = current_state () in
+  Hashtbl.reset st.cache;
+  Hashtbl.reset st.probe_table;
+  Hashtbl.reset st.intern_table;
+  st.frames <- [];
+  st.d <- 0;
   reset_stats ()
 
 let pp ppf t = Format.fprintf ppf "@[%a : %a@]" Besc.pp t.esc Ty.pp t.ty

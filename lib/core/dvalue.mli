@@ -35,9 +35,20 @@
     product it is the tuple of component keys.
 
     {b Chain bound.}  Extensional comparison probes functions with every
-    element of the basic chain [B_e] up to the global bound [d], kept in
-    a module-level maximum set with {!ensure_d}.  Growing [d] only adds
-    probes (finer comparison), so the setting is monotone and safe. *)
+    element of the basic chain [B_e] up to the bound [d] of the current
+    {!state}, a maximum set with {!ensure_d}.  Growing [d] only adds
+    probes (finer comparison), so the setting is monotone and safe.
+
+    {b Solver state.}  All mutable engine state — the application memo,
+    the probe and intern tables, the chain bound, the read-frame stack
+    and the statistics counters — lives in an explicit {!state}.  Each
+    domain has a private ambient state ({!current_state}); a solver owns
+    a state of its own and installs it with {!with_state} around every
+    operation, so concurrently live solvers (including solvers in
+    different domains) are shared-nothing.  Value and source {e ids} are
+    process-global atomics: they are pure identity tags, and keeping them
+    globally unique makes values safe to carry across states (a foreign
+    value at worst misses a memo, it can never collide). *)
 
 type t = private {
   id : int;  (** unique per constructed value *)
@@ -85,10 +96,29 @@ val saturate : esc:Besc.t -> Nml.Ty.t -> t
 (** "Something with containment [esc] of unknown structure": functions
     absorb their arguments, components inherit [esc]. *)
 
+(** {2 Solver state} *)
+
+type state
+(** One engine's worth of mutable state: application memo, probe and
+    intern tables, chain bound, read frames, statistics counters. *)
+
+val create_state : unit -> state
+(** A cold state: empty tables, bound 0, zeroed counters. *)
+
+val current_state : unit -> state
+(** The state every stateful operation below works over: the innermost
+    {!with_state} installation, or the calling domain's private ambient
+    state when none is installed. *)
+
+val with_state : state -> (unit -> 'a) -> 'a
+(** [with_state s f] runs [f] with [s] installed as the current state
+    (exception-safe, properly nesting).  The installation is per-domain:
+    other domains are unaffected. *)
+
 (** {2 Chain bound} *)
 
 val ensure_d : int -> unit
-(** Raises the global chain bound to at least the given value. *)
+(** Raises the current state's chain bound to at least the given value. *)
 
 val current_d : unit -> int
 
@@ -208,14 +238,15 @@ val invalidations : unit -> int
 val reset_stats : unit -> unit
 
 val reset_engine : unit -> unit
-(** Deterministically resets the process-global engine state: the
-    application memo, the probe and intern tables, the chain bound and
-    the statistics counters.  Value identifiers are {e not} reset (their
-    uniqueness is load-bearing for the memo keys), so values created
-    before the reset remain well-formed — but their comparisons become
-    coarse (bound 0) until {!ensure_d} is raised again.  Intended for
-    benchmarks and tests that need identical cold-start conditions;
-    don't call it while a solver you still plan to query is alive. *)
+(** Compatibility shim from the era of process-global engine state:
+    deterministically resets the {e current} state — the application
+    memo, the probe and intern tables, the chain bound and the statistics
+    counters.  Solvers own their state nowadays, so this only affects
+    computations running on the same (usually the ambient) state.  Value
+    identifiers are {e not} reset (their uniqueness is load-bearing for
+    the memo keys), so values created before the reset remain
+    well-formed — but their comparisons become coarse (bound 0) until
+    {!ensure_d} is raised again. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the basic component and the type, e.g. [<1,1> : int list]. *)

@@ -23,6 +23,7 @@ type entry = {
 type t = {
   prog : Infer.program;
   engine : engine;
+  state : Dvalue.state;  (* this solver's private engine state *)
   cache : (string, entry) Hashtbl.t;  (* key: "name @ ground-type" *)
   by_sid : (int, entry) Hashtbl.t;  (* source id -> entry *)
   mutable order : entry list;  (* insertion order, newest first *)
@@ -33,7 +34,7 @@ type t = {
   mutable scc_count : int;  (* components in the last condensation *)
   mutable largest_scc : int;
   max_iters : int;
-  hits0 : int;  (* process-global cache counters at creation time *)
+  hits0 : int;  (* [state]'s cache counters at creation time *)
   misses0 : int;
   invalidated0 : int;
   mutable ctx : Semantics.ctx;  (* hooks back into this record *)
@@ -143,11 +144,13 @@ and global_hook t name ty =
   e.value
 
 let make ?(max_iters = 200) ?(engine = Worklist) prog =
-  let hits0, misses0 = Dvalue.cache_stats () in
+  let state = Dvalue.create_state () in
+  let hits0, misses0 = Dvalue.with_state state Dvalue.cache_stats in
   let rec t =
     {
       prog;
       engine;
+      state;
       cache = Hashtbl.create 32;
       by_sid = Hashtbl.create 32;
       order = [];
@@ -160,7 +163,7 @@ let make ?(max_iters = 200) ?(engine = Worklist) prog =
       max_iters;
       hits0;
       misses0;
-      invalidated0 = Dvalue.invalidations ();
+      invalidated0 = Dvalue.with_state state Dvalue.invalidations;
       ctx =
         {
           Semantics.d = (fun () -> t.dbound);
@@ -173,8 +176,10 @@ let make ?(max_iters = 200) ?(engine = Worklist) prog =
     }
   in
   let main = Infer.main_ground prog in
-  absorb_tree_depth t main;
+  Dvalue.with_state state (fun () -> absorb_tree_depth t main);
   t
+
+let with_state t f = Dvalue.with_state t.state f
 
 let of_source ?max_iters ?engine src =
   make ?max_iters ?engine (Infer.infer_program (Nml.Surface.of_string src))
@@ -302,6 +307,7 @@ let stabilize_round_robin t =
   done
 
 let stabilize t =
+  with_state t @@ fun () ->
   match t.engine with
   | Worklist -> stabilize_worklist t
   | Round_robin -> stabilize_round_robin t
@@ -309,6 +315,7 @@ let stabilize t =
 let value t name inst =
   if not (is_def t name) then
     invalid_arg (Printf.sprintf "Fixpoint.value: unknown definition %s" name);
+  with_state t @@ fun () ->
   let e =
     match inst with
     | Some ty -> demand t name ty
@@ -326,6 +333,7 @@ let instance_ty t name =
   tast.Tast.ty
 
 let eval_expr t tast =
+  with_state t @@ fun () ->
   absorb_tree_depth t tast;
   stabilize t;
   let v = ref (Semantics.eval t.ctx Semantics.Env.empty tast) in
@@ -362,7 +370,7 @@ type stats = {
 }
 
 let stats t =
-  let hits, misses = Dvalue.cache_stats () in
+  let hits, misses = with_state t Dvalue.cache_stats in
   {
     stats_engine = t.engine;
     stats_passes = t.passes;
@@ -373,7 +381,7 @@ let stats t =
     stats_largest_scc = t.largest_scc;
     stats_cache_hits = max 0 (hits - t.hits0);
     stats_cache_misses = max 0 (misses - t.misses0);
-    stats_cache_invalidated = max 0 (Dvalue.invalidations () - t.invalidated0);
+    stats_cache_invalidated = max 0 (with_state t Dvalue.invalidations - t.invalidated0);
     stats_dbound = t.dbound;
     stats_capped = t.ctx.Semantics.capped;
   }

@@ -76,6 +76,16 @@ val main_value : t -> Dvalue.t
 val stabilize : t -> unit
 (** Runs the selected engine until no entry's value changes. *)
 
+val with_state : t -> (unit -> 'a) -> 'a
+(** Runs a computation with this solver's private {!Dvalue.state}
+    installed.  Every solver owns its own engine state (application memo,
+    probe tables, chain bound), created at {!make}; the solver's own
+    entry points install it automatically.  Use this wrapper for any
+    {e direct} [Dvalue] operation on values obtained from the solver
+    (probing, comparison, application), so the operation sees the chain
+    bound and caches those values were built under — and so concurrent
+    solvers in other domains stay isolated. *)
+
 (** {2 Statistics (for the cost experiments)} *)
 
 val iterations : t -> int
@@ -111,8 +121,8 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Snapshot of the solver counters.  The cache numbers are deltas
-    against the process-global counters at [make] time, so they are only
-    meaningful when a single solver ran in between. *)
+(** Snapshot of the solver counters.  The cache numbers come from the
+    solver's private {!Dvalue.state}, so they count exactly this solver's
+    work no matter how many solvers are alive. *)
 
 val pp_stats : Format.formatter -> stats -> unit

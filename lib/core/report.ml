@@ -1,56 +1,112 @@
 module Ty = Nml.Ty
 module Eval = Nml.Eval
 
-let pp_verdict_line ppf (v : Analysis.verdict) =
-  let keep = Analysis.non_escaping_top_spines v in
-  Format.fprintf ppf "  G(%s, %d) = %-6s" v.Analysis.func v.Analysis.arg
-    (Besc.to_string v.Analysis.esc);
-  if not (Analysis.escapes v) then
-    Format.fprintf ppf " -- no part of argument %d ever escapes" v.Analysis.arg
-  else if v.Analysis.spines = 0 then
-    Format.fprintf ppf " -- argument %d (not a list) may escape" v.Analysis.arg
-  else if Analysis.escaping_spines v = 0 then
-    Format.fprintf ppf " -- no spine of argument %d escapes, only elements may"
-      v.Analysis.arg
+(* The verdict line is printed from plain data so a summary replayed from
+   the persistent cache goes through the same code path as a fresh solve
+   (bit-identical output is a batch-driver invariant). *)
+let pp_line ppf ~func ~arg ~esc ~spines =
+  let escaping = Besc.spines esc in
+  let keep = max 0 (spines - escaping) in
+  Format.fprintf ppf "  G(%s, %d) = %-6s" func arg (Besc.to_string esc);
+  if Besc.equal esc Besc.zero then
+    Format.fprintf ppf " -- no part of argument %d ever escapes" arg
+  else if spines = 0 then
+    Format.fprintf ppf " -- argument %d (not a list) may escape" arg
+  else if escaping = 0 then
+    Format.fprintf ppf " -- no spine of argument %d escapes, only elements may" arg
   else
     Format.fprintf ppf
-      " -- top %d of %d spine(s) never escape; bottom %d may escape" keep
-      v.Analysis.spines
-      (Analysis.escaping_spines v)
+      " -- top %d of %d spine(s) never escape; bottom %d may escape" keep spines
+      escaping
 
-let definition ppf t name =
+(* ---- definition summaries -------------------------------------------------- *)
+
+type arg_summary = {
+  s_arg : int;
+  s_spines : int;
+  s_esc : Besc.t;
+  s_components : (string * Besc.t) list;
+}
+
+type def_summary = {
+  s_name : string;
+  s_inst : string;
+  s_args : arg_summary list;
+  s_sharing : (int * int) option;
+}
+
+let summarize t name =
   let inst = Fixpoint.instance_ty t name in
-  Format.fprintf ppf "@[<v 0>%s : %s@," name (Ty.to_string inst);
   let verdicts = Analysis.global_all ~inst t name in
+  let args =
+    List.map
+      (fun (v : Analysis.verdict) ->
+        (* pair-typed parameters additionally get per-component verdicts *)
+        let components =
+          match
+            Analysis.component_paths
+              (List.nth (Ty.arg_tys inst v.Analysis.arity) (v.Analysis.arg - 1))
+          with
+          | [ [] ] -> []
+          | _ ->
+              List.map
+                (fun (path, (cv : Analysis.verdict)) ->
+                  (Format.asprintf "%a" Analysis.pp_path path, cv.Analysis.esc))
+                (Analysis.global_components ~inst t name ~arg:v.Analysis.arg)
+        in
+        {
+          s_arg = v.Analysis.arg;
+          s_spines = v.Analysis.spines;
+          s_esc = v.Analysis.esc;
+          s_components = components;
+        })
+      verdicts
+  in
+  let sharing =
+    if verdicts = [] then None
+    else
+      let info = Sharing.result_unshared ~inst t name in
+      if info.Sharing.result_spines > 0 then
+        Some (info.Sharing.unshared_top, info.Sharing.result_spines)
+      else None
+  in
+  { s_name = name; s_inst = Ty.to_string inst; s_args = args; s_sharing = sharing }
+
+let pp_def_summary ppf s =
+  Format.fprintf ppf "@[<v 0>%s : %s@," s.s_name s.s_inst;
   List.iter
-    (fun (v : Analysis.verdict) ->
-      Format.fprintf ppf "%a@," pp_verdict_line v;
-      (* pair-typed parameters additionally get per-component verdicts *)
-      match Analysis.component_paths (List.nth (Ty.arg_tys inst v.Analysis.arity) (v.Analysis.arg - 1)) with
-      | [ [] ] -> ()
-      | _ ->
-          List.iter
-            (fun (path, (cv : Analysis.verdict)) ->
-              Format.fprintf ppf "    component %a = %s%s@," Analysis.pp_path path
-                (Besc.to_string cv.Analysis.esc)
-                (if Analysis.escapes cv then "" else "  (never escapes)"))
-            (Analysis.global_components ~inst t name ~arg:v.Analysis.arg))
-    verdicts;
-  (if verdicts <> [] then
-     let info = Sharing.result_unshared ~inst t name in
-     if info.Sharing.result_spines > 0 then
-       Format.fprintf ppf
-         "  sharing: top %d of the result's %d spine(s) are unshared in any call@,"
-         info.Sharing.unshared_top info.Sharing.result_spines);
+    (fun a ->
+      Format.fprintf ppf "%a@,"
+        (fun ppf () -> pp_line ppf ~func:s.s_name ~arg:a.s_arg ~esc:a.s_esc ~spines:a.s_spines)
+        ();
+      List.iter
+        (fun (path, esc) ->
+          Format.fprintf ppf "    component %s = %s%s@," path (Besc.to_string esc)
+            (if Besc.equal esc Besc.zero then "  (never escapes)" else ""))
+        a.s_components)
+    s.s_args;
+  (match s.s_sharing with
+  | Some (top, spines) ->
+      Format.fprintf ppf
+        "  sharing: top %d of the result's %d spine(s) are unshared in any call@," top
+        spines
+  | None -> ());
   Format.fprintf ppf "@]"
 
-let program ppf t =
+let definition ppf t name = pp_def_summary ppf (summarize t name)
+
+let summarize_program t =
   let prog = Fixpoint.program t in
+  List.map (fun (name, _) -> summarize t name) prog.Nml.Infer.schemes
+
+let pp_program_summaries ppf summaries =
   Format.fprintf ppf "@[<v 0>";
   List.iter
-    (fun (name, _) -> Format.fprintf ppf "%a@," (fun ppf () -> definition ppf t name) ())
-    prog.Nml.Infer.schemes;
+    (fun s -> Format.fprintf ppf "%a@," (fun ppf () -> pp_def_summary ppf s) ())
+    summaries;
   Format.fprintf ppf "@]"
+
+let program ppf t = pp_program_summaries ppf (summarize_program t)
 
 let call ppf t fname args =
   Format.fprintf ppf "@[<v 0>call: %s on %d argument(s)@,"  fname (List.length args);

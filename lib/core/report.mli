@@ -9,6 +9,43 @@ val program : Format.formatter -> Fixpoint.t -> unit
 val definition : Format.formatter -> Fixpoint.t -> string -> unit
 (** The same report for a single definition. *)
 
+(** {2 Definition summaries}
+
+    The data behind {!definition}, split from the rendering so the
+    persistent summary cache can store it and replay it without a solver.
+    [definition ppf t name] is by construction byte-identical to
+    [pp_def_summary ppf (summarize t name)]. *)
+
+type arg_summary = {
+  s_arg : int;  (** 1-based parameter position *)
+  s_spines : int;  (** spine count of the parameter's type *)
+  s_esc : Besc.t;  (** the global test's verdict *)
+  s_components : (string * Besc.t) list;
+      (** per-component verdicts for pair-typed parameters (rendered
+          projection path, escape value); empty otherwise *)
+}
+
+type def_summary = {
+  s_name : string;
+  s_inst : string;  (** rendered simplest-instance type *)
+  s_args : arg_summary list;
+  s_sharing : (int * int) option;
+      (** (unshared top spines, result spines) when the result is
+          list-shaped *)
+}
+
+val summarize : Fixpoint.t -> string -> def_summary
+(** Runs the global tests for one definition and packages the result. *)
+
+val summarize_program : Fixpoint.t -> def_summary list
+(** One summary per definition, in program order. *)
+
+val pp_def_summary : Format.formatter -> def_summary -> unit
+(** Pure printer: renders a summary exactly as {!definition} would. *)
+
+val pp_program_summaries : Format.formatter -> def_summary list -> unit
+(** Pure printer: renders summaries exactly as {!program} would. *)
+
 val call : Format.formatter -> Fixpoint.t -> string -> Nml.Ast.expr list -> unit
 (** Local escape verdicts for one call [f e1 ... en]. *)
 

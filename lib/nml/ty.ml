@@ -9,11 +9,12 @@ type t =
 
 and var = Unbound of int * int | Link of t
 
-let counter = ref 0
-
-let fresh_var ~level =
-  incr counter;
-  Var (ref (Unbound (!counter, level)))
+(* Atomic so that programs inferred concurrently in different domains
+   (the batch driver) never mint duplicate variable ids: a torn
+   read-modify-write on a plain ref could hand the same id to two
+   variables of one program, conflating them under generalization. *)
+let counter = Atomic.make 0
+let fresh_var ~level = Var (ref (Unbound (Atomic.fetch_and_add counter 1 + 1, level)))
 
 let rec repr t =
   match t with

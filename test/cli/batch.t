@@ -1,0 +1,105 @@
+The batch driver and its persistent summary cache.
+
+  $ alias nmlc=../../bin/nmlc.exe
+
+A little corpus: two clean programs, one of them sharing a definition
+with the other.
+
+  $ mkdir corpus
+  $ cat > corpus/rev.nml <<'EOF'
+  > letrec
+  >   append x y = if null x then y else cons (car x) (append (cdr x) y);
+  >   rev l = if null l then nil else append (rev (cdr l)) (cons (car l) nil)
+  > in rev [1, 2, 3]
+  > EOF
+  $ cat > corpus/use.nml <<'EOF'
+  > letrec
+  >   append x y = if null x then y else cons (car x) (append (cdr x) y)
+  > in append [1] [2]
+  > EOF
+
+A cold run analyzes everything once and fills the cache (the shared
+append SCC is content-addressed, so the second file already hits it):
+
+  $ nmlc batch corpus --jobs 2 --cache cache
+  == corpus/rev.nml ==
+  append : int list -> int list -> int list
+    G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    G(append, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    sharing: top 0 of the result's 1 spine(s) are unshared in any call
+  
+  rev : int list -> int list
+    G(rev, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    sharing: top 1 of the result's 1 spine(s) are unshared in any call
+  
+  
+  == corpus/use.nml ==
+  append : int list -> int list -> int list
+    G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may
+    G(append, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape
+    sharing: top 0 of the result's 1 spine(s) are unshared in any call
+  
+  
+  batch: 2 file(s), 2 ok, 0 error(s); 4 entry evaluation(s), 1 scc hit(s), 2 scc miss(es)
+
+
+
+
+A warm rerun of the unchanged corpus performs zero entry evaluations and
+prints the identical reports:
+
+  $ nmlc batch corpus --jobs 2 --cache cache > warm.out
+  $ grep '^batch:' warm.out
+  batch: 2 file(s), 2 ok, 0 error(s); 0 entry evaluation(s), 3 scc hit(s), 0 scc miss(es)
+  $ nmlc batch corpus --jobs 2 --no-cache | grep -v '^batch:' > cold.reports
+  $ grep -v '^batch:' warm.out | diff - cold.reports
+
+--no-cache neither reads nor writes the store:
+
+  $ nmlc batch corpus --no-cache | grep '^batch:'
+  batch: 2 file(s), 2 ok, 0 error(s); 6 entry evaluation(s), 0 scc hit(s), 0 scc miss(es)
+
+The JSON form is a single deterministic document (no timing data):
+
+  $ nmlc batch corpus/use.nml --cache cache --format json
+  {"schema": "nmlc/batch-v1", "files": [
+    {"path": "corpus/use.nml", "code": 0, "defs": 1, "evaluations": 0, "scc_hits": 1, "scc_misses": 0}
+  ], "evaluations": 0, "scc_hits": 1, "scc_misses": 0, "errors": 0}
+
+A file that fails to analyze gets its diagnostic, doesn't disturb its
+neighbours, and sets the exit code:
+
+  $ cat > corpus/broken.nml <<'EOF'
+  > letrec f l = cons x nil in f [1]
+  > EOF
+  $ nmlc batch corpus --cache cache > partial.out 2> partial.err; echo "exit $?"
+  exit 1
+  $ grep -c '^==' partial.out
+  3
+  $ cat partial.err
+  corpus/broken.nml:1.19-1.20: error[TYPE001]: unbound identifier x
+  
+  $ rm corpus/broken.nml
+
+A missing path is a user error:
+
+  $ nmlc batch corpus/nosuch.nml 2>&1 | tail -1; nmlc batch corpus/nosuch.nml 2> /dev/null; echo "exit $?"
+  Try 'nmlc batch --help' or 'nmlc --help' for more information.
+  exit 124
+
+The batch respects the exit-code regime on internal errors:
+
+  $ NMLC_INTERNAL_ERROR=1 nmlc batch corpus 2> /dev/null; echo "exit $?"
+  exit 124
+
+analyze --stats only prints statistics when the whole command succeeded
+(a failing --local used to leave a half-report with stats attached):
+
+  $ nmlc analyze -e "letrec id = fun x -> x in 5" --stats --local
+  id : int -> int
+    G(id, 1) = <1,0>  -- argument 1 (not a list) may escape
+  
+  
+  error: --local: the main expression is not a call
+  [1]
+

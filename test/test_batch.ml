@@ -1,0 +1,241 @@
+(* Tests for the persistent summary cache and the parallel batch driver:
+   key stability under re-formatting, transitive invalidation along the
+   callgraph, robustness against corrupted stores, schema-version
+   invalidation, warm-run identity (zero evaluations, bit-identical
+   reports) and differential agreement between the domain pool and the
+   sequential per-file baseline on a random corpus. *)
+
+module Skey = Cache.Skey
+module Store = Cache.Store
+module Summary = Cache.Summary
+module Batch = Cache.Batch
+module Report = Escape.Report
+module Examples = Nml.Examples
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let infer src = Nml.Infer.infer_program (Nml.Surface.of_string src)
+
+let render summaries = Format.asprintf "%a@." Report.pp_program_summaries summaries
+
+let tmp_counter = ref 0
+
+let fresh_dir prefix =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nmlc-%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  Sys.mkdir d 0o755;
+  d
+
+let write_file path contents = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir prefix f =
+  let d = fresh_dir prefix in
+  Fun.protect ~finally:(fun () -> try rm_rf d with Sys_error _ -> ()) (fun () -> f d)
+
+(* a three-definition program with a clean dependency shape:
+   reader -> callee, loner independent *)
+let src_of ~callee_body =
+  Examples.wrap
+    [
+      Printf.sprintf "callee l = %s" callee_body;
+      "reader l = callee (cons (car l) l)";
+      "loner l = cons 1 l";
+    ]
+    "reader [1, 2]"
+
+let base_src = src_of ~callee_body:"cons (car l) nil"
+
+let key_units =
+  [
+    Alcotest.test_case "key-ignores-whitespace-and-comments" `Quick (fun () ->
+        let reformatted =
+          "-- a comment\nletrec\n  callee l   =   cons (car l) nil;\n\n\
+           reader l = callee (cons (car l) l);\n\
+           loner l = cons 1 l\n\
+           in  reader [1,    2]"
+        in
+        let k1 = Skey.of_program (infer base_src) in
+        let k2 = Skey.of_program (infer reformatted) in
+        List.iter
+          (fun d ->
+            checks d
+              (Option.get (Skey.key_of_def k1 d))
+              (Option.get (Skey.key_of_def k2 d)))
+          [ "callee"; "reader"; "loner" ]);
+    Alcotest.test_case "invalidation-is-transitive" `Quick (fun () ->
+        let k1 = Skey.of_program (infer base_src) in
+        let k2 = Skey.of_program (infer (src_of ~callee_body:"cons 7 nil")) in
+        let key keys d = Option.get (Skey.key_of_def keys d) in
+        checkb "edited callee re-keys" true (key k1 "callee" <> key k2 "callee");
+        checkb "reader re-keys through its callee" true
+          (key k1 "reader" <> key k2 "reader");
+        checks "unrelated definition keeps its key" (key k1 "loner") (key k2 "loner"));
+  ]
+
+let cache_units =
+  [
+    Alcotest.test_case "warm-run-is-free-and-identical" `Quick (fun () ->
+        with_dir "warm" @@ fun dir ->
+        let store = Store.create (Filename.concat dir "cache") in
+        let prog = infer Examples.partition_sort_program in
+        let cold = Summary.analyze ~store prog in
+        checkb "cold run evaluates" true (cold.Summary.evaluations > 0);
+        checki "cold run misses" 0 cold.Summary.scc_hits;
+        let warm = Summary.analyze ~store (infer Examples.partition_sort_program) in
+        checki "warm run is free" 0 warm.Summary.evaluations;
+        checki "warm run all hits" 0 warm.Summary.scc_misses;
+        checks "bit-identical report" (render cold.Summary.summaries)
+          (render warm.Summary.summaries));
+    Alcotest.test_case "one-edit-respects-the-cone" `Quick (fun () ->
+        with_dir "edit" @@ fun dir ->
+        let store = Store.create (Filename.concat dir "cache") in
+        ignore (Summary.analyze ~store (infer base_src));
+        let edited = Summary.analyze ~store (infer (src_of ~callee_body:"cons 7 nil")) in
+        (* callee and reader re-solve; loner is served from the store *)
+        checki "re-solved sccs" 2 edited.Summary.scc_misses;
+        checki "warm sccs" 1 edited.Summary.scc_hits;
+        let fresh = Summary.analyze (infer (src_of ~callee_body:"cons 7 nil")) in
+        checks "same report as a fresh solve" (render fresh.Summary.summaries)
+          (render edited.Summary.summaries);
+        checkb "cheaper than the fresh solve" true
+          (edited.Summary.evaluations < fresh.Summary.evaluations));
+    Alcotest.test_case "corrupted-entries-are-misses" `Quick (fun () ->
+        with_dir "corrupt" @@ fun dir ->
+        let root = Filename.concat dir "cache" in
+        let store = Store.create root in
+        let prog = infer base_src in
+        let cold = Summary.analyze ~store prog in
+        (* truncate or garble every stored entry *)
+        Array.iter
+          (fun shard ->
+            let sdir = Filename.concat root shard in
+            if Sys.is_directory sdir then
+              Array.iteri
+                (fun i f ->
+                  let p = Filename.concat sdir f in
+                  if i mod 2 = 0 then write_file p "{\"schema\": \"nmlc/summary-cache-v1\", \"key\": \"tru"
+                  else write_file p "not json at all")
+                (Sys.readdir sdir))
+          (Sys.readdir root);
+        let again = Summary.analyze ~store (infer base_src) in
+        checki "everything misses" 0 again.Summary.scc_hits;
+        checkb "re-solved" true (again.Summary.evaluations > 0);
+        checks "same report" (render cold.Summary.summaries)
+          (render again.Summary.summaries);
+        (* and the rewritten entries serve the next run *)
+        let warm = Summary.analyze ~store (infer base_src) in
+        checki "store healed" 0 warm.Summary.scc_misses);
+    Alcotest.test_case "schema-bump-invalidates" `Quick (fun () ->
+        with_dir "schema" @@ fun dir ->
+        let store = Store.create (Filename.concat dir "cache") in
+        let prog = infer Examples.map_pair_program in
+        let cold = Summary.analyze ~store prog in
+        (* rewrite every entry as a (well-formed) record of a future
+           schema version: decoding must refuse it and re-solve *)
+        let keys = Skey.of_program prog in
+        List.iter
+          (fun (key, _members) ->
+            match Store.load store ~key with
+            | None -> Alcotest.fail "expected a stored record"
+            | Some (Nml.Json.Obj fields) ->
+                Store.save store ~key
+                  (Nml.Json.Obj
+                     (List.map
+                        (function
+                          | "schema", _ -> ("schema", Nml.Json.Str "nmlc/summary-cache-v999")
+                          | f -> f)
+                        fields))
+            | Some _ -> Alcotest.fail "expected an object")
+          (Skey.sccs keys);
+        let bumped = Summary.analyze ~store (infer Examples.map_pair_program) in
+        checki "no hits across versions" 0 bumped.Summary.scc_hits;
+        checks "same report" (render cold.Summary.summaries)
+          (render bumped.Summary.summaries));
+    Alcotest.test_case "codec-roundtrip" `Quick (fun () ->
+        let t = Escape.Fixpoint.make (infer Examples.partition_sort_program) in
+        List.iter
+          (fun s ->
+            let s' = Summary.def_of_json (Summary.def_to_json s) in
+            checks s.Report.s_name
+              (Format.asprintf "%a" Report.pp_def_summary s)
+              (Format.asprintf "%a" Report.pp_def_summary s'))
+          (Report.summarize_program t));
+  ]
+
+(* ---- differential: domain pool vs sequential baseline --------------------- *)
+
+let write_corpus dir sources =
+  List.mapi
+    (fun i src ->
+      let path = Filename.concat dir (Printf.sprintf "p%02d.nml" i) in
+      write_file path src;
+      path)
+    sources
+
+let result_triple (r : Batch.result) = (r.Batch.output, r.Batch.errors, r.Batch.code)
+
+let differential_units =
+  [
+    Alcotest.test_case "pool-matches-sequential-on-random-corpus" `Slow (fun () ->
+        let rand = Random.State.make [| 20260807 |] in
+        let sources =
+          List.init 40 (fun _ -> QCheck.Gen.generate1 ~rand Gen.gen_any_program)
+        in
+        with_dir "corpus" @@ fun dir ->
+        let files = write_corpus dir sources in
+        let sequential = List.map (fun f -> Batch.analyze_file f) files in
+        let pooled = Batch.run ~jobs:8 files in
+        List.iter2
+          (fun s p ->
+            let so, se, sc = result_triple s and po, pe, pc = result_triple p in
+            checks (s.Batch.path ^ " stdout") so po;
+            checks (s.Batch.path ^ " stderr") se pe;
+            checki (s.Batch.path ^ " code") sc pc)
+          sequential pooled;
+        (* and through a shared store, the reports still match *)
+        let store = Store.create (Filename.concat dir "cache") in
+        let cached = Batch.run ~store ~jobs:8 files in
+        List.iter2
+          (fun s p ->
+            checks (s.Batch.path ^ " cached stdout") s.Batch.output p.Batch.output)
+          sequential cached;
+        let warm = Batch.run ~store ~jobs:8 files in
+        checki "warm corpus is free" 0
+          (List.fold_left (fun acc r -> acc + r.Batch.evaluations) 0 warm));
+    Alcotest.test_case "error-files-are-isolated" `Quick (fun () ->
+        with_dir "errs" @@ fun dir ->
+        let good = Filename.concat dir "good.nml" in
+        let bad = Filename.concat dir "bad.nml" in
+        let missing = Filename.concat dir "missing.nml" in
+        write_file good base_src;
+        write_file bad "letrec f l = cons x nil in f [1]";
+        let rs = Batch.run ~jobs:2 [ good; bad; missing ] in
+        checki "three results" 3 (List.length rs);
+        (match rs with
+        | [ g; b; m ] ->
+            checki "good is clean" 0 g.Batch.code;
+            checki "bad is a finding" 1 b.Batch.code;
+            checkb "bad has a diagnostic" true (b.Batch.errors <> "");
+            checki "missing is a user error" 1 m.Batch.code
+        | _ -> Alcotest.fail "unexpected result shape");
+        checki "merged exit code" 1 (Batch.exit_code rs));
+  ]
+
+let () =
+  Alcotest.run "batch"
+    [
+      ("keys", key_units); ("cache", cache_units); ("differential", differential_units);
+    ]

@@ -1,8 +1,8 @@
 (* Tests for the worklist fixpoint engine: the call-graph/SCC machinery it
    schedules with, differential agreement with the retained round-robin
    baseline (fixed programs, the paper's appendix values and a random
-   corpus), isolation of concurrently live solvers (the Dvalue engine
-   state is process-global but generation-validated), and the efficiency
+   corpus), isolation of concurrently live solvers (every solver owns a
+   private Dvalue.state, including across domains), and the efficiency
    claim the engine exists for — strictly fewer entry evaluations. *)
 
 module B = Escape.Besc
@@ -140,28 +140,25 @@ let appendix_units =
         checkb "few passes" true (Fix.passes t <= 2));
   ]
 
-(* ---- solver isolation (global Dvalue state) ------------------------------- *)
+(* ---- solver isolation (per-solver Dvalue state) --------------------------- *)
 
 let isolation_units =
   [
     Alcotest.test_case "interleaved-solvers-match-solo" `Quick (fun () ->
-        (* solo reference runs, from cold engine state *)
-        D.reset_engine ();
+        (* solo reference runs *)
         let solo_a =
           B.to_string
             (An.global (Fix.of_source Examples.partition_sort_program) "append" ~arg:2)
               .An.esc
         in
-        D.reset_engine ();
         let solo_b =
           B.to_string
             (An.global (Fix.of_source Examples.map_pair_program) "map" ~arg:2).An.esc
         in
-        (* two live solvers with interleaved queries, mixed engines, no
-           resets: the round-robin solver clears the shared memo wholesale
-           and the worklist solver touches generations; neither may
-           corrupt the other *)
-        D.reset_engine ();
+        (* two live solvers with interleaved queries, mixed engines: the
+           round-robin solver clears its memo wholesale and the worklist
+           solver touches generations; each owns a private state, so
+           neither may perturb the other *)
         let a = Fix.of_source ~engine:Fix.Worklist Examples.partition_sort_program in
         let b = Fix.of_source ~engine:Fix.Round_robin Examples.map_pair_program in
         let a1 = B.to_string (An.global a "append" ~arg:2).An.esc in
@@ -172,19 +169,44 @@ let isolation_units =
         checks "b matches solo" solo_b b1;
         checks "a stable across interleaving" a1 a2;
         checks "b stable across interleaving" b1 b2);
-    Alcotest.test_case "reset-engine-restores-cold-start" `Quick (fun () ->
-        D.reset_engine ();
+    Alcotest.test_case "per-solver-stats-are-cold" `Quick (fun () ->
+        (* every solver starts from its own cold state: the second,
+           interleaved solver reports exactly the counters of a solo run,
+           not the residue of the first solver's work *)
         let t = Fix.of_source Examples.partition_sort_program in
         ignore (Fix.value t "ps" None);
-        let _, misses1 = D.cache_stats () in
-        D.reset_engine ();
-        let hits0, misses0 = D.cache_stats () in
-        checki "hits reset" 0 hits0;
-        checki "misses reset" 0 misses0;
+        let misses1 = (Fix.stats t).Fix.stats_cache_misses in
         let t2 = Fix.of_source Examples.partition_sort_program in
         ignore (Fix.value t2 "ps" None);
-        let _, misses2 = D.cache_stats () in
+        let misses2 = (Fix.stats t2).Fix.stats_cache_misses in
+        checkb "a cold run misses" true (misses1 > 0);
         checki "cold start reproduced" misses1 misses2);
+    Alcotest.test_case "with-state-scopes-the-engine" `Quick (fun () ->
+        (* chain bound and counters are confined to the installed state *)
+        let s1 = D.create_state () and s2 = D.create_state () in
+        D.with_state s1 (fun () -> D.ensure_d 3);
+        checki "s1 sees its bound" 3 (D.with_state s1 D.current_d);
+        checki "s2 unaffected" 0 (D.with_state s2 D.current_d);
+        D.with_state s2 (fun () ->
+            D.reset_engine ();
+            checki "reset is a current-state shim" 3 (D.with_state s1 D.current_d)));
+    Alcotest.test_case "concurrent-domains-match-solo" `Quick (fun () ->
+        (* shared-nothing across domains: concurrent solvers on separate
+           domains reproduce the solo verdicts and solo cost counters *)
+        let solve src f arg () =
+          let t = Fix.of_source src in
+          let esc = B.to_string (An.global t f ~arg).An.esc in
+          (esc, Fix.evaluations t)
+        in
+        let job_a = solve Examples.partition_sort_program "ps" 1 in
+        let job_b = solve Examples.map_pair_program "map" 2 in
+        let solo_a = job_a () and solo_b = job_b () in
+        let da = Domain.spawn job_a and db = Domain.spawn job_b in
+        let ra = Domain.join da and rb = Domain.join db in
+        checks "a verdict" (fst solo_a) (fst ra);
+        checks "b verdict" (fst solo_b) (fst rb);
+        checki "a evaluations" (snd solo_a) (snd ra);
+        checki "b evaluations" (snd solo_b) (snd rb));
   ]
 
 (* ---- efficiency: the reason the engine exists ----------------------------- *)
