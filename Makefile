@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke batch-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke batch-smoke lint-smoke ci clean
 
 all: build
 
@@ -22,18 +22,21 @@ vet: build
 	dune exec bin/nmlc.exe -- vet examples/programs/partition_sort.nml --mutate 60
 
 # The full benchmark suite; S1/S2 write the solver trajectory artifact,
-# S3/S4 the batch-scaling and summary-cache artifact.
+# S3/S4 the batch-scaling and summary-cache artifact, L1 the lint-cache
+# throughput artifact.
 bench: build
 	dune exec bench/main.exe -- S1 S2 --json BENCH_PR2.json
 	dune exec bench/main.exe -- --validate BENCH_PR2.json
 	dune exec bench/main.exe -- S3 S4 --json BENCH_PR4.json
 	dune exec bench/main.exe -- --validate BENCH_PR4.json
+	dune exec bench/main.exe -- L1 --json BENCH_PR5.json
+	dune exec bench/main.exe -- --validate BENCH_PR5.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 L1 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
 
 # The persistent cache end to end through the CLI: a second batch run
@@ -45,6 +48,26 @@ batch-smoke: build
 	dune exec bin/nmlc.exe -- batch examples/programs --jobs 2 \
 	  --cache _build/batch_smoke_cache | grep -q '; 0 entry evaluation(s)'
 
+# The lint engine end to end through the CLI: every shipped example lints
+# without an internal error, SARIF output is well-formed, and a warm
+# cached batch replays the cold run's findings byte for byte.
+lint-smoke: build
+	for f in examples/programs/*.nml; do \
+	  dune exec bin/nmlc.exe -- lint $$f > /dev/null; rc=$$?; \
+	  if [ $$rc -gt 1 ]; then echo "lint $$f: exit $$rc"; exit 1; fi; \
+	done
+	dune exec bin/nmlc.exe -- lint --format sarif examples/programs/reverse.nml \
+	  | grep -q '"version": "2.1.0"'
+	rm -rf _build/lint_smoke_cache
+	dune exec bin/nmlc.exe -- batch --lint examples/programs --jobs 2 \
+	  --cache _build/lint_smoke_cache > _build/lint_smoke_cold.out; [ $$? -le 1 ]
+	dune exec bin/nmlc.exe -- batch --lint examples/programs --jobs 2 \
+	  --cache _build/lint_smoke_cache > _build/lint_smoke_warm.out; [ $$? -le 1 ]
+	grep -q '; 0 entry evaluation(s)' _build/lint_smoke_warm.out
+	head -n -1 _build/lint_smoke_cold.out > _build/lint_smoke_cold.body
+	head -n -1 _build/lint_smoke_warm.out > _build/lint_smoke_warm.body
+	cmp _build/lint_smoke_cold.body _build/lint_smoke_warm.body
+
 # Everything a merge must survive.
 ci: build
 	dune runtest
@@ -52,6 +75,7 @@ ci: build
 	$(MAKE) vet
 	$(MAKE) bench-smoke
 	$(MAKE) batch-smoke
+	$(MAKE) lint-smoke
 
 clean:
 	dune clean

@@ -959,6 +959,112 @@ let s4 () =
      the edit re-solves only its invalidation cone (%d of %d cold evaluations).\n"
     (ev_of !edited) (ev_of !cold)
 
+(* ---- L1: lint throughput through the summary cache --------------------------------- *)
+
+let l1 () =
+  section "L1" "lint cache -- cold vs warm batch linting over a mixed corpus";
+  let dir = scratch_dir "l1" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* the soundness corpus and shipped examples, plus a deterministic batch
+     of random programs so per-SCC lint records face unfamiliar shapes *)
+  let random_count = if !smoke then 8 else 40 in
+  let rand = Random.State.make [| 20260807 |] in
+  let random_files =
+    List.init random_count (fun i ->
+        let src = QCheck.Gen.generate1 ~rand Gen.gen_any_program in
+        let path = Filename.concat dir (Printf.sprintf "rand%02d.nml" i) in
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc src);
+        path)
+  in
+  let files = batch_corpus dir @ random_files in
+  let store = Cache.Store.create (Filename.concat dir "cache") in
+  let lint ~store path = Lint.Batch.analyze_file ~store path in
+  let totals results =
+    List.fold_left
+      (fun (f, ev, hits, misses) (r : Cache.Batch.result) ->
+        ( f + r.Cache.Batch.findings,
+          ev + r.Cache.Batch.evaluations,
+          hits + r.Cache.Batch.scc_hits,
+          misses + r.Cache.Batch.scc_misses ))
+      (0, 0, 0, 0) results
+  in
+  let rows = ref [] in
+  let record phase wall ?identical results =
+    let f, ev, hits, misses = totals results in
+    let extra =
+      match identical with None -> [] | Some b -> [ ("identical", J.Bool b) ]
+    in
+    json_records :=
+      J.Obj
+        ([
+           ("experiment", J.Str "L1");
+           ("workload", J.Str "lint-cache");
+           ("phase", J.Str phase);
+           ("files", J.int (List.length files));
+           ("findings", J.int f);
+           ("evaluations", J.int ev);
+           ("scc_hits", J.int hits);
+           ("scc_misses", J.int misses);
+           ("wall_ns", J.int (int_of_float wall));
+         ]
+        @ extra)
+      :: !json_records;
+    rows :=
+      [
+        phase; string_of_int (List.length files); string_of_int f;
+        string_of_int ev; string_of_int hits; string_of_int misses; ms wall;
+      ]
+      :: !rows
+  in
+  (* cold: every SCC's findings are computed and written (timed once --
+     a second run would be warm) *)
+  let cold = ref [] in
+  let cold_ns =
+    time_once (fun () -> cold := Cache.Batch.run ~analyze:lint ~store ~jobs:1 files)
+  in
+  record "cold" cold_ns !cold;
+  (* warm: every record replays without forcing the fixpoint solver *)
+  let warm = Cache.Batch.run ~analyze:lint ~store ~jobs:1 files in
+  let warm_ns =
+    measure_ns "warm" (fun () ->
+        ignore (Cache.Batch.run ~analyze:lint ~store ~jobs:1 files))
+  in
+  let identical =
+    List.length !cold = List.length warm
+    && List.for_all2
+         (fun (c : Cache.Batch.result) (w : Cache.Batch.result) ->
+           String.equal c.Cache.Batch.output w.Cache.Batch.output)
+         !cold warm
+  in
+  record "warm" warm_ns ~identical warm;
+  print_table
+    [ "phase"; "files"; "findings"; "evals"; "scc hits"; "scc misses"; "ms" ]
+    (List.rev !rows);
+  let _, warm_ev, _, _ = totals warm in
+  (* per-rule audit: count each code's tag in the rendered findings *)
+  let count_tag tag =
+    let needle = Printf.sprintf "[%s]" tag in
+    let nlen = String.length needle in
+    List.fold_left
+      (fun acc (r : Cache.Batch.result) ->
+        let s = r.Cache.Batch.output in
+        let n = ref 0 in
+        for i = 0 to String.length s - nlen do
+          if String.equal (String.sub s i nlen) needle then incr n
+        done;
+        acc + !n)
+      0 !cold
+  in
+  Printf.printf "\nper-rule findings over the corpus:\n";
+  print_table [ "rule"; "findings" ]
+    (List.map
+       (fun code -> [ code; string_of_int (count_tag code) ])
+       (Lint.Registry.codes ()));
+  Printf.printf
+    "\nexpected shape: the warm rerun performs zero entry evaluations (got %d)\n\
+     and replays byte-identical findings (got %b).\n"
+    warm_ev identical
+
 (* ---- JSON validation ---------------------------------------------------------------- *)
 
 let field = J.member
@@ -996,6 +1102,13 @@ let validate_json file =
                 shaped
                   ~strs:[ "workload"; "phase" ]
                   ~nums:[ "files"; "evaluations"; "scc_hits"; "scc_misses"; "wall_ns" ]
+                  r
+            | "L1" ->
+                shaped
+                  ~strs:[ "workload"; "phase" ]
+                  ~nums:
+                    [ "files"; "findings"; "evaluations"; "scc_hits"; "scc_misses";
+                      "wall_ns" ]
                   r
             | _ ->
                 shaped
@@ -1059,10 +1172,36 @@ let validate_json file =
               "%s: cache invariants broken (warm must be 0 evaluations, an edit \
                cheaper than cold)\n"
               file;
-          if shape_ok && beats && cache_ok then
-            Printf.printf "%s: OK (%d records; %d solver, %d cache)\n" file
-              (List.length records) (List.length solver) (List.length s4);
-          shape_ok && beats && cache_ok
+          (* lint headline: a warm lint rerun is evaluation-free and replays
+             the cold run's findings byte for byte *)
+          let l1r = List.filter (fun r -> get_str "experiment" r = "L1") records in
+          let lphase p = List.filter (fun r -> get_str "phase" r = p) l1r in
+          let get_bool k r =
+            match field k r with Some (J.Bool b) -> b | _ -> false
+          in
+          let sum_findings p =
+            List.fold_left (fun a r -> a +. get_num "findings" r) 0. (lphase p)
+          in
+          let lint_ok =
+            l1r = []
+            || lphase "warm" <> []
+               && lphase "cold" <> []
+               && List.for_all
+                    (fun r ->
+                      get_num "evaluations" r = 0. && get_bool "identical" r)
+                    (lphase "warm")
+               && sum_findings "warm" = sum_findings "cold"
+          in
+          if not lint_ok then
+            Printf.eprintf
+              "%s: lint-cache invariants broken (warm must be 0 evaluations with \
+               identical findings)\n"
+              file;
+          if shape_ok && beats && cache_ok && lint_ok then
+            Printf.printf "%s: OK (%d records; %d solver, %d cache, %d lint)\n" file
+              (List.length records) (List.length solver) (List.length s4)
+              (List.length l1r);
+          shape_ok && beats && cache_ok && lint_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
@@ -1073,7 +1212,7 @@ let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
-    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4);
+    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("L1", l1);
   ]
 
 let () =
@@ -1103,7 +1242,7 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4)\n" id)
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1)\n" id)
         requested;
       match !json_file with
       | None -> ()

@@ -6,8 +6,8 @@
      eval       run the reference interpreter
      analyze    global escape + sharing report (optionally the
                 enumeration engine, or a local test on the main call)
-     batch      analyze many files on a pool of domains through the
-                persistent summary cache
+     batch      analyze or lint many files on a pool of domains through
+                the persistent summary cache
      optimize   print the optimized program and what was applied
      run        execute on the storage simulator and print statistics,
                 optionally comparing baseline and optimized runs
@@ -18,6 +18,9 @@
                 obligation behind every storage annotation of the
                 optimized program, with source-located diagnostics and
                 seeded mutation testing of the verifier itself
+     lint       escape-informed lint rules (missed reuse, heap-doomed
+                results, Theorem-1 self-audit, dead spines, unused
+                bindings) with inline suppressions and SARIF output
 
    Exit codes: 0 clean, 1 findings / divergence / user error,
    2 storage exhausted (Out_of_memory), 3 step budget exhausted
@@ -96,7 +99,23 @@ let handle ?(format = Nml.Diagnostic.Human) f =
       Printf.eprintf "nmlc: internal error: %s\n" (Printexc.to_string e);
       124
 
-(* ---- common arguments ------------------------------------------------------ *)
+(* ---- common arguments and plumbing ----------------------------------------- *)
+
+(* One source-taking subcommand body = one [with_source] call: input
+   resolution, the toolchain exception regime and the 0/1/2/3/124 exit
+   mapping live in exactly one place. *)
+let with_source ?format file inline k =
+  handle ?format (fun () -> k (surface_of file inline))
+
+let format_conv =
+  Arg.enum
+    [
+      ("human", Nml.Diagnostic.Human);
+      ("json", Nml.Diagnostic.Json);
+      ("sarif", Nml.Diagnostic.Sarif);
+    ]
+
+let format_arg ~doc = Arg.(value & opt format_conv Nml.Diagnostic.Human & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
@@ -111,17 +130,15 @@ let inline_arg =
 
 let parse_cmd =
   let run file inline =
-    handle (fun () ->
-        let s = surface_of file inline in
-        Format.printf "%a@." Nml.Surface.pp s)
+    with_source file inline (fun s -> Format.printf "%a@." Nml.Surface.pp s)
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print a program")
     Term.(const run $ file_arg $ inline_arg)
 
 let typecheck_cmd =
   let run file inline =
-    handle (fun () ->
-        let prog = Nml.Infer.infer_program (surface_of file inline) in
+    with_source file inline (fun s ->
+        let prog = Nml.Infer.infer_program s in
         List.iter
           (fun (name, s) ->
             Format.printf "%s : %a@." name Nml.Infer.pp_scheme s)
@@ -133,8 +150,8 @@ let typecheck_cmd =
 
 let eval_cmd =
   let run file inline fuel =
-    handle (fun () ->
-        let v = Nml.Eval.run ?fuel (surface_of file inline) in
+    with_source file inline (fun s ->
+        let v = Nml.Eval.run ?fuel s in
         Format.printf "%a@." Nml.Eval.pp_value v)
   in
   let fuel =
@@ -168,8 +185,7 @@ let stats_json stats =
 
 let analyze_cmd =
   let run file inline func enumerate local engine show_stats json =
-    handle (fun () ->
-        let s = surface_of file inline in
+    with_source file inline (fun s ->
         if json then begin
           if enumerate then
             failwith "--json reports the fixpoint solver, not --enumerate";
@@ -282,7 +298,7 @@ let batch_cmd =
       |> List.map (Filename.concat path)
     else [ path ]
   in
-  let run paths jobs cache_dir no_cache format =
+  let run paths jobs cache_dir no_cache lint format =
     let rc = ref 0 in
     let code =
       handle (fun () ->
@@ -290,12 +306,17 @@ let batch_cmd =
           if files = [] then failwith "no .nml program files to analyze";
           let store = if no_cache then None else Some (Cache.Store.create cache_dir) in
           let jobs = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
-          let results = Cache.Batch.run ?store ~jobs files in
+          let analyze =
+            if lint then Some (fun ~store path -> Lint.Batch.analyze_file ~store path)
+            else None
+          in
+          let results = Cache.Batch.run ?analyze ?store ~jobs files in
           let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
           let ok = List.length (List.filter (fun r -> r.Cache.Batch.code = 0) results) in
           let evals = total (fun r -> r.Cache.Batch.evaluations) in
           let hits = total (fun r -> r.Cache.Batch.scc_hits) in
           let misses = total (fun r -> r.Cache.Batch.scc_misses) in
+          let findings = total (fun r -> r.Cache.Batch.findings) in
           (match format with
           | `Human ->
               List.iter
@@ -308,12 +329,18 @@ let batch_cmd =
                   prerr_string r.Cache.Batch.errors;
                   flush stderr)
                 results;
-              Format.printf
-                "batch: %d file(s), %d ok, %d error(s); %d entry evaluation(s), %d scc \
-                 hit(s), %d scc miss(es)@."
-                (List.length results) ok
-                (List.length results - ok)
-                evals hits misses
+              if lint then
+                Format.printf
+                  "lint: %d file(s), %d clean, %d finding(s); %d entry evaluation(s), \
+                   %d scc hit(s), %d scc miss(es)@."
+                  (List.length results) ok findings evals hits misses
+              else
+                Format.printf
+                  "batch: %d file(s), %d ok, %d error(s); %d entry evaluation(s), %d scc \
+                   hit(s), %d scc miss(es)@."
+                  (List.length results) ok
+                  (List.length results - ok)
+                  evals hits misses
           | `Json ->
               let module J = Nml.Json in
               let file_json r =
@@ -322,10 +349,13 @@ let batch_cmd =
                      ("path", J.Str r.Cache.Batch.path);
                      ("code", J.int r.Cache.Batch.code);
                      ("defs", J.int r.Cache.Batch.defs);
-                     ("evaluations", J.int r.Cache.Batch.evaluations);
-                     ("scc_hits", J.int r.Cache.Batch.scc_hits);
-                     ("scc_misses", J.int r.Cache.Batch.scc_misses);
                    ]
+                  @ (if lint then [ ("findings", J.int r.Cache.Batch.findings) ] else [])
+                  @ [
+                      ("evaluations", J.int r.Cache.Batch.evaluations);
+                      ("scc_hits", J.int r.Cache.Batch.scc_hits);
+                      ("scc_misses", J.int r.Cache.Batch.scc_misses);
+                    ]
                   @
                   if r.Cache.Batch.errors = "" then []
                   else [ ("errors", J.Str r.Cache.Batch.errors) ])
@@ -333,14 +363,17 @@ let batch_cmd =
               print_string
                 (J.to_string
                    (J.Obj
-                      [
-                        ("schema", J.Str "nmlc/batch-v1");
-                        ("files", J.Arr (List.map file_json results));
-                        ("evaluations", J.int evals);
-                        ("scc_hits", J.int hits);
-                        ("scc_misses", J.int misses);
-                        ("errors", J.int (List.length results - ok));
-                      ])));
+                      ([
+                         ("schema", J.Str "nmlc/batch-v1");
+                         ("files", J.Arr (List.map file_json results));
+                       ]
+                      @ (if lint then [ ("findings", J.int findings) ] else [])
+                      @ [
+                          ("evaluations", J.int evals);
+                          ("scc_hits", J.int hits);
+                          ("scc_misses", J.int misses);
+                          ("errors", J.int (List.length results - ok));
+                        ]))));
           rc := Cache.Batch.exit_code results)
     in
     if code <> 0 then code else !rc
@@ -370,6 +403,13 @@ let batch_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Analyze cold, without reading or writing the cache.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Run the lint rules instead of the escape-summary report; per-SCC \
+                findings are persisted and invalidated through the same cache.")
+  in
   let format =
     Arg.(
       value
@@ -380,8 +420,9 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch"
-       ~doc:"Analyze many programs in parallel through the persistent summary cache")
-    Term.(const run $ paths $ jobs $ cache_dir $ no_cache $ format)
+       ~doc:"Analyze or lint many programs in parallel through the persistent summary \
+             cache")
+    Term.(const run $ paths $ jobs $ cache_dir $ no_cache $ lint $ format)
 
 let options_term =
   let no_mono =
@@ -401,8 +442,8 @@ let options_term =
 
 let mono_cmd =
   let run file inline =
-    handle (fun () ->
-        let r = Nml.Mono.run (surface_of file inline) in
+    with_source file inline (fun s ->
+        let r = Nml.Mono.run s in
         Format.printf "%a@.@." Nml.Surface.pp r.Nml.Mono.program;
         List.iter
           (fun (d, n, i) ->
@@ -415,8 +456,7 @@ let mono_cmd =
 
 let optimize_cmd =
   let run file inline options =
-    handle (fun () ->
-        let s = surface_of file inline in
+    with_source file inline (fun s ->
         let r = Optimize.Transform.optimize ~options s in
         Format.printf "%a@." Optimize.Transform.pp_report r;
         Format.printf "%a@." Runtime.Ir.pp r.Optimize.Transform.ir)
@@ -427,8 +467,7 @@ let optimize_cmd =
 
 let run_cmd =
   let run file inline options optimized heap_size no_grow check compare fuel =
-    handle (fun () ->
-        let s = surface_of file inline in
+    with_source file inline (fun s ->
         let exec ir =
           let m =
             Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check
@@ -569,8 +608,7 @@ let check_cmd =
 
 let vet_cmd =
   let run file inline options format mutate seed fault =
-    handle ~format (fun () ->
-        let s = surface_of file inline in
+    with_source ~format file inline (fun s ->
         let ir =
           match fault with
           | Check.Harness.No_fault ->
@@ -616,16 +654,14 @@ let vet_cmd =
                           ( "diagnostics",
                             J.Arr (List.map Nml.Diagnostic.to_json ds) );
                         ]));
+                if summary.Vet.Verify.findings > 0 then raise Findings
+            | Nml.Diagnostic.Sarif ->
+                print_string (Nml.Json.to_string (Nml.Diagnostic.to_sarif ds));
                 if summary.Vet.Verify.findings > 0 then raise Findings))
   in
   let format =
-    Arg.(
-      value
-      & opt
-          (enum [ ("human", Nml.Diagnostic.Human); ("json", Nml.Diagnostic.Json) ])
-          Nml.Diagnostic.Human
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"Diagnostic rendering: $(b,human) (default) or $(b,json).")
+    format_arg
+      ~doc:"Diagnostic rendering: $(b,human) (default), $(b,json) or $(b,sarif)."
   in
   let mutate =
     Arg.(
@@ -663,6 +699,117 @@ let vet_cmd =
     Term.(
       const run $ file_arg $ inline_arg $ options_term $ format $ mutate $ seed $ fault)
 
+let lint_cmd =
+  let known_codes () = String.concat ", " (Lint.Registry.codes ()) in
+  let parse_code flag c =
+    let c = String.uppercase_ascii c in
+    match Lint.Registry.find c with
+    | Some _ -> c
+    | None ->
+        failwith
+          (Printf.sprintf "%s: unknown rule %s (known rules: %s)" flag c
+             (known_codes ()))
+  in
+  let parse_severity spec =
+    match String.index_opt spec '=' with
+    | None ->
+        failwith
+          (Printf.sprintf "--severity: expected CODE=LEVEL, got %s" spec)
+    | Some i -> (
+        let code = parse_code "--severity" (String.sub spec 0 i) in
+        let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match Nml.Diagnostic.severity_of_name (String.lowercase_ascii level) with
+        | Some s -> (code, s)
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "--severity: level must be error, warning or note, got %s" level))
+  in
+  let run file inline format only disable severities fault =
+    handle ~format (fun () ->
+        let name, src = read_input file inline in
+        let config =
+          {
+            Lint.Registry.only = List.map (parse_code "--only") only;
+            disabled = List.map (parse_code "--disable") disable;
+            severities = List.map parse_severity severities;
+          }
+        in
+        let o = Lint.Engine.run ~config ~fault ~file:name src in
+        let n = List.length o.Lint.Engine.findings in
+        (match format with
+        | Nml.Diagnostic.Human ->
+            if o.Lint.Engine.findings <> [] then
+              Format.printf "%a@."
+                (Nml.Diagnostic.render Nml.Diagnostic.Human)
+                o.Lint.Engine.findings;
+            Format.printf "lint: %d finding(s), %d suppressed@." n
+              o.Lint.Engine.suppressed
+        | Nml.Diagnostic.Json ->
+            let module J = Nml.Json in
+            print_string
+              (J.to_string
+                 (J.Obj
+                    [
+                      ("schema", J.Str "nmlc/lint-v1");
+                      ("findings", J.int n);
+                      ("suppressed", J.int o.Lint.Engine.suppressed);
+                      ( "diagnostics",
+                        J.Arr (List.map Nml.Diagnostic.to_json o.Lint.Engine.findings)
+                      );
+                    ]))
+        | Nml.Diagnostic.Sarif ->
+            print_string
+              (Nml.Json.to_string
+                 (Nml.Diagnostic.to_sarif
+                    ~rules:(Lint.Registry.sarif_rules ())
+                    o.Lint.Engine.findings)));
+        if n > 0 then raise Findings)
+  in
+  let format =
+    format_arg
+      ~doc:"Finding rendering: $(b,human) (default), $(b,json) or $(b,sarif) \
+            (SARIF 2.1.0, for code-scanning upload)."
+  in
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"CODE"
+          ~doc:"Run only this rule (repeatable), e.g. $(b,--only LINT001).")
+  in
+  let disable =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"CODE" ~doc:"Disable this rule (repeatable).")
+  in
+  let severities =
+    Arg.(
+      value & opt_all string []
+      & info [ "severity" ] ~docv:"CODE=LEVEL"
+          ~doc:"Override a rule's severity (repeatable), e.g. \
+                $(b,--severity LINT002=warning).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", Lint.Rule.No_fault); ("invariance", Lint.Rule.Corrupt_invariance) ])
+          Lint.Rule.No_fault
+      & info [ "inject-fault" ] ~docv:"KIND"
+          ~doc:"Corrupt one escape verdict before the Theorem-1 comparison so that \
+                $(b,LINT003) must fire (needs a definition used at two or more \
+                instances).  The cache is bypassed.  Expected to exit nonzero.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Escape-informed lint rules: missed reuse opportunities, heap-doomed \
+             results, Theorem-1 instance-invariance self-audit, dead spines, unused \
+             bindings and unreachable branches, with inline \
+             $(b,(* nmlc-disable ... *)) suppressions")
+    Term.(
+      const run $ file_arg $ inline_arg $ format $ only $ disable $ severities $ fault)
+
 let () =
   let doc = "escape analysis on lists (Park & Goldberg, PLDI 1992)" in
   let info = Cmd.info "nmlc" ~version:"1.0.0" ~doc in
@@ -671,5 +818,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; batch_cmd; mono_cmd;
-            optimize_cmd; run_cmd; check_cmd; vet_cmd;
+            optimize_cmd; run_cmd; check_cmd; vet_cmd; lint_cmd;
           ]))

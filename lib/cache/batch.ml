@@ -4,14 +4,19 @@
    atomic counter.  Workers share nothing but the striped store and the
    results array — each solver owns its private [Dvalue.state] — and
    every result carries its rendered output, so the driver can print a
-   merged report in input order no matter which domain finished first. *)
+   merged report in input order no matter which domain finished first.
+
+   The pool is analysis-agnostic: [run ~analyze] distributes any
+   per-file job with the same result shape (the lint engine rides it
+   via [Lint.Batch]); the default job is the escape-summary analysis. *)
 
 type result = {
   path : string;
-  output : string;  (* what [nmlc analyze] would print on stdout *)
-  errors : string;  (* what [nmlc analyze] would print on stderr *)
+  output : string;  (* what the corresponding subcommand prints on stdout *)
+  errors : string;  (* ... and on stderr *)
   code : int;  (* 0 clean, 1 diagnostics/user error, 124 internal *)
   defs : int;
+  findings : int;  (* lint findings (0 in analyze mode) *)
   evaluations : int;
   scc_hits : int;
   scc_misses : int;
@@ -23,27 +28,24 @@ let render_diag ~code loc msg =
     [ Nml.Diagnostic.error ~code loc msg ]
 
 let failed path ~code ~errors =
-  { path; output = ""; errors; code; defs = 0; evaluations = 0; scc_hits = 0; scc_misses = 0 }
+  {
+    path;
+    output = "";
+    errors;
+    code;
+    defs = 0;
+    findings = 0;
+    evaluations = 0;
+    scc_hits = 0;
+    scc_misses = 0;
+  }
 
-(* Mirrors the per-file part of the driver's exception regime, with the
-   rendered text captured instead of printed. *)
-let analyze_file ?store path =
-  match
-    let src = In_channel.with_open_text path In_channel.input_all in
-    let prog = Nml.Infer.infer_program (Nml.Surface.of_string ~file:path src) in
-    Summary.analyze ?store prog
-  with
-  | o ->
-      {
-        path;
-        output = Format.asprintf "%a@." Escape.Report.pp_program_summaries o.Summary.summaries;
-        errors = "";
-        code = 0;
-        defs = List.length o.Summary.summaries;
-        evaluations = o.Summary.evaluations;
-        scc_hits = o.Summary.scc_hits;
-        scc_misses = o.Summary.scc_misses;
-      }
+(* The per-file part of the driver's exception regime, with the rendered
+   text captured instead of printed.  Every analysis callback runs under
+   it so one bad file never takes down the pool. *)
+let protect path f =
+  match f () with
+  | r -> r
   | exception Nml.Lexer.Error (loc, msg) ->
       failed path ~code:1 ~errors:(render_diag ~code:"LEX001" loc msg)
   | exception Nml.Parser.Error (loc, msg) ->
@@ -58,7 +60,29 @@ let analyze_file ?store path =
       failed path ~code:124
         ~errors:(Printf.sprintf "nmlc: internal error: %s\n" (Printexc.to_string e))
 
-let run ?store ~jobs paths =
+let analyze_file ?store path =
+  protect path (fun () ->
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let prog = Nml.Infer.infer_program (Nml.Surface.of_string ~file:path src) in
+      let o = Summary.analyze ?store prog in
+      {
+        path;
+        output = Format.asprintf "%a@." Escape.Report.pp_program_summaries o.Summary.summaries;
+        errors = "";
+        code = 0;
+        defs = List.length o.Summary.summaries;
+        findings = 0;
+        evaluations = o.Summary.evaluations;
+        scc_hits = o.Summary.scc_hits;
+        scc_misses = o.Summary.scc_misses;
+      })
+
+let run ?analyze ?store ~jobs paths =
+  let analyze =
+    match analyze with
+    | Some f -> f
+    | None -> fun ~store path -> analyze_file ?store path
+  in
   let paths = Array.of_list paths in
   let n = Array.length paths in
   let results = Array.make n None in
@@ -67,7 +91,7 @@ let run ?store ~jobs paths =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (analyze_file ?store paths.(i));
+        results.(i) <- Some (analyze ~store paths.(i));
         loop ()
       end
     in

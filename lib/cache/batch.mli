@@ -1,28 +1,42 @@
 (** Parallel batch analysis over a list of program files.
 
     Files are distributed over [jobs] domains (spawned with the stdlib
-    [Domain.spawn]; [jobs <= 1] runs inline).  Each file's analysis is
-    exactly what [nmlc analyze] performs — optionally through the
-    persistent summary cache — and each {!result} carries the rendered
-    stdout/stderr text, so reporting is deterministic: results come back
-    in input order regardless of completion order. *)
+    [Domain.spawn]; [jobs <= 1] runs inline).  The default per-file job
+    is exactly what [nmlc analyze] performs — optionally through the
+    persistent summary cache — but the pool is analysis-agnostic: pass
+    [~analyze] to distribute any job with the same {!result} shape (the
+    lint engine rides it via [Lint.Batch]).  Each {!result} carries the
+    rendered stdout/stderr text, so reporting is deterministic: results
+    come back in input order regardless of completion order. *)
 
 type result = {
   path : string;
-  output : string;  (** what [nmlc analyze] would print on stdout *)
-  errors : string;  (** what [nmlc analyze] would print on stderr *)
+  output : string;  (** what the corresponding subcommand prints on stdout *)
+  errors : string;  (** ... and on stderr *)
   code : int;  (** 0 clean, 1 diagnostics/user error, 124 internal *)
   defs : int;
+  findings : int;  (** lint findings ([0] in analyze mode) *)
   evaluations : int;  (** fixpoint entry evaluations ([0] = fully warm) *)
   scc_hits : int;
   scc_misses : int;
 }
 
+val protect : string -> (unit -> result) -> result
+(** Runs a per-file job under the driver's exception regime: toolchain
+    errors become a rendered diagnostic with code [1], anything unknown
+    becomes code [124] — one bad file never takes down the pool.
+    Analysis callbacks passed to {!run} should wrap themselves in it. *)
+
 val analyze_file : ?store:Store.t -> string -> result
 (** One file, inline (the sequential baseline the differential tests
     compare the pool against). *)
 
-val run : ?store:Store.t -> jobs:int -> string list -> result list
+val run :
+  ?analyze:(store:Store.t option -> string -> result) ->
+  ?store:Store.t ->
+  jobs:int ->
+  string list ->
+  result list
 (** Results in input order. *)
 
 val exit_code : result list -> int

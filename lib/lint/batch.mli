@@ -1,0 +1,10 @@
+(** The per-file lint job for [nmlc batch --lint].
+
+    Plugs into {!Cache.Batch.run} via its [~analyze] parameter: same
+    exception regime, same result shape, with [findings] populated and
+    the cache counters coming from the lint record store. *)
+
+val analyze_file :
+  ?config:Registry.config -> store:Cache.Store.t option -> string -> Cache.Batch.result
+(** One file, inline: read, {!Engine.run}, render.  Exit code [1] when
+    findings survive configuration and suppression, [0] otherwise. *)

@@ -1,0 +1,33 @@
+(** The lint engine.
+
+    Runs every registry rule over one program.  With a [store], findings
+    are persisted per callgraph SCC under a key derived from the SCC's
+    escape-summary key plus the members' names, spans and raw source
+    slices (program-scoped rules use a whole-source key); a fully warm
+    run therefore replays findings without evaluating a single fixpoint
+    entry.  Records hold findings at default severities — configuration
+    and suppression comments are applied at replay, so one record serves
+    every flag combination.  Fault injection bypasses the store. *)
+
+val schema_version : string
+(** Digested into every record key; bump to invalidate wholesale. *)
+
+type outcome = {
+  findings : Nml.Diagnostic.t list;  (** kept, sorted for rendering *)
+  suppressed : int;  (** dropped by [nmlc-disable] comments *)
+  defs : int;  (** definitions in the program *)
+  evaluations : int;  (** fixpoint entry evaluations (0 = fully warm) *)
+  scc_hits : int;
+  scc_misses : int;  (** both count the program-level record too *)
+}
+
+val run :
+  ?config:Registry.config ->
+  ?store:Cache.Store.t ->
+  ?fault:Rule.fault ->
+  file:string ->
+  string ->
+  outcome
+(** [run ~file src] parses, infers, lints.
+    @raise Nml.Lexer.Error, Nml.Parser.Error, Nml.Infer.Error as the
+    toolchain normally does. *)

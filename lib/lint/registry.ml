@@ -1,0 +1,36 @@
+(* Rule registry and per-run configuration.
+
+   Rules always *run* and cache their findings at default severities;
+   the configuration is applied afterwards, when findings are replayed
+   out of the cache, so one cached record serves every combination of
+   --only/--disable/--severity flags. *)
+
+module D = Nml.Diagnostic
+
+let all = Rules.all
+let codes () = List.map (fun r -> r.Rule.code) all
+let find code = List.find_opt (fun r -> r.Rule.code = code) all
+
+type config = {
+  only : string list;
+  disabled : string list;
+  severities : (string * D.severity) list;
+}
+
+let default = { only = []; disabled = []; severities = [] }
+
+let enabled config code =
+  (config.only = [] || List.mem code config.only)
+  && not (List.mem code config.disabled)
+
+let apply config ds =
+  List.filter_map
+    (fun d ->
+      if not (enabled config d.D.code) then None
+      else
+        match List.assoc_opt d.D.code config.severities with
+        | None -> Some d
+        | Some s -> Some { d with D.severity = s })
+    ds
+
+let sarif_rules () = List.map (fun r -> (r.Rule.code, r.Rule.summary)) all

@@ -1,0 +1,29 @@
+(** Rule registry and per-run configuration.
+
+    Rules always run and are cached at their default severities; a
+    {!config} is applied to findings at replay time ({!apply}), so one
+    cached record serves every combination of [--only] / [--disable] /
+    [--severity] flags. *)
+
+val all : Rule.t list
+val codes : unit -> string list
+val find : string -> Rule.t option
+
+type config = {
+  only : string list;  (** when non-empty, run only these codes *)
+  disabled : string list;
+  severities : (string * Nml.Diagnostic.severity) list;
+      (** per-code severity overrides *)
+}
+
+val default : config
+(** Everything enabled at default severities. *)
+
+val enabled : config -> string -> bool
+
+val apply : config -> Nml.Diagnostic.t list -> Nml.Diagnostic.t list
+(** Drops findings for disabled codes and rewrites severities. *)
+
+val sarif_rules : unit -> (string * string) list
+(** [(code, summary)] pairs for {!Nml.Diagnostic.to_sarif}'s rule
+    metadata. *)

@@ -1,0 +1,59 @@
+(* Inline suppression comments.
+
+     (* nmlc-disable *)                   every rule
+     (* nmlc-disable LINT001 *)           one rule
+     (* nmlc-disable LINT001, LINT005 *)  several
+
+   A directive suppresses findings that start on the comment's own
+   starting line (trailing position) or on the line right after the
+   comment ends (preceding position).  Directives are recognized in
+   block comments only, via Nml.Lexer.comments, so they obey the
+   language's own comment nesting. *)
+
+module D = Nml.Diagnostic
+
+type entry = { start_line : int; end_line : int; codes : string list }
+
+let parse_body text =
+  let text = String.trim text in
+  let key = "nmlc-disable" in
+  let klen = String.length key in
+  if String.length text < klen || String.sub text 0 klen <> key then None
+  else if String.length text > klen && not (String.contains " \t\n," text.[klen])
+  then None
+  else
+    let rest = String.sub text klen (String.length text - klen) in
+    let codes =
+      String.split_on_char ',' rest
+      |> List.concat_map (String.split_on_char ' ')
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some (String.uppercase_ascii s))
+    in
+    Some codes
+
+let scan ?file src =
+  Nml.Lexer.comments ?file src
+  |> List.filter_map (fun ((loc : Nml.Loc.t), text) ->
+         match parse_body text with
+         | None -> None
+         | Some codes ->
+             Some
+               {
+                 start_line = loc.Nml.Loc.start_pos.Nml.Loc.line;
+                 end_line = loc.Nml.Loc.end_pos.Nml.Loc.line;
+                 codes;
+               })
+
+let matches entry (d : D.t) =
+  let line = d.D.loc.Nml.Loc.start_pos.Nml.Loc.line in
+  (line = entry.start_line || line = entry.end_line + 1)
+  && (entry.codes = [] || List.mem d.D.code entry.codes)
+
+let apply entries ds =
+  let active, suppressed =
+    List.partition (fun d -> not (List.exists (fun e -> matches e d) entries)) ds
+  in
+  (active, List.length suppressed)

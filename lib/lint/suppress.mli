@@ -1,0 +1,30 @@
+(** Inline suppression comments.
+
+    {v
+      (* nmlc-disable *)                   suppress every rule
+      (* nmlc-disable LINT001 *)           one rule
+      (* nmlc-disable LINT001, LINT005 *)  several
+    v}
+
+    A directive suppresses findings that {e start} on the comment's own
+    starting line (trailing position) or on the line right after the
+    comment ends (preceding position).  Only block comments are scanned
+    ({!Nml.Lexer.comments}), so directives obey the language's comment
+    nesting. *)
+
+type entry = { start_line : int; end_line : int; codes : string list }
+(** [codes = []] means every code. *)
+
+val parse_body : string -> string list option
+(** Recognizes a directive in a comment body: [None] when the comment is
+    not a directive, [Some codes] otherwise (codes upper-cased, [[]] for
+    a bare [nmlc-disable]). *)
+
+val scan : ?file:string -> string -> entry list
+(** All directives of a source text.
+    @raise Nml.Lexer.Error on malformed input. *)
+
+val matches : entry -> Nml.Diagnostic.t -> bool
+
+val apply : entry list -> Nml.Diagnostic.t list -> Nml.Diagnostic.t list * int
+(** Partitions findings into (kept, number suppressed). *)

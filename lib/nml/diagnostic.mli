@@ -18,6 +18,7 @@ type t = {
   notes : (Loc.t * string) list;  (** secondary spans, rendered indented *)
 }
 
+val make : severity -> ?notes:(Loc.t * string) list -> code:string -> Loc.t -> string -> t
 val error : ?notes:(Loc.t * string) list -> code:string -> Loc.t -> string -> t
 val warning : ?notes:(Loc.t * string) list -> code:string -> Loc.t -> string -> t
 
@@ -32,6 +33,9 @@ val errorf :
 val severity_name : severity -> string
 (** ["error"], ["warning"], ["note"]. *)
 
+val severity_of_name : string -> severity option
+(** Inverse of {!severity_name}. *)
+
 val compare : t -> t -> int
 (** Orders by source position, then code — the rendering order. *)
 
@@ -40,10 +44,28 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Json.t
 
-type format = Human | Json
+val of_json : Json.t -> t option
+(** Inverse of {!to_json}; [None] on any shape mismatch.  Persisted
+    diagnostics (the lint findings cache) round-trip exactly:
+    [of_json (to_json d) = Some d]. *)
+
+val to_sarif :
+  ?tool_name:string ->
+  ?tool_version:string ->
+  ?rules:(string * string) list ->
+  t list ->
+  Json.t
+(** The diagnostics as a SARIF 2.1.0 document (one run, one driver).
+    [rules] supplies the driver's rule metadata as [(id, description)]
+    pairs; without it the distinct codes of the diagnostics are listed
+    with no descriptions.  Severities map to the SARIF levels [error],
+    [warning] and [note]. *)
+
+type format = Human | Json | Sarif
 
 val render : format -> Format.formatter -> t list -> unit
 (** All diagnostics, sorted with {!compare}.  The JSON form is a single
-    document [{"schema": "nmlc/diagnostics-v1", "diagnostics": [...]}]. *)
+    document [{"schema": "nmlc/diagnostics-v1", "diagnostics": [...]}];
+    the SARIF form is {!to_sarif} with default tool metadata. *)
 
 val has_errors : t list -> bool

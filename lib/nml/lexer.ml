@@ -8,6 +8,7 @@ type state = {
   mutable off : int;
   mutable line : int;
   mutable col : int;
+  mutable comments : (Loc.t * string) list;  (* block comments, reversed *)
 }
 
 let pos_of st : Loc.pos = { line = st.line; col = st.col }
@@ -57,9 +58,14 @@ let rec skip_trivia st =
       true
   | Some '(' when peek2 st = Some '*' ->
       let start = pos_of st in
+      let start_off = st.off in
       advance st;
       advance st;
       skip_comment st start 1;
+      (* record the body (between the outermost markers) with the span of
+         the whole comment — the lint suppression directives live here *)
+      let text = String.sub st.src (start_off + 2) (max 0 (st.off - start_off - 4)) in
+      st.comments <- (loc_from st start, text) :: st.comments;
       ignore (skip_trivia st);
       true
   | _ -> false
@@ -158,7 +164,7 @@ let next_token st : spanned =
   { token; loc = loc_from st start_pos }
 
 let tokenize ?(file = "<string>") src =
-  let st = { src; file; off = 0; line = 1; col = 1 } in
+  let st = { src; file; off = 0; line = 1; col = 1; comments = [] } in
   let rec loop acc =
     let sp = next_token st in
     if Token.equal sp.token Token.EOF then List.rev (sp :: acc) else loop (sp :: acc)
@@ -166,3 +172,11 @@ let tokenize ?(file = "<string>") src =
   loop []
 
 let tokens ?file src = List.map (fun sp -> sp.token) (tokenize ?file src)
+
+let comments ?(file = "<string>") src =
+  let st = { src; file; off = 0; line = 1; col = 1; comments = [] } in
+  let rec loop () =
+    if not (Token.equal (next_token st).token Token.EOF) then loop ()
+  in
+  loop ();
+  List.rev st.comments

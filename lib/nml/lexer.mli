@@ -15,3 +15,9 @@ val tokenize : ?file:string -> string -> spanned list
 
 val tokens : ?file:string -> string -> Token.t list
 (** Like {!tokenize} but drops locations (convenient in tests). *)
+
+val comments : ?file:string -> string -> (Loc.t * string) list
+(** Every block comment of [src] in source order: the span of the whole
+    [(* ... *)] and its body text (markers stripped; nested markers are
+    kept verbatim).  The lint pass scans these for [nmlc-disable]
+    suppression directives.  @raise Error on malformed input. *)

@@ -23,7 +23,7 @@ type report = { candidates : candidate list; substituted_calls : int }
 let param_loc rhs i =
   let rec walk j = function
     | A.Lam (l, _, b) -> if j = i then l else walk (j + 1) b
-    | _ -> Nml.Loc.dummy
+    | e -> A.loc e
   in
   walk 1 rhs
 

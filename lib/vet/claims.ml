@@ -29,7 +29,7 @@ let head_and_args e =
   let rec go acc = function Ir.App (f, a) -> go (a :: acc) f | h -> (h, acc) in
   go [] e
 
-let extract ~loc_of_def ~mono_names defs main =
+let extract ~loc_of_def ~main_loc ~mono_names defs main =
   let diags = ref [] in
   let claims = ref [] in
   let arenas = ref [] in
@@ -38,7 +38,7 @@ let extract ~loc_of_def ~mono_names defs main =
       match owner with Some _ -> leading_params rhs | None -> ([], rhs)
     in
     let name = match owner with Some n -> n | None -> "the main expression" in
-    let dloc = match owner with Some n -> loc_of_def n | None -> Nml.Loc.dummy in
+    let dloc = match owner with Some n -> loc_of_def n | None -> main_loc in
     let record ~tree p =
       let key = (name, p) in
       match List.assoc_opt key !claims with

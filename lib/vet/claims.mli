@@ -34,12 +34,14 @@ val head_and_args : Runtime.Ir.expr -> Runtime.Ir.expr * Runtime.Ir.expr list
 
 val extract :
   loc_of_def:(string -> Nml.Loc.t) ->
+  main_loc:Nml.Loc.t ->
   mono_names:string list ->
   (string * Runtime.Ir.expr) list ->
   Runtime.Ir.expr ->
   reuse_claim list * arena_claim list * Nml.Diagnostic.t list
-(** [extract ~loc_of_def ~mono_names defs main] walks every definition
-    body and the main expression.  Destructive sites whose source is not
+(** [extract ~loc_of_def ~main_loc ~mono_names defs main] walks every
+    definition body and the main expression; [main_loc] anchors
+    diagnostics about claims found in the main expression.  Destructive sites whose source is not
     an unshadowed leading parameter ([VET010]), unsaturated destructive
     primitives ([VET017]) and claims over unknown definitions ([VET016])
     are reported immediately; well-formed claims come back grouped per

@@ -199,7 +199,7 @@ let find_def_rhs (source : Nml.Surface.t) orig =
 
 let param_binder_loc (source : Nml.Surface.t) orig i =
   match find_def_rhs source orig with
-  | None -> Nml.Loc.dummy
+  | None -> A.loc source.Nml.Surface.main
   | Some rhs ->
       let rec walk j = function
         | A.Lam (l, _, b) -> if j = i then l else walk (j + 1) b
@@ -753,7 +753,9 @@ let audit ~source ir =
                 | None -> loc_of_def (match owner with Some d -> d | None -> target))
           in
           let claims, arenas, ediags =
-            Claims.extract ~loc_of_def ~mono_names ir_defs main
+            Claims.extract ~loc_of_def
+              ~main_loc:(A.loc source.Nml.Surface.main)
+              ~mono_names ir_defs main
           in
           List.iter add ediags;
           let destructive =

@@ -19,9 +19,10 @@ with the other.
   > EOF
 
 A cold run analyzes everything once and fills the cache (the shared
-append SCC is content-addressed, so the second file already hits it):
+append SCC is content-addressed, so the second file already hits it;
+one job, so the hit does not race the first file's save):
 
-  $ nmlc batch corpus --jobs 2 --cache cache
+  $ nmlc batch corpus --jobs 1 --cache cache
   == corpus/rev.nml ==
   append : int list -> int list -> int list
     G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may

@@ -1,0 +1,152 @@
+The escape-informed lint engine.
+
+  $ alias nmlc=../../bin/nmlc.exe
+
+A program with something to say: f's parameter is reusable but no cons
+site is nil-guarded (LINT001), g's second parameter is only ever
+forwarded (LINT004), and y is never used at all (LINT005).
+
+  $ cat > noisy.nml <<'EOF'
+  > letrec
+  >   f l = cons (car l) nil;
+  >   g n l = if n < 1 then 0 else g (n - 1) l;
+  >   h x y = cons (car x) nil
+  > in g 3 [4] + car (f [1, 2]) + car (h [5] [6])
+  > EOF
+
+  $ nmlc lint noisy.nml
+  noisy.nml:2.9-2.25: warning[LINT001]: f misses in-place reuse of parameter l: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of l or is not guarded by the emptiness test
+  noisy.nml:3.11-3.43: warning[LINT004]: parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing
+  noisy.nml:4.11-4.27: warning[LINT001]: h misses in-place reuse of parameter x: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of x or is not guarded by the emptiness test
+  noisy.nml:4.11-4.27: warning[LINT005]: binding y is never used
+  
+  lint: 4 finding(s), 0 suppressed
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+JSON output is a single document:
+
+  $ nmlc lint --format json noisy.nml
+  {"schema": "nmlc/lint-v1", "findings": 4, "suppressed": 0, "diagnostics": [
+    {"severity": "warning", "code": "LINT001", "loc": {"file": "noisy.nml", "start": {"line": 2, "col": 9}, "end": {"line": 2, "col": 25}}, "message": "f misses in-place reuse of parameter l: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of l or is not guarded by the emptiness test", "notes": []},
+    {"severity": "warning", "code": "LINT004", "loc": {"file": "noisy.nml", "start": {"line": 3, "col": 11}, "end": {"line": 3, "col": 43}}, "message": "parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing", "notes": []},
+    {"severity": "warning", "code": "LINT001", "loc": {"file": "noisy.nml", "start": {"line": 4, "col": 11}, "end": {"line": 4, "col": 27}}, "message": "h misses in-place reuse of parameter x: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of x or is not guarded by the emptiness test", "notes": []},
+    {"severity": "warning", "code": "LINT005", "loc": {"file": "noisy.nml", "start": {"line": 4, "col": 11}, "end": {"line": 4, "col": 27}}, "message": "binding y is never used", "notes": []}
+  ]}
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+SARIF output carries the registry's rule metadata:
+
+  $ nmlc lint --format sarif noisy.nml | head -12
+  {"$schema": "https://json.schemastore.org/sarif-2.1.0.json", "version": "2.1.0", "runs": [
+    {"tool": {"driver": {"name": "nmlc", "version": "1.0.0", "rules": [
+      {"id": "LINT001", "shortDescription": {"text": "in-place reuse is licensed by the escape and sharing analyses but no destructive version was produced"}},
+      {"id": "LINT002", "shortDescription": {"text": "the definition's result may share an argument spine at every call site, so no storage optimization can target it"}},
+      {"id": "LINT003", "shortDescription": {"text": "Theorem-1 self-audit: s_i - k_i must agree across all monomorphic instances of a definition"}},
+      {"id": "LINT004", "shortDescription": {"text": "a parameter spine with global escape <0,0> that the function never traverses"}},
+      {"id": "LINT005", "shortDescription": {"text": "a binding that is never used"}},
+      {"id": "LINT006", "shortDescription": {"text": "a conditional branch under a constant condition"}}
+    ]}}, "results": [
+      {"ruleId": "LINT001", "level": "warning", "message": {"text": "f misses in-place reuse of parameter l: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of l or is not guarded by the emptiness test"}, "locations": [
+        {"physicalLocation": {"artifactLocation": {"uri": "noisy.nml"}, "region": {"startLine": 2, "startColumn": 9, "endLine": 2, "endColumn": 25}}}
+      ]},
+  $ echo "exit: $?"
+  exit: 0
+
+Rules can be disabled, restricted and re-levelled:
+
+  $ nmlc lint --disable LINT001 --disable LINT004 --disable LINT005 noisy.nml
+  lint: 0 finding(s), 0 suppressed
+  $ echo "exit: $?"
+  exit: 0
+
+  $ nmlc lint --only LINT005 noisy.nml
+  noisy.nml:4.11-4.27: warning[LINT005]: binding y is never used
+  
+  lint: 1 finding(s), 0 suppressed
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+  $ nmlc lint --only LINT005 --severity LINT005=error noisy.nml
+  noisy.nml:4.11-4.27: error[LINT005]: binding y is never used
+  
+  lint: 1 finding(s), 0 suppressed
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+  $ nmlc lint --only LINT999 noisy.nml
+  error: --only: unknown rule LINT999 (known rules: LINT001, LINT002, LINT003, LINT004, LINT005, LINT006)
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+Inline suppression comments silence a finding at its line (preceding or
+trailing) without hiding the rest:
+
+  $ cat > hushed.nml <<'EOF'
+  > letrec
+  >   (* nmlc-disable LINT001 *)
+  >   f l = cons (car l) nil;
+  >   g n l = if n < 1 then 0 else g (n - 1) l
+  > in g 3 [4] + car (f [1, 2])
+  > EOF
+
+  $ nmlc lint hushed.nml
+  hushed.nml:4.11-4.43: warning[LINT004]: parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing
+  
+  lint: 1 finding(s), 1 suppressed
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+A clean program exits 0:
+
+  $ nmlc lint -e 'letrec len l = if null l then 0 else 1 + len (cdr l) in len [1, 2]'
+  lint: 0 finding(s), 0 suppressed
+  $ echo "exit: $?"
+  exit: 0
+
+The Theorem-1 self-audit (LINT003) never fires on an honest solver; a
+seeded corruption proves the audit is alive:
+
+  $ nmlc lint -e 'letrec len l = if null l then 0 else 1 + len (cdr l) in len [1] + len [[1]]'
+  lint: 0 finding(s), 0 suppressed
+  $ echo "exit: $?"
+  exit: 0
+
+  $ nmlc lint --inject-fault invariance -e 'letrec len l = if null l then 0 else 1 + len (cdr l) in len [1] + len [[1]]'
+  <command line>:1.16-1.52: error[LINT003]: Theorem 1 violated for parameter 1 of len: s_i - k_i differs across its monomorphic instances — the solver's summaries are inconsistent
+    note: <command line>:1.16-1.52: instance len at int list list -> int: escapes=false, kept top spines 2
+    note: <command line>:1.16-1.52: instance len_m2 at int list -> int: escapes=true, kept top spines 2
+  
+  lint: 1 finding(s), 0 suppressed
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+
+Batch linting shares the summary cache: the first run computes, the
+second replays every record without a single fixpoint evaluation, and
+the findings are byte-identical.
+
+  $ mkdir corpus
+  $ cp noisy.nml hushed.nml corpus/
+  $ nmlc batch --lint corpus --jobs 2 --cache cache > cold.out
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+  $ nmlc batch --lint corpus --jobs 2 --cache cache > warm.out
+  [1]
+  $ echo "exit: $?"
+  exit: 0
+  $ tail -1 cold.out
+  lint: 2 file(s), 0 clean, 5 finding(s); 7 entry evaluation(s), 0 scc hit(s), 7 scc miss(es)
+  $ tail -1 warm.out
+  lint: 2 file(s), 0 clean, 5 finding(s); 0 entry evaluation(s), 7 scc hit(s), 0 scc miss(es)
+  $ head -n -1 cold.out > cold.body && head -n -1 warm.out > warm.body
+  $ cmp cold.body warm.body && echo "findings identical"
+  findings identical
