@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke batch-smoke lint-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke batch-smoke lint-smoke serve-smoke ci clean
 
 all: build
 
@@ -23,7 +23,7 @@ vet: build
 
 # The full benchmark suite; S1/S2 write the solver trajectory artifact,
 # S3/S4 the batch-scaling and summary-cache artifact, L1 the lint-cache
-# throughput artifact.
+# throughput artifact, E1 the daemon edit-storm latency artifact.
 bench: build
 	dune exec bench/main.exe -- S1 S2 --json BENCH_PR2.json
 	dune exec bench/main.exe -- --validate BENCH_PR2.json
@@ -31,12 +31,14 @@ bench: build
 	dune exec bench/main.exe -- --validate BENCH_PR4.json
 	dune exec bench/main.exe -- L1 --json BENCH_PR5.json
 	dune exec bench/main.exe -- --validate BENCH_PR5.json
+	dune exec bench/main.exe -- E1 --json BENCH_PR6.json
+	dune exec bench/main.exe -- --validate BENCH_PR6.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 L1 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 L1 E1 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
 
 # The persistent cache end to end through the CLI: a second batch run
@@ -68,6 +70,32 @@ lint-smoke: build
 	head -n -1 _build/lint_smoke_warm.out > _build/lint_smoke_warm.body
 	cmp _build/lint_smoke_cold.body _build/lint_smoke_warm.body
 
+# The analysis daemon end to end through the CLI: a socket server with
+# the slow-request fault armed, every method exercised by the one-shot
+# client, the in-band error taxonomy (SRV001 on a garbage payload,
+# SRV004 on a blown deadline), and a clean shutdown drain (exit 0).
+serve-smoke: build
+	rm -rf _build/serve_smoke && mkdir -p _build/serve_smoke
+	set -e; \
+	N=_build/default/bin/nmlc.exe; S=_build/serve_smoke/s.sock; \
+	$$N serve --socket $$S --cache _build/serve_smoke/cache --jobs 2 \
+	  --inject-fault slow-request --quiet & SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$S ] && break; sleep 0.1; done; \
+	$$N serve --connect $$S --call status | grep -q '"workers": 2'; \
+	$$N serve --connect $$S --call analyze --file examples/programs/reverse.nml \
+	  | grep -q '"code": 0'; \
+	$$N serve --connect $$S --call lint --file examples/programs/reverse.nml \
+	  | grep -q '"findings"'; \
+	$$N serve --connect $$S --call vet --file examples/programs/reverse.nml \
+	  | grep -q '"code": 0'; \
+	( $$N serve --connect $$S --raw 'this is not json' || true ) \
+	  | grep -q 'SRV001'; \
+	( $$N serve --connect $$S --call analyze \
+	    --file examples/programs/reverse.nml --deadline-ms 1 || true ) \
+	  | grep -q 'SRV004'; \
+	$$N serve --connect $$S --call shutdown | grep -q '"stopping": true'; \
+	wait $$SRV
+
 # Everything a merge must survive.
 ci: build
 	dune runtest
@@ -76,6 +104,7 @@ ci: build
 	$(MAKE) bench-smoke
 	$(MAKE) batch-smoke
 	$(MAKE) lint-smoke
+	$(MAKE) serve-smoke
 
 clean:
 	dune clean

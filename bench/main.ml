@@ -1065,6 +1065,135 @@ let l1 () =
      and replays byte-identical findings (got %b).\n"
     warm_ev identical
 
+(* ---- E1: per-edit re-analysis latency through the daemon ---------------------------- *)
+
+(* An editor session against [nmlc serve]: a warm phase (repeated
+   analysis of unchanged files, every summary served from the hot
+   in-memory tier) and an edit storm (each request re-analyzes a file
+   whose one definition body just changed, so exactly its invalidation
+   cone re-solves).  Latencies are per-request wall times over one
+   persistent connection; the headline numbers are p50/p99. *)
+let e1 () =
+  section "E1" "analysis daemon -- per-edit re-analysis latency under an edit storm";
+  let dir = scratch_dir "e1" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let nfiles = if !smoke then 6 else 12 in
+  let requests = if !smoke then 30 else 120 in
+  let path i = Filename.concat dir (Printf.sprintf "edit%02d.nml" i) in
+  (* per-file unique bodies (the [i] constant), with a togglable [c]:
+     cache keys digest normalized bodies, so only a body change -- not
+     a reformat -- invalidates the file's cone *)
+  let write i c =
+    Out_channel.with_open_text (path i) (fun oc ->
+        Out_channel.output_string oc
+          (Ex.wrap
+             [
+               Printf.sprintf "gen x = cons %d (cons x nil)" ((1000 * i) + c);
+               "use l = gen (car l)";
+             ]
+             "use [1]"))
+  in
+  let files = List.init nfiles (fun i -> write i 0; path i) in
+  let sock = Filename.concat dir "s.sock" in
+  let store =
+    Cache.Store.create ~memory:true ~write_back:true (Filename.concat dir "cache")
+  in
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Server.Socket sock)) with
+      Serve.Server.jobs = 1;
+      store = Some store;
+      handle_signals = false;
+      quiet = true;
+    }
+  in
+  let stop = Serve.Server.spawn cfg in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Fun.protect ~finally:(fun () -> stop ()) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* one request over the persistent connection: (latency_ns, evaluations) *)
+  let analyze p =
+    let payload =
+      J.to_string
+        (J.Obj
+           [
+             ("id", J.int 1);
+             ("method", J.Str "analyze");
+             ("params", J.Obj [ ("path", J.Str p) ]);
+           ])
+    in
+    let t0 = Unix.gettimeofday () in
+    if not (Serve.Frame.write fd payload) then failwith "E1: server gone";
+    match Serve.Frame.read fd with
+    | Error _ -> failwith "E1: no response"
+    | Ok resp ->
+        let t1 = Unix.gettimeofday () in
+        let ev =
+          match J.member "result" (J.parse resp) with
+          | Some r -> (
+              match J.member "evaluations" r with
+              | Some (J.Num f) -> int_of_float f
+              | _ -> failwith "E1: result without evaluations")
+          | None -> failwith ("E1: error response: " ^ resp)
+        in
+        ((t1 -. t0) *. 1e9, ev)
+  in
+  (* fill the hot tier *)
+  List.iter (fun p -> ignore (analyze p)) files;
+  let percentile sorted q =
+    sorted.(min (Array.length sorted - 1) (Array.length sorted * q / 100))
+  in
+  let rows = ref [] in
+  let run_phase phase mutate =
+    let lat = Array.make requests 0. in
+    let evs = ref 0 in
+    for r = 0 to requests - 1 do
+      let i = r mod nfiles in
+      mutate i r;
+      let ns, ev = analyze (path i) in
+      lat.(r) <- ns;
+      evs := !evs + ev
+    done;
+    Array.sort compare lat;
+    let p50 = percentile lat 50 and p99 = percentile lat 99 in
+    json_records :=
+      J.Obj
+        [
+          ("experiment", J.Str "E1");
+          ("workload", J.Str "edit-storm");
+          ("phase", J.Str phase);
+          ("files", J.int nfiles);
+          ("requests", J.int requests);
+          ("p50_ns", J.int (int_of_float p50));
+          ("p99_ns", J.int (int_of_float p99));
+          ("evaluations", J.int !evs);
+        ]
+      :: !json_records;
+    rows :=
+      [
+        phase; string_of_int requests; string_of_int !evs; ms p50; ms p99;
+      ]
+      :: !rows;
+    (p50, p99, !evs)
+  in
+  (* warm: nothing changes, every request is a hot-tier replay *)
+  let _, _, warm_evs = run_phase "warm" (fun _ _ -> ()) in
+  (* edit storm: before each request, the target file's definition body
+     changes, so its cone (and nothing else) re-solves *)
+  let _, _, edit_evs = run_phase "edit" (fun i r -> write i (1 + r)) in
+  print_table [ "phase"; "requests"; "evals"; "p50 ms"; "p99 ms" ] (List.rev !rows);
+  Printf.printf
+    "\nexpected shape: the warm phase is evaluation-free (got %d) while every\n\
+     edit re-solves just its file's cone (%d evaluations over %d edits).\n"
+    warm_evs edit_evs requests
+
 (* ---- JSON validation ---------------------------------------------------------------- *)
 
 let field = J.member
@@ -1109,6 +1238,11 @@ let validate_json file =
                   ~nums:
                     [ "files"; "findings"; "evaluations"; "scc_hits"; "scc_misses";
                       "wall_ns" ]
+                  r
+            | "E1" ->
+                shaped
+                  ~strs:[ "workload"; "phase" ]
+                  ~nums:[ "files"; "requests"; "p50_ns"; "p99_ns"; "evaluations" ]
                   r
             | _ ->
                 shaped
@@ -1197,11 +1331,38 @@ let validate_json file =
               "%s: lint-cache invariants broken (warm must be 0 evaluations with \
                identical findings)\n"
               file;
-          if shape_ok && beats && cache_ok && lint_ok then
-            Printf.printf "%s: OK (%d records; %d solver, %d cache, %d lint)\n" file
-              (List.length records) (List.length solver) (List.length s4)
-              (List.length l1r);
-          shape_ok && beats && cache_ok && lint_ok
+          (* daemon headline: the warm phase is evaluation-free, and its
+             median latency does not exceed the edit storm's *)
+          let e1r = List.filter (fun r -> get_str "experiment" r = "E1") records in
+          let ephase p = List.filter (fun r -> get_str "phase" r = p) e1r in
+          let serve_ok =
+            e1r = []
+            || ephase "warm" <> []
+               && ephase "edit" <> []
+               && List.for_all
+                    (fun r ->
+                      get_num "p50_ns" r <= get_num "p99_ns" r
+                      && get_num "requests" r > 0.)
+                    e1r
+               && List.for_all (fun r -> get_num "evaluations" r = 0.) (ephase "warm")
+               && List.for_all (fun r -> get_num "evaluations" r > 0.) (ephase "edit")
+               && List.for_all
+                    (fun w ->
+                      List.for_all
+                        (fun e -> get_num "p50_ns" w <= get_num "p99_ns" e)
+                        (ephase "edit"))
+                    (ephase "warm")
+          in
+          if not serve_ok then
+            Printf.eprintf
+              "%s: daemon invariants broken (warm phase must be 0 evaluations with \
+               p50 <= the edit storm's p99, and p50 <= p99 everywhere)\n"
+              file;
+          if shape_ok && beats && cache_ok && lint_ok && serve_ok then
+            Printf.printf "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve)\n"
+              file (List.length records) (List.length solver) (List.length s4)
+              (List.length l1r) (List.length e1r);
+          shape_ok && beats && cache_ok && lint_ok && serve_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
@@ -1212,7 +1373,7 @@ let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
-    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("L1", l1);
+    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("L1", l1); ("E1", e1);
   ]
 
 let () =
@@ -1242,7 +1403,7 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1)\n" id)
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1, E1)\n" id)
         requested;
       match !json_file with
       | None -> ()

@@ -305,12 +305,31 @@ let batch_cmd =
           let files = List.concat_map expand paths in
           if files = [] then failwith "no .nml program files to analyze";
           let store = if no_cache then None else Some (Cache.Store.create cache_dir) in
+          (* janitor: staging files a crashed earlier run left behind *)
+          (match store with Some s -> ignore (Cache.Store.cleanup_tmp s) | None -> ());
           let jobs = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
           let analyze =
             if lint then Some (fun ~store path -> Lint.Batch.analyze_file ~store path)
             else None
           in
-          let results = Cache.Batch.run ?analyze ?store ~jobs files in
+          (* SIGINT/SIGTERM drain the pool instead of killing it mid-write:
+             in-flight files finish (and their summaries commit through the
+             atomic-rename path), unstarted files come back as code 130 *)
+          let interrupted = Atomic.make false in
+          let previous =
+            List.map
+              (fun s ->
+                (s, Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set interrupted true))))
+              [ Sys.sigint; Sys.sigterm ]
+          in
+          let results =
+            Fun.protect
+              ~finally:(fun () -> List.iter (fun (s, b) -> Sys.set_signal s b) previous)
+              (fun () ->
+                Cache.Batch.run ?analyze ?store
+                  ~stop:(fun () -> Atomic.get interrupted)
+                  ~jobs files)
+          in
           let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
           let ok = List.length (List.filter (fun r -> r.Cache.Batch.code = 0) results) in
           let evals = total (fun r -> r.Cache.Batch.evaluations) in
@@ -340,7 +359,21 @@ let batch_cmd =
                    hit(s), %d scc miss(es)@."
                   (List.length results) ok
                   (List.length results - ok)
-                  evals hits misses
+                  evals hits misses;
+              let failed =
+                List.filter (fun r -> r.Cache.Batch.code = 124) results
+              in
+              if failed <> [] then
+                Format.printf "failed: %s@."
+                  (String.concat ", "
+                     (List.map (fun r -> r.Cache.Batch.path) failed));
+              let skipped =
+                List.length (List.filter (fun r -> r.Cache.Batch.code = 130) results)
+              in
+              if skipped > 0 then
+                Format.printf "%s: interrupted, %d file(s) not analyzed@."
+                  (if lint then "lint" else "batch")
+                  skipped
           | `Json ->
               let module J = Nml.Json in
               let file_json r =
@@ -810,6 +843,201 @@ let lint_cmd =
     Term.(
       const run $ file_arg $ inline_arg $ format $ only $ disable $ severities $ fault)
 
+let serve_cmd =
+  let module J = Nml.Json in
+  (* the one-shot client: connect, send one frame, print the response *)
+  let client ~socket ~call ~file ~raw ~deadline_ms =
+    let payload =
+      match raw with
+      | Some s -> s
+      | None -> (
+          match call with
+          | None -> failwith "give --call METHOD or --raw PAYLOAD with --connect"
+          | Some m ->
+              if Serve.Protocol.meth_of_name m = None then
+                failwith (Printf.sprintf "unknown method %S" m);
+              let params =
+                (match file with Some f -> [ ("path", J.Str f) ] | None -> [])
+                @
+                match deadline_ms with
+                | Some d -> [ ("deadline_ms", J.int d) ]
+                | None -> []
+              in
+              J.to_string
+                (J.Obj
+                   ([ ("id", J.int 1); ("method", J.Str m) ]
+                   @ if params = [] then [] else [ ("params", J.Obj params) ])))
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+            failwith
+              (Printf.sprintf "cannot connect to %s: %s" socket
+                 (Unix.error_message e)));
+        if not (Serve.Frame.write fd payload) then
+          failwith "the server closed the connection before the request was sent";
+        match Serve.Frame.read fd with
+        | Error e ->
+            failwith
+              (Format.asprintf "no response: %a" Serve.Frame.pp_error e)
+        | Ok resp ->
+            print_string resp;
+            let failed =
+              match J.parse resp with
+              | exception J.Parse_error _ -> false
+              | json -> J.member "error" json <> None
+            in
+            if failed then raise Findings)
+  in
+  let run socket stdio jobs queue deadline_ms max_frame_kb cache_dir no_cache
+      fault connect call file raw quiet =
+    handle (fun () ->
+        match connect with
+        | Some sock -> client ~socket:sock ~call ~file ~raw ~deadline_ms
+        | None ->
+            let store =
+              if no_cache then None
+              else Some (Cache.Store.create ~memory:true ~write_back:true cache_dir)
+            in
+            (match store with
+            | Some s -> ignore (Cache.Store.cleanup_tmp s)
+            | None -> ());
+            let transport =
+              if stdio then Serve.Server.Stdio
+              else Serve.Server.Socket (Option.value socket ~default:".nmlc.sock")
+            in
+            let cfg =
+              {
+                (Serve.Server.default_config transport) with
+                Serve.Server.jobs =
+                  (match jobs with
+                  | Some n -> max 1 n
+                  | None -> Domain.recommended_domain_count ());
+                queue_cap = max 1 queue;
+                default_deadline_ms = Option.value deadline_ms ~default:30_000;
+                max_frame = max 1 max_frame_kb * 1024;
+                store;
+                fault;
+                quiet;
+              }
+            in
+            let code = Serve.Server.run cfg in
+            if code <> 0 then exit code)
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix socket to listen on (default: $(b,.nmlc.sock)).")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve a single session on stdin/stdout instead of a socket.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended domain count).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded request queue capacity; beyond it the oldest queued request \
+                is shed with $(b,SRV005) and a retry-after hint.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Server: default per-request deadline (default 30000; 0 disables). \
+                Client: the $(b,deadline_ms) param sent with --call.")
+  in
+  let max_frame_kb =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-frame-kb" ] ~docv:"KB"
+          ~doc:"Inbound frame size limit; larger frames are refused with $(b,SRV003).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string ".nmlc-cache"
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Persistent summary cache directory.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Serve cold: no in-memory tier, no persistent cache.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum (List.map (fun f -> (Serve.Fault.to_string f, f)) Serve.Fault.all))
+          Serve.Fault.None_
+      & info [ "inject-fault" ] ~docv:"KIND"
+          ~doc:"Deliberately break one layer of the daemon ($(b,worker-crash), \
+                $(b,slow-request), $(b,malformed-frame), $(b,cache-corrupt), \
+                $(b,oom)) to exercise the supervision, deadline and self-heal \
+                machinery.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Run as a one-shot client against the server at $(docv): send one \
+                request, print the response, exit 0 on a result and 1 on an error \
+                response.")
+  in
+  let call =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "call" ] ~docv:"METHOD"
+          ~doc:"Client: the method to call ($(b,analyze), $(b,vet), $(b,lint), \
+                $(b,status), $(b,shutdown)).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"Client: the program file to analyze.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"PAYLOAD"
+          ~doc:"Client: send $(docv) verbatim as the request payload (for testing \
+                the protocol-error paths).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the stderr lifecycle log.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"A fault-tolerant analysis daemon: framed JSON-RPC over a Unix socket \
+             or stdio, the summary cache held hot in memory, per-request deadlines, \
+             bounded-queue load shedding, supervised worker domains and a clean \
+             signal drain")
+    Term.(
+      const run $ socket $ stdio $ jobs $ queue $ deadline_ms $ max_frame_kb
+      $ cache_dir $ no_cache $ fault $ connect $ call $ file $ raw $ quiet)
+
 let () =
   let doc = "escape analysis on lists (Park & Goldberg, PLDI 1992)" in
   let info = Cmd.info "nmlc" ~version:"1.0.0" ~doc in
@@ -818,5 +1046,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; batch_cmd; mono_cmd;
-            optimize_cmd; run_cmd; check_cmd; vet_cmd; lint_cmd;
+            optimize_cmd; run_cmd; check_cmd; vet_cmd; lint_cmd; serve_cmd;
           ]))

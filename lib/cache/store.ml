@@ -1,23 +1,53 @@
-(* On-disk half of the persistent summary cache.
+(* The persistent half of the summary cache, plus the optional
+   in-memory tier the analysis server keeps hot.
 
-   Layout: [root/ab/abcdef....json] — entries are sharded by the first
-   two hex characters of their key so no directory grows unboundedly.
-   Writes go through a temporary file in the same shard followed by
-   [Sys.rename], so readers never observe a half-written entry from a
-   well-behaved writer; 16 striped in-process mutexes serialize writers
-   from different domains of one process.  Entries are content-addressed
-   (the key digests everything the payload depends on), so concurrent
-   writers of one key write identical bytes and the last rename wins.
+   Disk layout: [root/ab/abcdef....json] — entries are sharded by the
+   first two hex characters of their key so no directory grows
+   unboundedly.  Writes go through a temporary file in the same shard
+   followed by [Sys.rename]; the staging name embeds the pid, the domain
+   id and a process-global counter, so no two writers — in this process
+   or another — can ever share a staging file and interleave bytes.
+   16 striped in-process mutexes additionally serialize writers from
+   different domains of one process.  Entries are content-addressed (the
+   key digests everything the payload depends on), so concurrent writers
+   of one key write identical bytes and the last rename wins.
 
    The cache is strictly best-effort: every failure to read, parse or
-   decode is a miss, and every failure to write is ignored.  A corrupted
-   or truncated entry can cost a re-solve, never an error. *)
+   decode is a miss, and every failure to write is ignored.  A parse
+   failure is retried a few times first — a torn read from a rogue
+   writer that updates in place resolves at its next rename — so a
+   corrupted or truncated entry can cost a re-solve, never an error.
 
-type t = { root : string; locks : Mutex.t array }
+   The memory tier is a mutex-guarded hash table in front of the disk
+   tier; in write-back mode, saves only mark entries dirty and [flush]
+   publishes them.  It is always rebuildable from disk: [reload] (one
+   entry) and [drop_memory] (wholesale) are the self-heal paths when a
+   resident process finds its in-memory copy corrupted. *)
+
+type memory = {
+  tbl : (string, Nml.Json.t) Hashtbl.t;
+  dirty : (string, unit) Hashtbl.t;
+  mlock : Mutex.t;
+  write_back : bool;
+}
+
+type t = { root : string; locks : Mutex.t array; memory : memory option }
 
 let stripes = 16
 
-let create root = { root; locks = Array.init stripes (fun _ -> Mutex.create ()) }
+let create ?(memory = false) ?(write_back = false) root =
+  let memory =
+    if memory || write_back then
+      Some
+        {
+          tbl = Hashtbl.create 64;
+          dirty = Hashtbl.create 16;
+          mlock = Mutex.create ();
+          write_back;
+        }
+    else None
+  in
+  { root; locks = Array.init stripes (fun _ -> Mutex.create ()); memory }
 
 let root t = t.root
 
@@ -32,6 +62,10 @@ let with_stripe t key f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+let with_memory m f =
+  Mutex.lock m.mlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.mlock) f
+
 let mkdir_p dir =
   (* no recursion needed beyond root/shard; tolerate races with other
      processes creating the same directories *)
@@ -39,20 +73,149 @@ let mkdir_p dir =
   ensure (Filename.dirname dir);
   ensure dir
 
-let load t ~key =
-  match In_channel.with_open_bin (path_of t key) In_channel.input_all with
-  | contents -> ( try Some (Nml.Json.parse contents) with _ -> None)
-  | exception _ -> None
+(* ---- disk tier ------------------------------------------------------------- *)
 
-let save t ~key json =
+let disk_load t ~key =
+  let path = path_of t key in
+  let attempt () =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> ( try `Ok (Nml.Json.parse contents) with _ -> `Torn)
+    | exception _ -> `Missing
+  in
+  (* A readable-but-unparsable file may be a torn read of an in-place
+     (non-atomic) writer; an immediate re-read sees the complete entry
+     once its rename lands.  A missing file is a genuine miss. *)
+  let rec go retries =
+    match attempt () with
+    | `Ok j -> Some j
+    | `Missing -> None
+    | `Torn -> if retries <= 0 then None else go (retries - 1)
+  in
+  go 3
+
+let tmp_counter = Atomic.make 0
+
+let disk_save t ~key json =
   with_stripe t key @@ fun () ->
   try
     let final = path_of t key in
     mkdir_p (Filename.dirname final);
     let tmp =
-      Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int)
+      Printf.sprintf "%s.tmp.%d.%d.%d" final (Unix.getpid ())
+        (Domain.self () :> int)
+        (Atomic.fetch_and_add tmp_counter 1)
     in
     Out_channel.with_open_bin tmp (fun oc ->
         Out_channel.output_string oc (Nml.Json.to_string json));
     Sys.rename tmp final
   with _ -> ()
+
+(* ---- the two-tier interface ------------------------------------------------- *)
+
+let load t ~key =
+  match t.memory with
+  | None -> disk_load t ~key
+  | Some m -> (
+      match with_memory m (fun () -> Hashtbl.find_opt m.tbl key) with
+      | Some j -> Some j
+      | None -> (
+          match disk_load t ~key with
+          | Some j ->
+              with_memory m (fun () -> Hashtbl.replace m.tbl key j);
+              Some j
+          | None -> None))
+
+let reload t ~key =
+  (match t.memory with
+  | None -> ()
+  | Some m ->
+      with_memory m (fun () ->
+          Hashtbl.remove m.tbl key;
+          Hashtbl.remove m.dirty key));
+  load t ~key
+
+let save t ~key json =
+  match t.memory with
+  | None -> disk_save t ~key json
+  | Some m ->
+      let defer =
+        with_memory m (fun () ->
+            Hashtbl.replace m.tbl key json;
+            if m.write_back then Hashtbl.replace m.dirty key ();
+            m.write_back)
+      in
+      if not defer then disk_save t ~key json
+
+let flush t =
+  match t.memory with
+  | None -> 0
+  | Some m ->
+      (* snapshot and clear under the lock, write outside it; a save
+         racing the flush just re-marks its key dirty for the next
+         flush *)
+      let pending =
+        with_memory m (fun () ->
+            let ks = Hashtbl.fold (fun k () acc -> k :: acc) m.dirty [] in
+            Hashtbl.reset m.dirty;
+            List.filter_map
+              (fun k ->
+                Option.map (fun v -> (k, v)) (Hashtbl.find_opt m.tbl k))
+              ks)
+      in
+      List.iter (fun (key, json) -> disk_save t ~key json) pending;
+      List.length pending
+
+let drop_memory t =
+  match t.memory with
+  | None -> ()
+  | Some m ->
+      with_memory m (fun () ->
+          Hashtbl.reset m.tbl;
+          Hashtbl.reset m.dirty)
+
+let corrupt_memory t =
+  match t.memory with
+  | None -> 0
+  | Some m ->
+      with_memory m (fun () ->
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) m.tbl [] in
+          List.iter
+            (fun k -> Hashtbl.replace m.tbl k (Nml.Json.Str "<corrupted>"))
+            keys;
+          Hashtbl.reset m.dirty;
+          List.length keys)
+
+let memory_entries t =
+  match t.memory with
+  | None -> 0
+  | Some m -> with_memory m (fun () -> Hashtbl.length m.tbl)
+
+let dirty_entries t =
+  match t.memory with
+  | None -> 0
+  | Some m -> with_memory m (fun () -> Hashtbl.length m.dirty)
+
+let cleanup_tmp t =
+  let removed = ref 0 in
+  let contains_tmp f =
+    let rec at i =
+      i + 5 <= String.length f
+      && (String.sub f i 5 = ".tmp." || at (i + 1))
+    in
+    at 0
+  in
+  (try
+     Array.iter
+       (fun shard ->
+         let dir = Filename.concat t.root shard in
+         if Sys.is_directory dir then
+           Array.iter
+             (fun f ->
+               if contains_tmp f then begin
+                 (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+                 incr removed
+               end)
+             (Sys.readdir dir))
+       (Sys.readdir t.root)
+   with Sys_error _ -> ());
+  !removed

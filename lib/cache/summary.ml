@@ -145,10 +145,21 @@ let analyze ?store prog =
       let hits = ref 0 and misses = ref 0 in
       List.iter
         (fun (key, members) ->
+          let decode = record_of_json ~key ~members in
           let cached =
             match Store.load store ~key with
             | None -> None
-            | Some j -> record_of_json ~key ~members j
+            | Some j -> (
+                match decode j with
+                | Some defs -> Some defs
+                | None -> (
+                    (* the loaded copy (possibly the in-memory tier) is
+                       corrupted: self-heal by rebuilding the entry from
+                       the on-disk store before falling back to a cold
+                       re-solve *)
+                    match Store.reload store ~key with
+                    | None -> None
+                    | Some j -> decode j))
           in
           match cached with
           | Some defs ->

@@ -8,3 +8,12 @@ val analyze_file :
   ?config:Registry.config -> store:Cache.Store.t option -> string -> Cache.Batch.result
 (** One file, inline: read, {!Engine.run}, render.  Exit code [1] when
     findings survive configuration and suppression, [0] otherwise. *)
+
+val analyze_source :
+  ?config:Registry.config ->
+  store:Cache.Store.t option ->
+  path:string ->
+  string ->
+  Cache.Batch.result
+(** The same job on in-memory source text ([path] only labels
+    diagnostics) — the [nmlc serve] entry point. *)

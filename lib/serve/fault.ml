@@ -1,0 +1,32 @@
+(* Fault-injection configuration for the analysis server, mirroring
+   [nmlc check --chaos]: each kind deliberately breaks one layer of the
+   daemon so the supervision/deadline/self-heal machinery around it can
+   be demonstrated (and chaos-tested) rather than merely claimed.
+
+   - [Worker_crash]: a request whose input carries the "boom" marker
+     raises an uncatchable crash out of the worker domain — exercises
+     reaping, respawn with backoff, and input quarantine.
+   - [Slow_request]: every job stalls (cancellably) before analyzing —
+     exercises the deadline watchdog and abandoned-result discard.
+   - [Malformed_frame]: every third inbound payload has a byte flipped
+     before parsing — exercises the SRV001 malformed-input path.
+   - [Cache_corrupt]: every fifth request corrupts the in-memory summary
+     tier — exercises graceful degradation and the rebuild-from-disk
+     self-heal.
+   - [Oom]: a "boom"-marked request raises [Out_of_memory] inside the
+     worker — exercises the crash path with a resource-exhaustion
+     exception instead of a synthetic one. *)
+
+type t = None_ | Worker_crash | Slow_request | Malformed_frame | Cache_corrupt | Oom
+
+let to_string = function
+  | None_ -> "none"
+  | Worker_crash -> "worker-crash"
+  | Slow_request -> "slow-request"
+  | Malformed_frame -> "malformed-frame"
+  | Cache_corrupt -> "cache-corrupt"
+  | Oom -> "oom"
+
+let all = [ None_; Worker_crash; Slow_request; Malformed_frame; Cache_corrupt; Oom ]
+
+let of_string s = List.find_opt (fun f -> String.equal (to_string f) s) all

@@ -1,0 +1,11 @@
+(** Fault-injection kinds for [nmlc serve --inject-fault], mirroring the
+    chaos mode of the soundness harness: each kind deliberately breaks
+    one layer of the daemon (worker, scheduler, framing, in-memory
+    cache) so the robustness machinery around it is demonstrably
+    exercised. *)
+
+type t = None_ | Worker_crash | Slow_request | Malformed_frame | Cache_corrupt | Oom
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list

@@ -1,0 +1,83 @@
+(* Length-prefixed framing over a file descriptor.
+
+   One frame is an ASCII decimal byte count, a single '\n', and exactly
+   that many payload bytes (the JSON-RPC document, which [Nml.Json]
+   renders with its own trailing newline).  The length line makes the
+   protocol self-synchronizing at frame granularity: a payload that
+   fails to parse as JSON is fully consumed, so the connection survives
+   it; only a corrupted *length line* (or a declared length beyond the
+   limit) loses the frame boundary and forces the reader to drop the
+   connection.
+
+   Everything here is deliberately defensive: reads retry on EINTR,
+   EOF at a frame boundary is a clean [Closed], EOF inside a frame is
+   [Malformed] (the peer vanished mid-frame), and writes report a dead
+   peer as [false] instead of raising. *)
+
+type error =
+  | Closed  (* EOF at a frame boundary: the peer is simply done *)
+  | Malformed of string  (* unrecoverable framing damage: drop the connection *)
+  | Oversized of int  (* declared length beyond the limit *)
+
+let pp_error ppf = function
+  | Closed -> Format.fprintf ppf "connection closed"
+  | Malformed m -> Format.fprintf ppf "malformed frame: %s" m
+  | Oversized n -> Format.fprintf ppf "oversized frame: %d bytes declared" n
+
+let default_max = 4 * 1024 * 1024
+
+let rec read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with
+  | 0 -> None
+  | _ -> Some (Bytes.get b 0)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte fd
+
+(* the length line: at most 10 digits then '\n' *)
+let read_length fd =
+  let rec go acc digits =
+    match read_byte fd with
+    | None -> if digits = 0 then Error Closed else Error (Malformed "eof in length")
+    | Some '\n' ->
+        if digits = 0 then Error (Malformed "empty length") else Ok acc
+    | Some ('0' .. '9' as c) ->
+        if digits >= 10 then Error (Malformed "length line too long")
+        else go ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+    | Some c -> Error (Malformed (Printf.sprintf "byte %C in length" c))
+  in
+  go 0 0
+
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> Error (Malformed "eof inside frame payload")
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Malformed (Unix.error_message e))
+  in
+  go 0
+
+let read ?(max_len = default_max) fd =
+  match read_length fd with
+  | Error e -> Error e
+  | Ok len -> if len > max_len then Error (Oversized len) else read_exactly fd len
+
+let encode payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let write fd payload =
+  let s = encode payload in
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0

@@ -1,0 +1,30 @@
+(** Length-prefixed framing: an ASCII decimal byte count, ['\n'], then
+    exactly that many payload bytes.
+
+    The length line keeps the stream self-synchronizing at frame
+    granularity — an unparsable payload is still fully consumed, so one
+    bad request doesn't poison the connection; only a corrupted length
+    line or an over-limit declaration loses the boundary. *)
+
+type error =
+  | Closed  (** EOF at a frame boundary — the peer is done *)
+  | Malformed of string
+      (** unrecoverable framing damage (bad length line, EOF mid-frame);
+          the reader must drop the connection *)
+  | Oversized of int  (** declared length beyond [max_len] *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val default_max : int
+(** 4 MiB. *)
+
+val read : ?max_len:int -> Unix.file_descr -> (string, error) result
+(** Blocking; retries EINTR.  On [Oversized] the payload is {e not}
+    consumed. *)
+
+val encode : string -> string
+(** [encode payload] is the wire form ["<len>\n<payload>"]. *)
+
+val write : Unix.file_descr -> string -> bool
+(** Writes one encoded frame; [false] if the peer is gone (EPIPE and
+    friends) instead of raising. *)

@@ -1,0 +1,58 @@
+(** The supervised worker pool.
+
+    [jobs] worker domains pull requests from the bounded queue; a
+    supervisor thread reaps any domain whose handler let an exception
+    escape, answers the victim's client through [on_crash], and
+    respawns the domain with exponential backoff (5 ms doubling to a
+    500 ms cap; one served request resets it).  Results travel through
+    a one-shot slot per job so a client that times out abandons the
+    slot and a late result is discarded, never delivered. *)
+
+type resp = { body : string; is_error : bool }
+
+type slot
+
+type job = {
+  req : Protocol.request;
+  key : string;  (** quarantine identity of the input *)
+  deadline : float option;  (** absolute, [Unix.gettimeofday] basis *)
+  cancelled : bool Atomic.t;  (** cooperative cancellation hint *)
+  slot : slot;
+}
+
+val make_job :
+  req:Protocol.request -> key:string -> deadline:float option -> job
+
+val complete : job -> resp -> bool
+(** Posts the response; [false] if the client already abandoned the
+    job (the result is discarded). *)
+
+val abandon : job -> unit
+(** The client gave up (deadline): a late {!complete} becomes a no-op
+    and [cancelled] is raised for cooperative handlers. *)
+
+val peek : job -> resp option
+
+val expired : now:float -> job -> bool
+
+type t
+
+val create :
+  jobs:int ->
+  queue:job Squeue.t ->
+  handler:(job -> resp) ->
+  on_crash:(job option -> exn -> unit) ->
+  t
+(** Spawns the worker domains and the supervisor.  [handler] runs on a
+    worker domain; [on_crash] runs on the supervisor thread with the
+    job the dead worker was holding (if any) — it must answer that
+    job's client. *)
+
+val respawns : t -> int
+val discarded : t -> int
+
+val drain : ?grace:float -> t -> int
+(** Closes the queue, lets workers finish what is in flight, joins
+    what finishes within [grace] seconds and abandons the rest (a
+    runaway domain cannot be killed — the process exits around it).
+    Returns the number of abandoned workers. *)

@@ -1,0 +1,37 @@
+(** The analysis daemon behind [nmlc serve].
+
+    Accepts framed JSON-RPC requests ({!Frame}, {!Protocol}) over a
+    Unix socket (one thread per connection) or stdio, keeps the summary
+    store hot in memory, and dispatches analysis onto the supervised
+    worker pool ({!Pool}).  Protocol failures, deadlines, load
+    shedding, worker crashes and the drain all answer with structured
+    [SRV0xx] errors — no input can kill the server. *)
+
+type transport = Socket of string | Stdio
+
+type config = {
+  transport : transport;
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** bounded queue; beyond it the oldest is shed *)
+  default_deadline_ms : int;  (** [<= 0]: no default deadline *)
+  max_frame : int;  (** inbound frame size limit, bytes *)
+  store : Cache.Store.t option;
+      (** open with [~memory:true ~write_back:true] to get the hot
+          in-memory tier the daemon exists for *)
+  fault : Fault.t;  (** [--inject-fault] *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM drain handlers (off for in-process
+          test servers) *)
+  quiet : bool;  (** suppress the stderr lifecycle log *)
+}
+
+val default_config : transport -> config
+
+val run : config -> int
+(** Serves until EOF (stdio), a [shutdown] request or a signal; then
+    drains: in-flight requests finish, dirty summaries are flushed,
+    the socket is unlinked.  Returns the process exit code ([0]). *)
+
+val spawn : config -> unit -> unit
+(** For in-process tests: runs the server on a background thread and
+    returns a function that requests the drain and waits for it. *)

@@ -1,0 +1,60 @@
+(* A bounded, load-shedding job queue shared between the connection
+   threads (producers) and the worker domains (consumers).
+
+   Capacity is a hard bound: pushing onto a full queue evicts the
+   *oldest* queued element and hands it back to the caller ([`Shed]),
+   who rejects it with a retry-after hint — the newest request is the
+   one most likely to still have a waiting client, and memory stays
+   bounded no matter how fast requests arrive.  [close] starts the
+   drain: pushes are refused, consumers finish what is queued and then
+   receive [None]. *)
+
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    cap = max 1 cap;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  with_lock t @@ fun () ->
+  if t.closed then `Closed
+  else begin
+    let shed = if Queue.length t.q >= t.cap then Some (Queue.pop t.q) else None in
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    match shed with None -> `Ok | Some old -> `Shed old
+  end
+
+let pop t =
+  with_lock t @@ fun () ->
+  let rec wait () =
+    if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.m;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  with_lock t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty
+
+let length t = with_lock t @@ fun () -> Queue.length t.q

@@ -1,0 +1,19 @@
+(** A bounded, load-shedding queue between connection threads and
+    worker domains. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+
+val push : 'a t -> 'a -> [ `Ok | `Shed of 'a | `Closed ]
+(** Pushing onto a full queue admits the newcomer and hands back the
+    evicted {e oldest} element; [`Closed] once {!close} was called. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an element is available; [None] once the queue is
+    closed {e and} drained. *)
+
+val close : 'a t -> unit
+(** Starts the drain: refuses new pushes, wakes all consumers. *)
+
+val length : 'a t -> int

@@ -1,0 +1,97 @@
+The analysis daemon over stdio: framed JSON-RPC requests on stdin,
+framed responses on stdout.
+
+  $ alias nmlc=../../bin/nmlc.exe
+
+  $ cat > ok.nml <<'EOF'
+  > letrec
+  >   append x y = if null x then y else cons (car x) (append (cdr x) y)
+  > in append [1] [2]
+  > EOF
+
+A tiny framing helper: ASCII decimal byte count, newline, payload.
+
+  $ frame () { printf '%s\n%s' "${#1}" "$1"; }
+
+One session, four requests: a status probe, an analysis, a well-framed
+garbage payload (SRV001, the connection survives it), and a shutdown.
+EOF on stdin would drain the server too; the shutdown makes it explicit.
+
+  $ { frame '{"id": 1, "method": "status"}'
+  >   frame '{"id": 2, "method": "analyze", "params": {"path": "ok.nml"}}'
+  >   frame 'this is not json'
+  >   frame '{"id": 3, "method": "shutdown"}'
+  > } | nmlc serve --stdio --quiet --cache cache --jobs 1
+  293
+  {"id": 1, "result": {"schema": "nmlc/serve-status-v1", "workers": 1, "served": 0, "errors": 0, "timeouts": 0, "shed": 0, "malformed": 0, "invalid": 0, "crashes": 0, "respawns": 0, "discarded": 0, "quarantined": 0, "queue_depth": 0, "memory_entries": 0, "dirty_entries": 0, "draining": false}}
+  432
+  {"id": 2, "result": {"path": "ok.nml", "code": 0, "defs": 1, "findings": 0, "evaluations": 2, "scc_hits": 0, "scc_misses": 1, "output": "append : int list -> int list -> int list\n  G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may\n  G(append, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape\n  sharing: top 0 of the result's 1 spine(s) are unshared in any call\n\n\n", "errors": ""}}
+  95
+  {"error": {"code": "SRV001", "message": "unparsable JSON payload: expected true at offset 0"}}
+  40
+  {"id": 3, "result": {"stopping": true}}
+
+The drain flushed the write-back tier: a second server over the same
+cache directory serves the same analysis warm (zero evaluations,
+byte-identical report).
+
+  $ frame '{"id": 1, "method": "analyze", "params": {"path": "ok.nml"}}' \
+  >   | nmlc serve --stdio --quiet --cache cache --jobs 1 | grep -c '"evaluations": 0'
+  1
+
+A request for a file that does not exist is an in-band user error (a
+successful RPC whose result carries the diagnostic), not a server
+failure.
+
+  $ frame '{"id": 1, "method": "analyze", "params": {"path": "missing.nml"}}' \
+  >   | nmlc serve --stdio --quiet --no-cache | grep -o '"code": 1'
+  "code": 1
+
+A request with neither path nor source is refused with SRV002; an
+unknown method likewise.
+
+  $ { frame '{"id": 1, "method": "analyze"}'
+  >   frame '{"id": 2, "method": "transmogrify"}'
+  > } | nmlc serve --stdio --quiet --no-cache | grep -o 'SRV00.'
+  SRV002
+  SRV002
+
+An oversized frame is refused with SRV003 (and costs the connection,
+which ends the stdio session).
+
+  $ printf '999999999\n' | nmlc serve --stdio --quiet --no-cache | grep -o 'SRV003'
+  SRV003
+
+A corrupted length line is refused with SRV001.
+
+  $ printf 'not-a-length\n' | nmlc serve --stdio --quiet --no-cache | grep -o 'SRV001'
+  SRV001
+
+The lifecycle log (without --quiet) narrates the drain.
+
+  $ frame '{"id": 1, "method": "shutdown"}' \
+  >   | nmlc serve --stdio --cache cache 2>&1 >/dev/null
+  serve: draining
+  serve: drained (1 served, 0 error(s), 0 timeout(s), 0 crash(es), 0 summary(ies) flushed)
+
+Deadlines: with the slow-request fault armed, a 10 ms deadline expires
+and the in-flight analysis is abandoned with SRV004.
+
+  $ frame '{"id": 1, "method": "analyze", "params": {"path": "ok.nml", "deadline_ms": 10}}' \
+  >   | nmlc serve --stdio --quiet --no-cache --inject-fault slow-request | grep -o 'SRV004'
+  SRV004
+
+The worker-crash fault: a boom-marked request kills its worker domain;
+the supervisor answers SRV006, quarantines the input, and the next
+boom-marked send of the same input is refused with SRV007 — while an
+ordinary request for the same file is served normally by the respawned
+worker.
+
+  $ { frame '{"id": 1, "method": "analyze", "params": {"path": "ok.nml", "boom": true}}'
+  >   frame '{"id": 2, "method": "analyze", "params": {"path": "ok.nml", "boom": true}}'
+  >   frame '{"id": 3, "method": "analyze", "params": {"path": "ok.nml"}}'
+  > } | nmlc serve --stdio --quiet --no-cache --jobs 1 --inject-fault worker-crash \
+  >   | grep -o 'SRV006\|SRV007\|"code": 0'
+  SRV006
+  SRV007
+  "code": 0

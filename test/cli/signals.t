@@ -1,0 +1,93 @@
+Signal handling: SIGINT/SIGTERM drain the batch pool and the server
+cleanly — in-flight work finishes, summaries commit through the
+atomic-rename path (no staging debris), and the exit is orderly.
+
+  $ alias nmlc=../../bin/nmlc.exe
+  $ N=../../bin/nmlc.exe
+
+A corpus of six files, each artificially slowed to ~300 ms by the test
+hook, so a signal reliably lands mid-batch.
+
+  $ mkdir corpus
+  $ for i in 1 2 3 4 5 6; do
+  >   cat > corpus/p$i.nml <<'EOF'
+  > letrec
+  >   append x y = if null x then y else cons (car x) (append (cdr x) y)
+  > in append [1] [2]
+  > EOF
+  > done
+
+SIGINT half a second into a sequential batch: the file in flight
+finishes, unstarted files are reported as interrupted, and the exit
+code is 130.
+
+  $ NMLC_TEST_SLOW_MS=300 timeout --preserve-status -s INT 0.5 \
+  >   $N batch corpus --jobs 1 --cache cache > out.txt 2>&1; echo "rc=$?"
+  rc=130
+  $ grep -c 'interrupted' out.txt
+  1
+
+The interrupted run left no partial cache files: every summary either
+committed atomically or was never written.
+
+  $ find cache -name '*.tmp.*' | wc -l
+  0
+
+And what it did commit is valid: a warm rerun of the same corpus needs
+no new evaluations for the files that finished.
+
+  $ nmlc batch corpus --jobs 1 --cache cache | grep -o '6 file(s), 6 ok, 0 error(s)'
+  6 file(s), 6 ok, 0 error(s)
+
+SIGTERM likewise drains (here landing during the first file).
+
+  $ NMLC_TEST_SLOW_MS=300 timeout --preserve-status -s TERM 0.2 \
+  >   $N batch corpus --no-cache --jobs 1 >/dev/null 2>&1; echo "rc=$?"
+  rc=130
+
+A crashing file (injected through the pool-level test hook) costs only
+its own slot: the rest of the corpus is analyzed, the failure is
+reported per-file and in the summary, and the batch exits 124.
+
+  $ NMLC_TEST_CRASH_FILE=p3.nml $N batch corpus --no-cache --jobs 2 \
+  >   > crash.txt 2>&1; echo "rc=$?"
+  rc=124
+  $ grep -o 'injected crash on corpus/p3.nml' crash.txt | head -1
+  injected crash on corpus/p3.nml
+  $ grep -o 'failed: corpus/p3.nml' crash.txt
+  failed: corpus/p3.nml
+  $ grep -o '6 file(s), 5 ok' crash.txt
+  6 file(s), 5 ok
+
+The server drains on SIGTERM: the socket is unlinked, dirty summaries
+are flushed, and the exit code is 0.
+
+  $ nmlc serve --socket s.sock --cache servecache --jobs 1 2> serve.log &
+  $ SRV=$!
+  $ for i in $(seq 1 50); do [ -S s.sock ] && break; sleep 0.1; done
+  $ nmlc serve --connect s.sock --call analyze --file corpus/p1.nml | grep -o '"code": 0'
+  "code": 0
+  $ kill -TERM $SRV
+  $ wait $SRV; echo "rc=$?"
+  rc=0
+  $ [ -S s.sock ] && echo still-there || echo removed
+  removed
+  $ grep -o 'draining' serve.log
+  draining
+  $ grep -c 'drained' serve.log
+  1
+  $ find servecache -name '*.tmp.*' | wc -l
+  0
+
+A second server over the drained cache is warm from the flushed
+summaries.
+
+  $ nmlc serve --socket s.sock --cache servecache --jobs 1 --quiet 2>/dev/null &
+  $ SRV=$!
+  $ for i in $(seq 1 50); do [ -S s.sock ] && break; sleep 0.1; done
+  $ nmlc serve --connect s.sock --call analyze --file corpus/p1.nml | grep -o '"evaluations": 0'
+  "evaluations": 0
+  $ nmlc serve --connect s.sock --call shutdown | grep -o 'stopping'
+  stopping
+  $ wait $SRV; echo "rc=$?"
+  rc=0

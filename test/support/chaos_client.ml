@@ -1,0 +1,205 @@
+(* A chaos client for the analysis daemon: a seeded storm of valid,
+   malformed, oversized, mid-frame-disconnecting and boom-marked
+   requests over real Unix-socket connections, collecting per-code
+   response counts and — for every successful [analyze] of a file —
+   the distinct result payloads seen per path.  The test harness feeds
+   the latter to the three-way differential oracle: every distinct set
+   must be a singleton, byte-identical to what [nmlc batch] prints for
+   the same file, warm or cold.
+
+   The storm itself asserts nothing beyond protocol sanity (ids echo
+   verbatim, every frame is either answered or the connection drops at
+   a known-lossy point); the caller owns the oracle. *)
+
+module J = Nml.Json
+
+type outcome = {
+  sent : int;  (* frames (or deliberate partial frames) written *)
+  results : int;  (* well-formed success responses *)
+  errors : (string * int) list;  (* SRV code -> count, sorted *)
+  reconnects : int;  (* connections dropped (by either side) *)
+  anomalies : string list;  (* protocol violations: must stay empty *)
+  outputs : (string, string list) Hashtbl.t;
+      (* path -> distinct (code, output, errors) renderings seen *)
+}
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* raw write for deliberately broken frames *)
+let write_raw fd s =
+  match Unix.write_substring fd s 0 (String.length s) with
+  | _ -> true
+  | exception Unix.Unix_error _ -> false
+
+let analyze_payload ?(boom = false) ~id ~meth path =
+  J.to_string
+    (J.Obj
+       [
+         ("id", J.int id);
+         ("method", J.Str meth);
+         ( "params",
+           J.Obj
+             ([ ("path", J.Str path) ]
+             @ if boom then [ ("boom", J.Bool true) ] else []) );
+       ])
+
+let storm ~socket ~files ~seed ~count =
+  let rand = Random.State.make [| seed |] in
+  let files = Array.of_list files in
+  let pick_file () = files.(Random.State.int rand (Array.length files)) in
+  let outputs = Hashtbl.create 16 in
+  let errors = Hashtbl.create 8 in
+  let anomalies = ref [] in
+  let sent = ref 0 and results = ref 0 and reconnects = ref 0 in
+  let conn = ref None in
+  let drop_conn () =
+    match !conn with
+    | None -> ()
+    | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        conn := None;
+        incr reconnects
+  in
+  let get_conn () =
+    match !conn with
+    | Some fd -> fd
+    | None ->
+        let fd = connect socket in
+        conn := Some fd;
+        fd
+  in
+  let record_error code =
+    Hashtbl.replace errors code (1 + Option.value ~default:0 (Hashtbl.find_opt errors code))
+  in
+  let anomaly fmt = Printf.ksprintf (fun s -> anomalies := s :: !anomalies) fmt in
+  (* Send one well-formed frame and classify the response.  [expect_drop]
+     marks exchanges after which the server is allowed (or required) to
+     close the connection. *)
+  let roundtrip ?(expect_drop = false) ?check payload =
+    incr sent;
+    let fd = get_conn () in
+    if not (Serve.Frame.write fd payload) then drop_conn ()
+    else
+      match Serve.Frame.read fd with
+      | Error Serve.Frame.Closed -> if expect_drop then drop_conn () else (anomaly "connection closed without a response"; drop_conn ())
+      | Error e ->
+          anomaly "garbled response frame: %s" (Format.asprintf "%a" Serve.Frame.pp_error e);
+          drop_conn ()
+      | Ok resp -> (
+          (match J.parse resp with
+          | exception J.Parse_error msg -> anomaly "unparsable response: %s" msg
+          | json -> (
+              match J.member "error" json with
+              | Some err -> (
+                  match J.member "code" err with
+                  | Some (J.Str c) -> record_error c
+                  | _ -> anomaly "error response without a code")
+              | None -> (
+                  incr results;
+                  match check with None -> () | Some f -> f json)));
+          if expect_drop then drop_conn ())
+  in
+  let check_id id json =
+    match J.member "id" json with
+    | Some (J.Num n) when int_of_float n = id -> ()
+    | _ -> anomaly "request %d: id not echoed verbatim" id
+  in
+  let record_output path json =
+    match J.member "result" json with
+    | Some r ->
+        let s k = match J.member k r with Some (J.Str v) -> v | _ -> "" in
+        let n k = match J.member k r with Some (J.Num v) -> int_of_float v | _ -> -1 in
+        let rendering = Printf.sprintf "[%d]\n%s%s" (n "code") (s "output") (s "errors") in
+        let seen = Option.value ~default:[] (Hashtbl.find_opt outputs path) in
+        if not (List.mem rendering seen) then
+          Hashtbl.replace outputs path (rendering :: seen)
+    | None -> anomaly "success response without a result"
+  in
+  for i = 1 to count do
+    match Random.State.int rand 100 with
+    | r when r < 55 ->
+        (* valid analyze of a real file: the differential's bread and butter *)
+        let path = pick_file () in
+        roundtrip
+          ~check:(fun json ->
+            check_id i json;
+            record_output path json)
+          (analyze_payload ~id:i ~meth:"analyze" path)
+    | r when r < 65 ->
+        roundtrip ~check:(check_id i)
+          (analyze_payload ~id:i ~meth:(if r < 60 then "lint" else "vet") (pick_file ()))
+    | r when r < 70 -> roundtrip ~check:(check_id i) (J.to_string (J.Obj [ ("id", J.int i); ("method", J.Str "status") ]))
+    | r when r < 75 ->
+        (* analyze of a path that does not exist: an in-band user error *)
+        roundtrip ~check:(check_id i) (analyze_payload ~id:i ~meth:"analyze" "no-such-file.nml")
+    | r when r < 80 ->
+        (* well-framed garbage: SRV001, connection survives *)
+        roundtrip "]]] this is not json {{{"
+    | r when r < 84 ->
+        (* well-formed JSON, invalid request: SRV002, connection survives *)
+        roundtrip (J.to_string (J.Obj [ ("id", J.int i); ("method", J.Str "transmogrify") ]))
+    | r when r < 88 ->
+        (* corrupt length line: SRV001, then the server drops the line *)
+        incr sent;
+        let fd = get_conn () in
+        if not (write_raw fd "not-a-length\n") then drop_conn ()
+        else begin
+          (match Serve.Frame.read fd with
+          | Ok resp -> (
+              match J.parse resp with
+              | exception J.Parse_error _ -> anomaly "unparsable SRV001 response"
+              | json -> (
+                  match J.member "error" json with
+                  | Some _ -> record_error "SRV001"
+                  | None -> anomaly "bad length line answered with a result"))
+          | Error _ -> ());
+          drop_conn ()
+        end
+    | r when r < 92 ->
+        (* oversized declaration (no payload ever sent): SRV003, then
+           the server drops the line *)
+        incr sent;
+        let fd = get_conn () in
+        if not (write_raw fd "99999999\n") then drop_conn ()
+        else begin
+          (match Serve.Frame.read fd with
+          | Ok resp -> (
+              match J.parse resp with
+              | exception J.Parse_error _ -> anomaly "unparsable SRV003 response"
+              | json -> (
+                  match J.member "error" json with
+                  | Some err
+                    when J.member "code" err = Some (J.Str "SRV003") ->
+                      record_error "SRV003"
+                  | _ -> anomaly "oversized frame not answered with SRV003"))
+          | Error _ -> ());
+          drop_conn ()
+        end
+    | r when r < 96 ->
+        (* mid-frame disconnect: declare 100 bytes, send 10, vanish *)
+        incr sent;
+        let fd = get_conn () in
+        ignore (write_raw fd "100\n0123456789");
+        drop_conn ()
+    | _ ->
+        (* boom marker: a crash when worker-crash/oom injection is armed,
+           an ordinary analysis otherwise *)
+        roundtrip (analyze_payload ~boom:true ~id:i ~meth:"analyze" (pick_file ()))
+  done;
+  drop_conn ();
+  {
+    sent = !sent;
+    results = !results;
+    errors =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) errors []);
+    reconnects = !reconnects;
+    anomalies = List.rev !anomalies;
+    outputs;
+  }
