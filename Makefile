@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke batch-smoke lint-smoke serve-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke ci clean
 
 all: build
 
@@ -23,7 +23,9 @@ vet: build
 
 # The full benchmark suite; S1/S2 write the solver trajectory artifact,
 # S3/S4 the batch-scaling and summary-cache artifact, L1 the lint-cache
-# throughput artifact, E1 the daemon edit-storm latency artifact.
+# throughput artifact, E1 the daemon edit-storm latency artifact, H1/H2
+# the escape-guided heap throughput/pause artifact.  The final --history
+# folds the whole trajectory into one schema-stable series.
 bench: build
 	dune exec bench/main.exe -- S1 S2 --json BENCH_PR2.json
 	dune exec bench/main.exe -- --validate BENCH_PR2.json
@@ -33,13 +35,25 @@ bench: build
 	dune exec bench/main.exe -- --validate BENCH_PR5.json
 	dune exec bench/main.exe -- E1 --json BENCH_PR6.json
 	dune exec bench/main.exe -- --validate BENCH_PR6.json
+	dune exec bench/main.exe -- H1 H2 --json BENCH_PR7.json
+	dune exec bench/main.exe -- --validate BENCH_PR7.json
+	dune exec bench/main.exe -- --history BENCH_PR2.json BENCH_PR4.json \
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 L1 E1 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 L1 E1 H1 H2 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
+
+# The perf trajectory gate: every committed benchmark artifact must still
+# validate, and the deterministic headline metrics (evaluation and cell
+# counts -- never wall clock) must be reproducible today within 20% of
+# what the artifact recorded.
+bench-gate: build
+	dune exec bench/main.exe -- --gate BENCH_PR2.json BENCH_PR4.json \
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
 
 # The persistent cache end to end through the CLI: a second batch run
 # over the unchanged examples must perform zero entry evaluations.
@@ -102,6 +116,7 @@ ci: build
 	dune build @soundness
 	$(MAKE) vet
 	$(MAKE) bench-smoke
+	$(MAKE) bench-gate
 	$(MAKE) batch-smoke
 	$(MAKE) lint-smoke
 	$(MAKE) serve-smoke

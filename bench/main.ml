@@ -1194,6 +1194,174 @@ let e1 () =
      edit re-solves just its file's cone (%d evaluations over %d edits).\n"
     warm_evs edit_evs requests
 
+(* ---- H1/H2: escape-guided heap -- throughput and pause distribution --------------- *)
+
+(* Streaming workloads with a long-lived result and short-lived
+   intermediates: the storage profile the generational/region heap is
+   built for.  Each runs three ways -- the unannotated program on the
+   legacy heap (analysis off), the same program on the generational heap
+   (nursery only), and the fully annotated program on the generational
+   heap (regions + pretenuring; analysis on).  The pause distribution is
+   double-tracked: wall-clock nanoseconds for the headline, the
+   deterministic cells-touched proxy for gates. *)
+
+let h_sources =
+  [
+    ( "H1",
+      "stream-pipeline",
+      fun n ->
+        Ex.wrap
+          [ Ex.create_list_def; Ex.filter_def; Ex.map_def; Ex.sum_def ]
+          (Printf.sprintf
+             "sum (map (fun x -> x + 1) (filter (fun x -> x < %d) (create_list %d)))"
+             (n / 2) n) );
+    ( "H2",
+      "sort-pipeline",
+      fun n ->
+        Ex.wrap
+          [ Ex.create_list_def; Ex.filter_def; Ex.map_def; Ex.insert_def;
+            Ex.isort_def; Ex.sum_def ]
+          (Printf.sprintf
+             "sum (isort (map (fun x -> x * x) (filter (fun x -> x < %d) \
+              (create_list %d))))"
+             (n / 2) n) );
+  ]
+
+let h_sizes experiment =
+  match experiment with
+  | "H1" -> if !smoke then [ 200 ] else [ 2000; 5000; 10000 ]
+  | _ -> if !smoke then [ 50 ] else [ 100; 200; 400 ]
+
+(* (config, policy, ir, heap configuration) -- the three measured setups *)
+let h_configs surface =
+  let base_ir = Runtime.Ir.of_program surface in
+  (* Placement only: stack/block verdicts route intermediates into
+     regions and pretenuring routes the escaping spine past the
+     nursery.  Reuse stays off -- DCONS rewrites would claim the very
+     call sites the region story is about and change the allocation
+     counts the H invariants compare. *)
+  let opt_ir =
+    (T.optimize
+       ~options:
+         { T.none with T.monomorphize = true; T.stack = true; T.block = true;
+           T.pretenure = true }
+       surface)
+      .T.ir
+  in
+  let gen = Runtime.Heap.generational in
+  [
+    ("analysis-off", "legacy", base_ir, Runtime.Heap.legacy);
+    ("analysis-off", "generational", base_ir, gen);
+    ("analysis-on", "generational", opt_ir, gen);
+  ]
+
+(* arena validation off: it is a debugging oracle that taxes exactly the
+   config under measurement; the soundness harness runs it instead *)
+let h_exec ir hcfg =
+  let m = M.create ~heap_size:2048 ~config:hcfg () in
+  let w = M.eval m ir in
+  ignore (M.read_value m w);
+  M.stats m
+
+let h_run ~experiment ~workload n src =
+  List.map
+    (fun (config, policy, ir, hcfg) ->
+      let stats = h_exec ir hcfg in
+      let wall = time_once (fun () -> ignore (h_exec ir hcfg)) in
+      let cp50, cp95, cmax =
+        match Stats.pause_percentiles_cells stats with
+        | Some t -> t
+        | None -> (0, 0, 0)
+      in
+      let np50, np95, nmax =
+        match Stats.pause_percentiles_ns stats with
+        | Some t -> t
+        | None -> (0., 0., 0.)
+      in
+      (* Headline throughput is workload items per second -- the
+         optimized program allocates {e fewer} cells by design, so an
+         allocation-count rate would punish exactly the win being
+         measured.  The raw allocation rate is still recorded.  Like the
+         pauses, throughput is double-tracked: machine_work (evaluation
+         steps + GC work) is the deterministic proxy the gates compare;
+         wall-clock is the headline. *)
+      let throughput = float_of_int n /. (wall /. 1e9) in
+      let alloc_rate =
+        float_of_int (Stats.total_allocs stats) /. (wall /. 1e9)
+      in
+      let machine_work = stats.Stats.steps + Stats.gc_work stats in
+      json_records :=
+        J.Obj
+          [
+            ("experiment", J.Str experiment);
+            ("workload", J.Str workload);
+            ("config", J.Str config);
+            ("policy", J.Str policy);
+            ("size", J.int n);
+            ("heap_allocs", J.int stats.Stats.heap_allocs);
+            ("arena_allocs", J.int stats.Stats.arena_allocs);
+            ("gc_runs", J.int stats.Stats.gc_runs);
+            ("minor_gcs", J.int stats.Stats.minor_gcs);
+            ("major_gcs", J.int stats.Stats.major_gcs);
+            ("gc_work", J.int (Stats.gc_work stats));
+            ("promoted", J.int stats.Stats.promoted);
+            ("pretenured", J.int stats.Stats.pretenured);
+            ("regions_reclaimed", J.int stats.Stats.regions_reclaimed);
+            ("pause_cells_p50", J.int cp50);
+            ("pause_cells_p95", J.int cp95);
+            ("pause_cells_max", J.int cmax);
+            ("pause_ns_p50", J.int (int_of_float np50));
+            ("pause_ns_p95", J.int (int_of_float np95));
+            ("pause_ns_max", J.int (int_of_float nmax));
+            ("wall_ns", J.int (int_of_float wall));
+            ("machine_work", J.int machine_work);
+            ("throughput_ips", J.int (int_of_float throughput));
+            ("alloc_rate_cps", J.int (int_of_float alloc_rate));
+          ]
+        :: !json_records;
+      [
+        config;
+        policy;
+        string_of_int n;
+        string_of_int stats.Stats.heap_allocs;
+        string_of_int stats.Stats.arena_allocs;
+        string_of_int stats.Stats.gc_runs;
+        string_of_int stats.Stats.minor_gcs;
+        string_of_int (Stats.gc_work stats);
+        string_of_int cmax;
+        us nmax;
+        Printf.sprintf "%.1f" (float_of_int machine_work /. float_of_int n);
+        ms wall;
+        Printf.sprintf "%.1f" (throughput /. 1e3);
+      ])
+    (h_configs (Surface.of_string src))
+
+let h_bench experiment =
+  let _, workload, mk_src =
+    List.find (fun (e, _, _) -> String.equal e experiment) h_sources
+  in
+  section experiment
+    (Printf.sprintf "escape-guided heap -- %s: throughput and pauses" workload);
+  let rows =
+    List.concat_map
+      (fun n -> h_run ~experiment ~workload n (mk_src n))
+      (h_sizes experiment)
+  in
+  print_table
+    [
+      "config"; "policy"; "n"; "heap"; "arena"; "gc"; "minor"; "gc-work";
+      "pause-max"; "pause-us-max"; "work/item"; "wall-ms"; "kitems/s";
+    ]
+    rows;
+  Printf.printf
+    "\nexpected shape: analysis-on moves the intermediates into regions and the\n\
+     escaping result out of the nursery, so gc-work and the pause maxima\n\
+     collapse while allocation throughput rises; analysis-off generational\n\
+     already bounds pauses by the nursery, legacy marks the whole live heap.\n"
+
+let h1 () = h_bench "H1"
+let h2 () = h_bench "H2"
+
 (* ---- JSON validation ---------------------------------------------------------------- *)
 
 let field = J.member
@@ -1243,6 +1411,15 @@ let validate_json file =
                 shaped
                   ~strs:[ "workload"; "phase" ]
                   ~nums:[ "files"; "requests"; "p50_ns"; "p99_ns"; "evaluations" ]
+                  r
+            | "H1" | "H2" ->
+                shaped
+                  ~strs:[ "workload"; "config"; "policy" ]
+                  ~nums:
+                    [ "size"; "heap_allocs"; "arena_allocs"; "gc_runs"; "minor_gcs";
+                      "major_gcs"; "gc_work"; "pause_cells_max"; "pause_ns_max";
+                      "machine_work"; "wall_ns"; "throughput_ips";
+                      "alloc_rate_cps" ]
                   r
             | _ ->
                 shaped
@@ -1358,14 +1535,245 @@ let validate_json file =
               "%s: daemon invariants broken (warm phase must be 0 evaluations with \
                p50 <= the edit storm's p99, and p50 <= p99 everywhere)\n"
               file;
-          if shape_ok && beats && cache_ok && lint_ok && serve_ok then
-            Printf.printf "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve)\n"
+          (* heap headline: on every workload size, analysis-on must not
+             do more GC work or pause longer (deterministic cells proxy)
+             than analysis-off on the same generational heap, and must
+             not pause longer than legacy wherever legacy paused at all
+             (a growing legacy heap dodges collection on small inputs by
+             spending footprint instead -- nothing beats zero pauses).
+             Where the optimization had real room (>4096 cells of GC
+             work saved -- above the whole working set of a smoke run)
+             the throughput must follow on the deterministic proxy:
+             strictly less machine_work (steps + GC work) per run.  Both
+             the pause and throughput beats are gated on deterministic
+             proxies; the recorded wall-clock numbers are the headline,
+             not the gate. *)
+          let hrec =
+            List.filter
+              (fun r ->
+                let e = get_str "experiment" r in
+                String.equal e "H1" || String.equal e "H2")
+              records
+          in
+          let heap_ok =
+            hrec = []
+            || List.for_all
+                 (fun exp ->
+                   let recs =
+                     List.filter (fun r -> get_str "experiment" r = exp) hrec
+                   in
+                   recs = []
+                   ||
+                   let sizes =
+                     List.sort_uniq compare (List.map (get_num "size") recs)
+                   in
+                   sizes <> []
+                   && List.for_all
+                        (fun sz ->
+                          let at config policy =
+                            List.find_opt
+                              (fun r ->
+                                get_num "size" r = sz
+                                && get_str "config" r = config
+                                && get_str "policy" r = policy)
+                              recs
+                          in
+                          match
+                            ( at "analysis-on" "generational",
+                              at "analysis-off" "legacy",
+                              at "analysis-off" "generational" )
+                          with
+                          | Some on, Some leg, Some gen ->
+                              get_num "gc_work" on <= get_num "gc_work" gen
+                              && get_num "pause_cells_max" on
+                                 <= get_num "pause_cells_max" gen
+                              && (get_num "pause_cells_max" leg = 0.
+                                 || get_num "pause_cells_max" on
+                                    <= get_num "pause_cells_max" leg)
+                              && (get_num "gc_work" gen -. get_num "gc_work" on
+                                  <= 4096.
+                                 || get_num "machine_work" on
+                                    < get_num "machine_work" gen)
+                          | _ -> false)
+                        sizes)
+                 [ "H1"; "H2" ]
+          in
+          if not heap_ok then
+            Printf.eprintf
+              "%s: heap invariants broken (analysis-on must beat analysis-off in \
+               gc_work and max pause, and in throughput where the gap is real)\n"
+              file;
+          if shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok then
+            Printf.printf
+              "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve, %d heap)\n"
               file (List.length records) (List.length solver) (List.length s4)
-              (List.length l1r) (List.length e1r);
-          shape_ok && beats && cache_ok && lint_ok && serve_ok
+              (List.length l1r) (List.length e1r) (List.length hrec);
+          shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
+
+(* ---- the benchmark time series ------------------------------------------------------- *)
+
+(* Every committed artifact (BENCH_PR2 .. BENCH_PR7) folds into one
+   schema-stable series: whatever family a record belongs to, it
+   contributes to the same five columns, so the trajectory stays
+   comparable as new PRs add new experiment families. *)
+let history files =
+  let ok = ref true in
+  let rows =
+    List.concat_map
+      (fun file ->
+        match J.parse (In_channel.with_open_text file In_channel.input_all) with
+        | exception Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            ok := false;
+            []
+        | exception J.Parse_error msg ->
+            Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+            ok := false;
+            []
+        | json -> (
+            match field "records" json with
+            | Some (J.Arr records) when records <> [] ->
+                let exp_of r =
+                  match field "experiment" r with Some (J.Str s) -> s | _ -> "?"
+                in
+                let exps = List.sort_uniq compare (List.map exp_of records) in
+                List.map
+                  (fun e ->
+                    let rs = List.filter (fun r -> String.equal (exp_of r) e) records in
+                    let total k =
+                      List.fold_left
+                        (fun a r ->
+                          a +. (match field k r with Some (J.Num f) -> f | _ -> 0.))
+                        0. rs
+                    in
+                    [
+                      Filename.basename file;
+                      e;
+                      string_of_int (List.length rs);
+                      Printf.sprintf "%.0f" (total "evaluations");
+                      ms (total "wall_ns");
+                    ])
+                  exps
+            | _ ->
+                Printf.eprintf "%s: no \"records\" array\n" file;
+                ok := false;
+                []))
+      files
+  in
+  print_table [ "artifact"; "experiment"; "records"; "evaluations"; "wall ms" ] rows;
+  Printf.printf "\nhistory: %d artifact(s), %d series row(s)\n" (List.length files)
+    (List.length rows);
+  !ok
+
+(* ---- the perf-trajectory gate -------------------------------------------------------- *)
+
+(* CI smoke: every committed artifact must still validate, and the
+   deterministic headline metrics must be reproducible today within 20%
+   of what the artifact recorded.  Wall-clock metrics are never gated
+   (E1 and the throughput fields are machine-dependent); the gated
+   quantities are evaluation and cell counts, which the engines produce
+   exactly. *)
+let gate files =
+  let ok = ref true in
+  let failgate fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "bench-gate: %s\n" msg;
+        ok := false)
+      fmt
+  in
+  List.iter (fun f -> if not (validate_json f) then ok := false) files;
+  let records =
+    List.concat_map
+      (fun file ->
+        match J.parse (In_channel.with_open_text file In_channel.input_all) with
+        | exception _ -> []
+        | json -> (
+            match field "records" json with Some (J.Arr rs) -> rs | _ -> []))
+      files
+  in
+  let get_num k r = match field k r with Some (J.Num f) -> f | _ -> Float.nan in
+  let get_str k r = match field k r with Some (J.Str s) -> s | _ -> "" in
+  let within_120pct ~what ~recorded ~now =
+    (* regression = today exceeds the recorded count by more than 20%
+       (+2 absolute slack so a recorded 0 stays checkable) *)
+    if float_of_int now > (recorded *. 1.2) +. 2. then
+      failgate "%s regressed: recorded %.0f, now %d" what recorded now
+  in
+  (* S1: the worklist engine's entry evaluations on the largest recorded
+     wide-chain size are exact; re-run and compare *)
+  let s1_wide =
+    List.filter
+      (fun r ->
+        get_str "experiment" r = "S1"
+        && get_str "workload" r = "wide-chain"
+        && get_str "engine" r = "worklist")
+      records
+  in
+  (match
+     List.sort (fun a b -> compare (get_num "size" b) (get_num "size" a)) s1_wide
+   with
+  | [] -> ()
+  | biggest :: _ ->
+      let n = int_of_float (get_num "size" biggest) in
+      let stats, _ =
+        run_engine ~engine:Fix.Worklist
+          ~demand:(fun t -> ignore (Fix.value t (Printf.sprintf "w%d" (n - 1)) None))
+          (wide_chain_src n)
+      in
+      within_120pct
+        ~what:(Printf.sprintf "S1 worklist evaluations (wide chain of %d)" n)
+        ~recorded:(get_num "evaluations" biggest) ~now:stats.Fix.stats_evaluations);
+  (* H1/H2: re-run the smallest recorded size of each workload and compare
+     the deterministic storage counters per configuration *)
+  List.iter
+    (fun (experiment, _, mk_src) ->
+      let recs =
+        List.filter (fun r -> get_str "experiment" r = experiment) records
+      in
+      match List.sort compare (List.map (get_num "size") recs) with
+      | [] -> ()
+      | sz :: _ ->
+          let n = int_of_float sz in
+          List.iter
+            (fun (config, policy, ir, hcfg) ->
+              match
+                List.find_opt
+                  (fun r ->
+                    get_num "size" r = sz
+                    && get_str "config" r = config
+                    && get_str "policy" r = policy)
+                  recs
+              with
+              | None ->
+                  failgate "%s has no recorded %s/%s row at size %d" experiment
+                    config policy n
+              | Some recorded ->
+                  let stats = h_exec ir hcfg in
+                  let cmax =
+                    match Stats.pause_percentiles_cells stats with
+                    | Some (_, _, m) -> m
+                    | None -> 0
+                  in
+                  let check what r n = within_120pct
+                    ~what:(Printf.sprintf "%s %s/%s (n=%d) %s" experiment config
+                             policy (int_of_float sz) what)
+                    ~recorded:r ~now:n
+                  in
+                  check "heap_allocs" (get_num "heap_allocs" recorded)
+                    stats.Stats.heap_allocs;
+                  check "gc_work" (get_num "gc_work" recorded) (Stats.gc_work stats);
+                  check "pause_cells_max" (get_num "pause_cells_max" recorded) cmax)
+            (h_configs (Surface.of_string (mk_src n))))
+    h_sources;
+  if !ok then
+    Printf.printf
+      "bench-gate: OK (%d artifact(s), %d record(s); headline metrics within 20%%)\n"
+      (List.length files) (List.length records);
+  !ok
 
 (* ---- driver -------------------------------------------------------------------------- *)
 
@@ -1374,11 +1782,13 @@ let experiments =
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
     ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("L1", l1); ("E1", e1);
+    ("H1", h1); ("H2", h2);
   ]
 
 let () =
   let json_file = ref None in
   let validate = ref None in
+  let mode = ref `Run in
   let rec parse_args ids = function
     | [] -> List.rev ids
     | "--smoke" :: rest ->
@@ -1390,12 +1800,20 @@ let () =
     | "--validate" :: file :: rest ->
         validate := Some file;
         parse_args ids rest
+    | "--history" :: rest ->
+        mode := `History;
+        parse_args ids rest
+    | "--gate" :: rest ->
+        mode := `Gate;
+        parse_args ids rest
     | id :: rest -> parse_args (id :: ids) rest
   in
   let ids = parse_args [] (List.tl (Array.to_list Sys.argv)) in
-  match !validate with
-  | Some file -> if not (validate_json file) then exit 1
-  | None ->
+  match (!mode, !validate) with
+  | `History, _ -> if not (history ids) then exit 1
+  | `Gate, _ -> if not (gate ids) then exit 1
+  | `Run, Some file -> if not (validate_json file) then exit 1
+  | `Run, None -> (
       let requested = if ids = [] then List.map fst experiments else ids in
       List.iter
         (fun id ->
@@ -1403,7 +1821,9 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1, E1)\n" id)
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1, E1, \
+                 H1, H2)\n"
+                id)
         requested;
       match !json_file with
       | None -> ()
@@ -1417,4 +1837,4 @@ let () =
           in
           Out_channel.with_open_text file (fun oc ->
               Out_channel.output_string oc (J.to_string doc));
-          Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) file
+          Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) file)

@@ -183,6 +183,25 @@ let stats_json stats =
       ("capped", J.Bool stats.Fix.stats_capped);
     ]
 
+(* Storage section of [analyze --stats]/[--json]: execute the optimized
+   program on a generational heap with a bounded step budget and report
+   the heap counters.  Deterministic — the machine is exact and the pause
+   rows are the cells-touched percentiles, never wall-clock. *)
+let heap_row_of surface =
+  let options =
+    { Optimize.Transform.all with Optimize.Transform.pretenure = true }
+  in
+  let ir = (Optimize.Transform.optimize ~options surface).Optimize.Transform.ir in
+  let m =
+    Runtime.Machine.create ~heap_size:4096 ~fuel:1_000_000
+      ~config:Runtime.Heap.generational ()
+  in
+  match Runtime.Machine.eval m ir with
+  | _ -> Ok (Runtime.Stats.to_row (Runtime.Machine.stats m))
+  | exception Runtime.Machine.Out_of_fuel -> Error "step budget exhausted"
+  | exception Runtime.Machine.Out_of_memory -> Error "storage exhausted"
+  | exception Runtime.Machine.Error msg -> Error msg
+
 let analyze_cmd =
   let run file inline func enumerate local engine show_stats json =
     with_source file inline (fun s ->
@@ -192,7 +211,18 @@ let analyze_cmd =
           let t = Escape.Fixpoint.make ~engine (Nml.Infer.infer_program s) in
           (* drive the same queries the report makes, then emit the counters *)
           ignore (Format.asprintf "%a" Escape.Report.program t);
-          print_string (Nml.Json.to_string (stats_json (Escape.Fixpoint.stats t)))
+          let module J = Nml.Json in
+          let heap =
+            match heap_row_of s with
+            | Ok row -> J.Obj (List.map (fun (k, v) -> (k, J.int v)) row)
+            | Error reason -> J.Obj [ ("skipped", J.Str reason) ]
+          in
+          let solver =
+            match stats_json (Escape.Fixpoint.stats t) with
+            | J.Obj fields -> fields
+            | _ -> assert false
+          in
+          print_string (J.to_string (J.Obj (solver @ [ ("heap", heap) ])))
         end
         else if enumerate then begin
           let e = Escape.Enumerate.solve (Nml.Infer.infer_program s) in
@@ -233,9 +263,19 @@ let analyze_cmd =
           end;
           (* last, so a failing stage above never leaves a misleading
              half-report with statistics attached *)
-          if show_stats then
+          if show_stats then begin
             Format.printf "-- solver --@.%a@." Escape.Fixpoint.pp_stats
-              (Escape.Fixpoint.stats t)
+              (Escape.Fixpoint.stats t);
+            match heap_row_of s with
+            | Ok row ->
+                Format.printf "-- storage (generational heap) --@.%a@."
+                  (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+                     (fun ppf (k, v) -> Format.fprintf ppf "%-18s %d" k v))
+                  row
+            | Error reason ->
+                Format.printf "-- storage (generational heap) --@.skipped (%s)@."
+                  reason
+          end
         end)
   in
   let func =
@@ -468,10 +508,24 @@ let options_term =
   let no_block =
     Arg.(value & flag & info [ "no-block" ] ~doc:"Disable block allocation.")
   in
-  let mk m r s b =
-    { Optimize.Transform.monomorphize = not m; reuse = not r; stack = not s; block = not b }
+  let pretenure =
+    Arg.(
+      value & flag
+      & info [ "pretenure" ]
+          ~doc:"Retarget escape-doomed cons sites (escaping literal spines, the \
+                result spine of main) to tenured-at-birth allocation.  A hint for \
+                the generational heap; a no-op under the legacy heap.")
   in
-  Term.(const mk $ no_mono $ no_reuse $ no_stack $ no_block)
+  let mk m r s b p =
+    {
+      Optimize.Transform.monomorphize = not m;
+      reuse = not r;
+      stack = not s;
+      block = not b;
+      pretenure = p;
+    }
+  in
+  Term.(const mk $ no_mono $ no_reuse $ no_stack $ no_block $ pretenure)
 
 let mono_cmd =
   let run file inline =
@@ -499,12 +553,36 @@ let optimize_cmd =
     Term.(const run $ file_arg $ inline_arg $ options_term)
 
 let run_cmd =
-  let run file inline options optimized heap_size no_grow check compare fuel =
+  let run file inline options optimized heap_size no_grow check compare fuel policy
+      nursery no_regions no_pretenure =
     with_source file inline (fun s ->
+        let base =
+          match policy with
+          | `Legacy -> Runtime.Heap.legacy
+          | `Generational -> Runtime.Heap.generational
+        in
+        let config =
+          {
+            base with
+            Runtime.Heap.regions = base.Runtime.Heap.regions && not no_regions;
+            pretenure = base.Runtime.Heap.pretenure && not no_pretenure;
+            nursery =
+              (match nursery with
+              | Some n -> max 1 n
+              | None -> base.Runtime.Heap.nursery);
+          }
+        in
+        (* tenured-at-birth sites only exist if the optimizer emits them;
+           a generational run turns the pass on unless the heap ignores it *)
+        let options =
+          if config.Runtime.Heap.pretenure then
+            { options with Optimize.Transform.pretenure = true }
+          else options
+        in
         let exec ir =
           let m =
             Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check
-              ?fuel ()
+              ?fuel ~config ()
           in
           let w = Runtime.Machine.eval m ir in
           (Runtime.Machine.read_value m w, Runtime.Machine.stats m)
@@ -547,11 +625,42 @@ let run_cmd =
       & opt (some int) None
       & info [ "fuel" ] ~docv:"N" ~doc:"Bound the number of machine steps.")
   in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("legacy", `Legacy); ("generational", `Generational) ]) `Legacy
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Heap policy: $(b,legacy) (default, the original mark-sweep store) \
+                or $(b,generational) (nursery + promotion, escape verdicts as \
+                pretenuring hints, extra statistics rows).")
+  in
+  let nursery =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nursery" ] ~docv:"CELLS"
+          ~doc:"Nursery size for $(b,--policy generational) (default 1024): a minor \
+                collection runs whenever this many young cells are live.")
+  in
+  let no_regions =
+    Arg.(
+      value & flag
+      & info [ "no-regions" ]
+          ~doc:"Ignore arena annotations: region/block allocations fall back to \
+                ordinary heap cells (and arena exits reclaim nothing).")
+  in
+  let no_pretenure =
+    Arg.(
+      value & flag
+      & info [ "no-pretenure" ]
+          ~doc:"Under $(b,--policy generational), do not tenure escape-doomed \
+                allocations at birth; everything unannotated starts in the nursery.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute on the storage simulator and print statistics")
     Term.(
       const run $ file_arg $ inline_arg $ options_term $ optimized $ heap $ no_grow
-      $ check $ compare $ fuel)
+      $ check $ compare $ fuel $ policy $ nursery $ no_regions $ no_pretenure)
 
 let check_cmd =
   let run files count seed heap fuel chaos fault =

@@ -56,8 +56,11 @@ let chaos_of cfg =
   if cfg.chaos then { M.gc_period = 3; poison = true; chaos_seed = cfg.seed }
   else M.no_chaos
 
-let run_machine cfg ~heap ~grow ~chaos ir =
-  let m = M.create ~heap_size:heap ~grow ~check_arenas:true ?fuel:(fuel_opt cfg) ~chaos () in
+let run_machine cfg ?(config = Runtime.Heap.legacy) ~heap ~grow ~chaos ir =
+  let m =
+    M.create ~heap_size:heap ~grow ~check_arenas:true ?fuel:(fuel_opt cfg) ~chaos
+      ~config ()
+  in
   let outcome =
     match M.eval m ir with
     | w -> (
@@ -88,6 +91,14 @@ let stats_violations m =
       (s.Stats.peak_live <= total, "peak_live exceeds total allocations");
       (live <= s.Stats.peak_live, "live cells exceed peak_live");
       (s.Stats.heap_capacity >= 1, "heap capacity vanished");
+      (* generational bookkeeping: a cell is promoted at most once and
+         only heap cells ever live in (or skip) the nursery *)
+      ( (not s.Stats.generational)
+        || s.Stats.promoted + s.Stats.pretenured <= s.Stats.heap_allocs,
+        "promoted + pretenured exceed heap allocations" );
+      ( (not s.Stats.generational)
+        || s.Stats.minor_gcs + s.Stats.major_gcs <= s.Stats.gc_runs,
+        "minor + major collections exceed gc_runs" );
     ]
 
 (* ---- comparison ------------------------------------------------------------ *)
@@ -168,23 +179,71 @@ let sabotage fault surface =
 
 (* ---- the per-program oracle ------------------------------------------------ *)
 
-(* stage name, IR, heap capacity, growth, chaos *)
+(* stage name, IR, heap capacity, growth, chaos, heap configuration *)
 let machine_stages cfg surface =
   let baseline = Ir.of_program surface in
   let optimized = (Optimize.Transform.optimize surface).Optimize.Transform.ir in
+  let pretenured =
+    let options =
+      { Optimize.Transform.all with Optimize.Transform.pretenure = true }
+    in
+    (Optimize.Transform.optimize ~options surface).Optimize.Transform.ir
+  in
   let chaos = chaos_of cfg in
   let tiny = max 2 cfg.heap in
+  let leg = Runtime.Heap.legacy in
+  let gen = Runtime.Heap.generational in
+  (* a seeded draw over the heap-configuration space, so repeated chaos
+     runs sample different nursery sizes and region/pretenure toggles
+     while any divergence stays reproducible from the seed *)
+  let drawn =
+    let st = Random.State.make [| cfg.seed; 0x9e3779b9 |] in
+    {
+      gen with
+      Runtime.Heap.regions = Random.State.bool st;
+      pretenure = Random.State.bool st;
+      nursery = 1 + Random.State.int st 16;
+    }
+  in
   [
-    ("baseline machine", baseline, 4096, true, M.no_chaos);
-    ("optimized machine", optimized, 4096, true, M.no_chaos);
-    ("optimized, fixed heap", optimized, tiny, false, chaos);
-    ("optimized, tiny fixed heap", optimized, max 2 (tiny / 4), false, chaos);
-    ("optimized, growing heap under pressure", optimized, max 2 (tiny / 8), true, chaos);
+    ("baseline machine", baseline, 4096, true, M.no_chaos, leg);
+    ("optimized machine", optimized, 4096, true, M.no_chaos, leg);
+    ("optimized, fixed heap", optimized, tiny, false, chaos, leg);
+    ("optimized, tiny fixed heap", optimized, max 2 (tiny / 4), false, chaos, leg);
+    ( "optimized, growing heap under pressure",
+      optimized,
+      max 2 (tiny / 8),
+      true,
+      chaos,
+      leg );
+    (* the same optimized program on every generational configuration:
+       forced chaos collections now also land mid-region, while the
+       tiny-nursery stage drives promotion on every program *)
+    ("optimized, generational heap", pretenured, 4096, true, chaos, gen);
+    ( "optimized, generational tiny nursery",
+      pretenured,
+      4096,
+      true,
+      chaos,
+      { gen with Runtime.Heap.nursery = 2 } );
+    ( "optimized, generational no regions",
+      pretenured,
+      4096,
+      true,
+      chaos,
+      { gen with Runtime.Heap.regions = false } );
+    ("optimized, generational drawn config", pretenured, 4096, true, chaos, drawn);
+    ( "optimized, generational under pressure",
+      pretenured,
+      max 2 (tiny / 4),
+      true,
+      chaos,
+      { gen with Runtime.Heap.nursery = 3 } );
   ]
   @
   match sabotage cfg.fault surface with
   | None -> []
-  | Some ir -> [ ("sabotaged", ir, tiny, true, { chaos with M.poison = true }) ]
+  | Some ir -> [ ("sabotaged", ir, tiny, true, { chaos with M.poison = true }, leg) ]
 
 let check_src cfg src =
   match Nml.Surface.of_string src with
@@ -207,8 +266,10 @@ let check_src cfg src =
               | stages ->
                   let rec go = function
                     | [] -> Pass
-                    | (stage, ir, heap, grow, chaos) :: rest -> (
-                        let outcome, m = run_machine cfg ~heap ~grow ~chaos ir in
+                    | (stage, ir, heap, grow, chaos, config) :: rest -> (
+                        let outcome, m =
+                          run_machine cfg ~config ~heap ~grow ~chaos ir
+                        in
                         if not (agree reference outcome) then
                           Fail { stage; expected; got = outcome_to_string outcome }
                         else

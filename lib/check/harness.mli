@@ -50,13 +50,18 @@ val run_reference : config -> Nml.Surface.t -> outcome
 
 val run_machine :
   config ->
+  ?config:Runtime.Heap.config ->
   heap:int ->
   grow:bool ->
   chaos:Runtime.Machine.chaos ->
   Runtime.Ir.expr ->
   outcome * Runtime.Machine.t
 (** One machine execution with arena validation on; reading the result
-    back is part of the run (a dangling result is a [Crash]). *)
+    back is part of the run (a dangling result is a [Crash]).  [?config]
+    selects the heap organization (default {!Runtime.Heap.legacy}); the
+    oracle itself runs every program on legacy {e and} generational
+    configurations (tiny nursery, regions off, a seed-drawn config), so
+    chaos collections also land mid-region on the generational heap. *)
 
 val stats_violations : Runtime.Machine.t -> string list
 (** Violated bookkeeping identities of the machine's counters, empty

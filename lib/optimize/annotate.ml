@@ -18,7 +18,13 @@ type block_annotation = {
   loc : Nml.Loc.t;  (** surface position of the producer call *)
 }
 
-type report = { stack : stack_annotation list; block : block_annotation list }
+type report = {
+  stack : stack_annotation list;
+  block : block_annotation list;
+  pretenure_sites : int;
+      (** cons sites retargeted to [Ir.Pretenured]: escape-doomed literal
+          spines and the result spine of main *)
+}
 
 (* Conses in result position build the result's top spine: the body
    itself, conditional branches, letrec bodies, the body of an
@@ -51,8 +57,8 @@ let specialize ~arena name rhs =
   let marked = mark_result ~arena body in
   List.fold_right (fun x acc -> Ir.Lam (x, acc)) params marked
 
-(* Rewrites the top [levels] spine levels of a literal into the arena. *)
-let rec annotate_literal ~arena ~levels ~recurse e =
+(* Rewrites the top [levels] spine levels of a literal onto [target]. *)
+let rec annotate_literal ~target ~levels ~recurse e =
   if levels <= 0 || not (Shape.is_literal_list e) then recurse e
   else
     match e with
@@ -60,16 +66,33 @@ let rec annotate_literal ~arena ~levels ~recurse e =
     | A.App (_, A.App (_, A.Prim (_, A.Cons), hd), tl) ->
         Ir.App
           ( Ir.App
-              ( Ir.ConsAt (Ir.Arena arena),
-                annotate_literal ~arena ~levels:(levels - 1) ~recurse hd ),
-            annotate_literal ~arena ~levels ~recurse tl )
+              ( Ir.ConsAt target,
+                annotate_literal ~target ~levels:(levels - 1) ~recurse hd ),
+            annotate_literal ~target ~levels ~recurse tl )
     | _ -> recurse e
 
-let annotate ~stack ~block t (surface : Nml.Surface.t) =
+(* Conses building the top spine of main's result escape by definition —
+   the program result is live until the very end.  Retargeting them to
+   [Ir.Pretenured] lets a generational heap tenure them at birth instead
+   of promoting them out of the nursery one collection later.  Arena-
+   targeted sites are left alone (regions already bypass the nursery). *)
+let rec pretenure_result count e =
+  match e with
+  | Ir.App (Ir.App ((Ir.Prim A.Cons | Ir.ConsAt Ir.Heap), hd), tl) ->
+      incr count;
+      Ir.App (Ir.App (Ir.ConsAt Ir.Pretenured, hd), pretenure_result count tl)
+  | Ir.If (c, t, f) -> Ir.If (c, pretenure_result count t, pretenure_result count f)
+  | Ir.Letrec (bs, body) -> Ir.Letrec (bs, pretenure_result count body)
+  | Ir.App (Ir.Lam (x, b), a) -> Ir.App (Ir.Lam (x, pretenure_result count b), a)
+  | Ir.WithArena (k, i, b) -> Ir.WithArena (k, i, pretenure_result count b)
+  | e -> e
+
+let annotate ~stack ~block ?(pretenure = false) t (surface : Nml.Surface.t) =
   let defs = surface.Nml.Surface.defs in
   let def_names = List.map fst defs in
   let stack_anns = ref [] in
   let block_anns = ref [] in
+  let pret_sites = ref 0 in
   let specialized = ref [] in
   let next_region = ref 0 in
   let block_arena_of = Hashtbl.create 8 in
@@ -105,10 +128,10 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
             let region = ref None in
             let blocks = ref [] in
             let arg_ir j a =
-              if stack && Shape.is_literal_list a then begin
+              if (stack || pretenure) && Shape.is_literal_list a then begin
                 let keep = keep_of f args j in
-                let levels = min keep (Shape.literal_depth a) in
-                if levels >= 1 then begin
+                let levels = if stack then min keep (Shape.literal_depth a) else 0 in
+                if stack && levels >= 1 then begin
                   let arena =
                     match !region with
                     | Some r -> r
@@ -121,7 +144,15 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
                   stack_anns :=
                     { func = f; arg = j + 1; levels; arena; loc = A.loc a }
                     :: !stack_anns;
-                  annotate_literal ~arena ~levels ~recurse:go a
+                  annotate_literal ~target:(Ir.Arena arena) ~levels ~recurse:go a
+                end
+                else if pretenure && keep = 0 && Shape.literal_depth a >= 1 then begin
+                  (* the dual of the stack verdict: this literal's spine
+                     escapes into the result, so it will survive every
+                     nursery collection — tenure it at birth *)
+                  let depth = Shape.literal_depth a in
+                  pret_sites := !pret_sites + depth;
+                  annotate_literal ~target:Ir.Pretenured ~levels:depth ~recurse:go a
                 end
                 else go a
               end
@@ -168,7 +199,13 @@ let annotate ~stack ~block t (surface : Nml.Surface.t) =
         | _ -> List.fold_left (fun acc a -> Ir.App (acc, go a)) (go head) args)
   in
   let main' = go surface.Nml.Surface.main in
+  let main' = if pretenure then pretenure_result pret_sites main' else main' in
   let defs_ir = List.map (fun (n, rhs) -> (n, Ir.of_ast rhs)) defs in
   let all_defs = defs_ir @ List.rev !specialized in
   let prog = match all_defs with [] -> main' | ds -> Ir.Letrec (ds, main') in
-  (prog, { stack = List.rev !stack_anns; block = List.rev !block_anns })
+  ( prog,
+    {
+      stack = List.rev !stack_anns;
+      block = List.rev !block_anns;
+      pretenure_sites = !pret_sites;
+    } )

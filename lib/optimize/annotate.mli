@@ -9,7 +9,10 @@
       region wrapped around the call (stack allocation);
     - redirects the result spine of a non-escaping {e producer call}
       argument into a block wrapped around the call, via a specialized
-      block-allocating copy of the producer (block allocation). *)
+      block-allocating copy of the producer (block allocation);
+    - with [~pretenure:true], retargets escape-doomed cons sites (literal
+      spines the analysis proves escaping, and the result spine of main)
+      to [Ir.Pretenured], so a generational heap tenures them at birth. *)
 
 type stack_annotation = {
   func : string;
@@ -30,11 +33,13 @@ type block_annotation = {
 type report = {
   stack : stack_annotation list;
   block : block_annotation list;
+  pretenure_sites : int;  (** cons sites retargeted to [Ir.Pretenured] *)
 }
 
 val annotate :
   stack:bool ->
   block:bool ->
+  ?pretenure:bool ->
   Escape.Fixpoint.t ->
   Nml.Surface.t ->
   Runtime.Ir.expr * report

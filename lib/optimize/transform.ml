@@ -1,16 +1,32 @@
 module Ir = Runtime.Ir
 module Fix = Escape.Fixpoint
 
-type options = { monomorphize : bool; reuse : bool; stack : bool; block : bool }
+type options = {
+  monomorphize : bool;
+  reuse : bool;
+  stack : bool;
+  block : bool;
+  pretenure : bool;
+}
 
-let all = { monomorphize = true; reuse = true; stack = true; block = true }
-let none = { monomorphize = false; reuse = false; stack = false; block = false }
+let all =
+  { monomorphize = true; reuse = true; stack = true; block = true; pretenure = false }
+
+let none =
+  {
+    monomorphize = false;
+    reuse = false;
+    stack = false;
+    block = false;
+    pretenure = false;
+  }
 
 type result = {
   ir : Ir.expr;
   reuse_report : Reuse.report option;
   stack_report : Stackalloc.report option;
   block_report : Blockalloc.report option;
+  pretenure_sites : int;
 }
 
 let add_defs prog extra =
@@ -27,10 +43,11 @@ let optimize_with t options (surface : Nml.Surface.t) =
     else ([], surface.Nml.Surface.main, None)
   in
   let surface' = { surface with Nml.Surface.main = main' } in
-  let ir, stack_report, block_report =
-    if options.stack || options.block then begin
+  let ir, stack_report, block_report, pretenure_sites =
+    if options.stack || options.block || options.pretenure then begin
       let ir, rep =
-        Annotate.annotate ~stack:options.stack ~block:options.block t surface'
+        Annotate.annotate ~stack:options.stack ~block:options.block
+          ~pretenure:options.pretenure t surface'
       in
       let stack_report =
         if options.stack then
@@ -68,7 +85,7 @@ let optimize_with t options (surface : Nml.Surface.t) =
             }
         else None
       in
-      (ir, stack_report, block_report)
+      (ir, stack_report, block_report, rep.Annotate.pretenure_sites)
     end
     else begin
       let defs_ir =
@@ -76,10 +93,10 @@ let optimize_with t options (surface : Nml.Surface.t) =
       in
       let main_ir = Ir.of_ast surface'.Nml.Surface.main in
       let prog = match defs_ir with [] -> main_ir | ds -> Ir.Letrec (ds, main_ir) in
-      (prog, None, None)
+      (prog, None, None, 0)
     end
   in
-  { ir = add_defs ir primed; reuse_report; stack_report; block_report }
+  { ir = add_defs ir primed; reuse_report; stack_report; block_report; pretenure_sites }
 
 let optimize ?(options = all) surface =
   let surface =
@@ -118,4 +135,7 @@ let pp_report ppf r =
             a.Blockalloc.specialized)
         br.Blockalloc.annotations
   | None -> ());
+  if r.pretenure_sites > 0 then
+    Format.fprintf ppf "pretenure: %d cons site(s) tenured at birth@ "
+      r.pretenure_sites;
   Format.fprintf ppf "@]"

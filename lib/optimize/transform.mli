@@ -19,9 +19,16 @@ type options = {
   reuse : bool;
   stack : bool;
   block : bool;
+  pretenure : bool;
+      (** retarget escape-doomed cons sites (escaping literal spines, the
+          result spine of main) to [Ir.Pretenured] — a generational-heap
+          hint, semantically a plain heap allocation; off in {!all}
+          because it only pays off under [Runtime.Heap.generational] *)
 }
 
 val all : options
+(** Everything except [pretenure] on. *)
+
 val none : options
 
 type result = {
@@ -29,6 +36,7 @@ type result = {
   reuse_report : Reuse.report option;
   stack_report : Stackalloc.report option;
   block_report : Blockalloc.report option;
+  pretenure_sites : int;  (** cons sites retargeted to [Ir.Pretenured] *)
 }
 
 val optimize : ?options:options -> Nml.Surface.t -> result

@@ -1,7 +1,7 @@
 module Ast = Nml.Ast
 
 type arena_kind = Region | Block
-type alloc = Heap | Arena of int
+type alloc = Heap | Arena of int | Pretenured
 
 type expr =
   | Const of Ast.const
@@ -69,6 +69,7 @@ let count_sites e =
 let pp_alloc ppf = function
   | Heap -> ()
   | Arena i -> Format.fprintf ppf "@@a%d" i
+  | Pretenured -> Format.pp_print_string ppf "@@old"
 
 let rec pp ppf = function
   | Const (Ast.Cint n) -> Format.pp_print_int ppf n

@@ -25,6 +25,10 @@ type arena_kind =
 type alloc =
   | Heap
   | Arena of int  (** id of an enclosing [WithArena] *)
+  | Pretenured
+      (** heap allocation that the analysis proved escaping: under a
+          generational heap the cell is tenured at birth, skipping the
+          nursery; semantically identical to [Heap] everywhere else *)
 
 type expr =
   | Const of Nml.Ast.const

@@ -1,5 +1,6 @@
 module Ast = Nml.Ast
 module Env = Map.Make (String)
+module H = Heap
 
 type word =
   | Wint of int
@@ -20,17 +21,6 @@ and closure = { param : string; body : Ir.expr; cenv : env; mutable cmark : bool
 and env = binding Env.t
 and binding = Ready of word | Slot of word option ref
 
-type cell = {
-  mutable car : word;
-  mutable cdr : word;
-  mutable lbl : word;  (** tree-node label; [Wnil] for cons/pair cells *)
-  mutable marked : bool;
-  mutable free : bool;
-  mutable arena : int;  (** arena id, or -1 for the GC heap *)
-}
-
-type arena = { kind : Ir.arena_kind; dyn_id : int; mutable acells : int list }
-
 type chaos = {
   gc_period : int;
       (** >0: force a collection at pseudo-random allocation points, on
@@ -42,17 +32,14 @@ type chaos = {
 }
 
 type t = {
-  mutable cells : cell array;
-  mutable next : int;  (** bump pointer over never-used cells *)
-  mutable free_list : int list;
-  mutable live : int;
+  heap : word H.t;
   grow : bool;
   check_arenas : bool;
   stats : Stats.t;
   mutable shadow : word list;  (** explicit GC root stack *)
   mutable env_stack : env list;  (** environments of active frames *)
-  arena_stacks : (int, arena list) Hashtbl.t;  (** static id -> dynamic arenas *)
-  mutable next_dyn_arena : int;
+  arena_stacks : (int, word H.arena list) Hashtbl.t;
+      (** static id -> dynamic arenas *)
   mutable marked_closures : closure list;
   mutable fuel : int;  (** -1 = unlimited *)
   chaos : chaos;
@@ -64,28 +51,48 @@ exception Out_of_memory
 exception Out_of_fuel
 
 let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
-
-let fresh_cell () =
-  { car = Wnil; cdr = Wnil; lbl = Wnil; marked = false; free = true; arena = -1 }
-
 let no_chaos = { gc_period = 0; poison = false; chaos_seed = 0 }
 
+let poison_word = Wint 0x7EADBEEF
+(** scribbled into freed cells under [chaos.poison]: a dangling read that
+    slips past the barriers yields this recognizable junk instead of a
+    plausible [Wnil] *)
+
 let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel
-    ?(chaos = no_chaos) () =
+    ?(chaos = no_chaos) ?(config = H.legacy) () =
   let stats = Stats.create () in
-  stats.Stats.heap_capacity <- heap_size;
+  (* scrub a cell as it is freed; poisoning makes any later read through
+     a stale pointer junk instead of a believable empty cell *)
+  let scrub (c : word H.cell) =
+    if chaos.poison then begin
+      c.H.car <- poison_word;
+      c.H.cdr <- poison_word;
+      c.H.lbl <- poison_word;
+      stats.Stats.poisoned <- stats.Stats.poisoned + 1
+    end
+    else begin
+      c.H.car <- Wnil;
+      c.H.cdr <- Wnil;
+      c.H.lbl <- Wnil
+    end
+  in
+  let kind_of = function
+    | Wint _ | Wbool _ | Wnil | Wleaf -> H.Scalar
+    | Wptr a | Wpair a | Wtree a -> H.Ptr a
+    | Wprim (_, []) | Wcons_at (_, []) | Wnode_at (_, []) | Wdcons []
+    | Wdnode [] ->
+        H.Scalar
+    | Wclos _ | Wprim _ | Wcons_at _ | Wnode_at _ | Wdcons _ | Wdnode _ ->
+        H.Funval
+  in
   {
-    cells = Array.init (max 1 heap_size) (fun _ -> fresh_cell ());
-    next = 0;
-    free_list = [];
-    live = 0;
+    heap = H.create ~heap_size ~config ~nil:Wnil ~scrub ~kind_of ~stats ();
     grow;
     check_arenas;
     stats;
     shadow = [];
     env_stack = [];
     arena_stacks = Hashtbl.create 8;
-    next_dyn_arena = 0;
     marked_closures = [];
     fuel = (match fuel with Some f -> f | None -> -1);
     chaos;
@@ -93,7 +100,8 @@ let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel
   }
 
 let stats t = t.stats
-let live_cells t = t.live
+let live_cells t = H.live t.heap
+let config t = H.config t.heap
 
 let tick m =
   m.stats.Stats.steps <- m.stats.Stats.steps + 1;
@@ -103,172 +111,183 @@ let tick m =
 let push m w = m.shadow <- w :: m.shadow
 let pop m = m.shadow <- List.tl m.shadow
 
-(* ---- fault injection ---------------------------------------------------- *)
-
-let poison_word = Wint 0x7EADBEEF
-(** scribbled into freed cells under [chaos.poison]: a dangling read that
-    slips past the barriers yields this recognizable junk instead of a
-    plausible [Wnil] *)
-
 (* the 48-bit LCG of java.util.Random; the low bits are weak, so draws
    use the high 32 *)
 let chaos_draw m =
   m.rng <- ((m.rng * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
   m.rng lsr 16
 
-(* scrub a cell as it is freed; poisoning makes any later read through a
-   stale pointer junk instead of a believable empty cell *)
-let scrub m c =
-  if m.chaos.poison then begin
-    c.car <- poison_word;
-    c.cdr <- poison_word;
-    c.lbl <- poison_word;
-    m.stats.Stats.poisoned <- m.stats.Stats.poisoned + 1
-  end
-  else begin
-    c.car <- Wnil;
-    c.cdr <- Wnil;
-    c.lbl <- Wnil
-  end
-
 (* a cell read through [car]/[cdr]/[fst]/[snd]/[label]/[left]/[right];
    under poisoning a read of a freed cell is a deterministic crash *)
 let cell_read m what a =
-  let c = m.cells.(a) in
-  if m.chaos.poison && c.free then
+  let c = H.get m.heap a in
+  if m.chaos.poison && c.H.free then
     error "chaos poison: %s reads cell %d after it was freed (use after free)" what a;
   c
 
 (* ---- garbage collection ------------------------------------------------ *)
 
-let rec mark_word m = function
+(* one marker for both collection kinds: a minor collection
+   ([stop_old:true]) treats old and arena-resident cells as roots-of-
+   nothing — it never traverses them, so its pause is proportional to
+   the young survivors, not the live set *)
+let rec mark_with m ~stop_old w =
+  match w with
   | Wint _ | Wbool _ | Wnil | Wleaf -> ()
   | Wptr a | Wpair a | Wtree a ->
-      let c = m.cells.(a) in
-      if m.chaos.poison && c.free then
+      let c = H.get m.heap a in
+      if m.chaos.poison && c.H.free then
         error "chaos poison: the collector reached freed cell %d from a live root" a;
-      if not c.marked then begin
-        c.marked <- true;
+      if (not (stop_old && c.H.old)) && not c.H.marked then begin
+        c.H.marked <- true;
         m.stats.Stats.marked <- m.stats.Stats.marked + 1;
-        mark_word m c.car;
-        mark_word m c.cdr;
-        mark_word m c.lbl
+        mark_with m ~stop_old c.H.car;
+        mark_with m ~stop_old c.H.cdr;
+        mark_with m ~stop_old c.H.lbl
       end
   | Wclos c ->
       if not c.cmark then begin
         c.cmark <- true;
         m.marked_closures <- c :: m.marked_closures;
-        mark_env m c.cenv
+        mark_env m ~stop_old c.cenv
       end
   | Wprim (_, args) | Wcons_at (_, args) | Wnode_at (_, args) | Wdcons args
   | Wdnode args ->
-      List.iter (mark_word m) args
+      List.iter (mark_with m ~stop_old) args
 
-and mark_env m env =
+and mark_env m ~stop_old env =
   Env.iter
     (fun _ b ->
       match b with
-      | Ready w -> mark_word m w
-      | Slot { contents = Some w } -> mark_word m w
+      | Ready w -> mark_with m ~stop_old w
+      | Slot { contents = Some w } -> mark_with m ~stop_old w
       | Slot { contents = None } -> ())
     env
 
-let collect m =
-  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
-  List.iter (mark_word m) m.shadow;
-  List.iter (mark_env m) m.env_stack;
-  (* sweep the used prefix; arena cells are not the collector's to free *)
-  for a = 0 to m.next - 1 do
-    let c = m.cells.(a) in
-    if c.marked then c.marked <- false
-    else if (not c.free) && c.arena < 0 then begin
-      c.free <- true;
-      scrub m c;
-      m.free_list <- a :: m.free_list;
-      m.live <- m.live - 1;
-      m.stats.Stats.swept <- m.stats.Stats.swept + 1
-    end
-  done;
+let unmark_closures m =
   List.iter (fun c -> c.cmark <- false) m.marked_closures;
   m.marked_closures <- []
 
-let grow_store m =
-  let old = m.cells in
-  let cap = Array.length old in
-  let bigger = Array.init (2 * cap) (fun i -> if i < cap then old.(i) else fresh_cell ()) in
-  m.cells <- bigger;
-  m.stats.Stats.heap_capacity <- 2 * cap
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* a full mark-sweep; under the generational policy this is the major
+   collection, promoting every survivor *)
+let collect m =
+  let t0 = now_ns () in
+  let marked0 = m.stats.Stats.marked and swept0 = m.stats.Stats.swept in
+  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
+  if H.is_generational m.heap then
+    m.stats.Stats.major_gcs <- m.stats.Stats.major_gcs + 1;
+  List.iter (mark_with m ~stop_old:false) m.shadow;
+  List.iter (mark_env m ~stop_old:false) m.env_stack;
+  H.sweep_all m.heap;
+  unmark_closures m;
+  let cells =
+    m.stats.Stats.marked - marked0 + (m.stats.Stats.swept - swept0)
+  in
+  Stats.record_pause m.stats ~cells ~ns:(now_ns () -. t0)
+
+(* a nursery collection: mark from the roots stopping at old cells, scan
+   the remembered sets for old-to-young edges, sweep only the nursery
+   chain, promote the survivors *)
+let minor_collect m =
+  let t0 = now_ns () in
+  let marked0 = m.stats.Stats.marked and swept0 = m.stats.Stats.swept in
+  let scanned = H.remembered_size m.heap in
+  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
+  m.stats.Stats.minor_gcs <- m.stats.Stats.minor_gcs + 1;
+  List.iter (mark_with m ~stop_old:true) m.shadow;
+  List.iter (mark_env m ~stop_old:true) m.env_stack;
+  H.iter_remembered m.heap (fun a ->
+      let c = H.get m.heap a in
+      if not c.H.free then begin
+        mark_with m ~stop_old:true c.H.car;
+        mark_with m ~stop_old:true c.H.cdr;
+        mark_with m ~stop_old:true c.H.lbl
+      end);
+  H.sweep_nursery m.heap;
+  unmark_closures m;
+  let cells =
+    m.stats.Stats.marked - marked0 + (m.stats.Stats.swept - swept0) + scanned
+  in
+  Stats.record_pause m.stats ~cells ~ns:(now_ns () -. t0)
+
+let collect_minor m = if H.is_generational m.heap then minor_collect m else collect m
 
 (* ---- allocation --------------------------------------------------------- *)
 
 let current_arena m = function
-  | Ir.Heap -> None
+  | Ir.Heap | Ir.Pretenured -> None
   | Ir.Arena sid -> (
       match Hashtbl.find_opt m.arena_stacks sid with
       | Some (a :: _) -> Some a
       | Some [] | None -> error "cons targets arena %d, but no such arena is open" sid)
 
-let take_addr m ~for_heap =
-  match m.free_list with
-  | a :: rest ->
-      m.free_list <- rest;
-      Some a
-  | [] ->
-      if m.next < Array.length m.cells then begin
-        let a = m.next in
-        m.next <- m.next + 1;
-        Some a
-      end
-      else if for_heap then None (* caller collects, then retries *)
-      else begin
-        (* arena allocation models stack / local-heap storage: it never
-           triggers a collection, the store just grows *)
-        grow_store m;
-        let a = m.next in
-        m.next <- m.next + 1;
-        Some a
-      end
-
 let alloc_cell m target hd tl =
+  let h = m.heap in
+  let cfg = H.config h in
+  let gen = H.is_generational h in
   (* gc chaos: force a collection at pseudo-random allocation points, so
-     any value the evaluator failed to root is swept out from under it *)
+     any value the evaluator failed to root is swept out from under it;
+     generational runs force mostly minor collections, with an
+     occasional major, so both paths see mid-region interruptions *)
   if m.chaos.gc_period > 0 && chaos_draw m mod m.chaos.gc_period = 0 then begin
     m.stats.Stats.chaos_gcs <- m.stats.Stats.chaos_gcs + 1;
-    collect m
+    if gen && chaos_draw m mod 4 <> 0 then minor_collect m else collect m
   end;
-  let arena = current_arena m target in
+  let arena = if cfg.H.regions then current_arena m target else None in
+  let where =
+    match target with
+    | Ir.Pretenured when gen && cfg.H.pretenure && arena = None -> H.Old
+    | _ -> H.Young
+  in
+  (* the nursery threshold: collect it before it overflows *)
+  (if gen && arena = None && where = H.Young
+   && H.young_count h >= max 1 cfg.H.nursery
+  then minor_collect m);
   let addr =
-    match take_addr m ~for_heap:(arena = None) with
+    match H.take_free h with
     | Some a -> a
     | None -> (
-        (* heap allocation with an exhausted store: collect, then retry *)
-        collect m;
-        match take_addr m ~for_heap:true with
+        match H.bump h with
         | Some a -> a
         | None ->
-            if m.grow then begin
-              grow_store m;
-              let a = m.next in
-              m.next <- m.next + 1;
-              a
+            if arena <> None then begin
+              (* arena allocation models stack / local-heap storage: it
+                 never triggers a collection, the store just grows *)
+              H.grow_store h;
+              Option.get (H.bump h)
             end
-            else raise Out_of_memory)
+            else begin
+              (* heap allocation with an exhausted store: collect, then
+                 retry; generational heaps try a nursery collection
+                 before resorting to a full one *)
+              if gen && H.young_count h > 0 then begin
+                minor_collect m;
+                if H.take_free h = None then collect m
+              end
+              else collect m;
+              match H.take_free h with
+              | Some a -> a
+              | None ->
+                  if m.grow then begin
+                    H.grow_store h;
+                    Option.get (H.bump h)
+                  end
+                  else raise Out_of_memory
+            end)
   in
-  let c = m.cells.(addr) in
-  assert c.free;
-  c.free <- false;
-  c.car <- hd;
-  c.cdr <- tl;
-  (match arena with
-  | None ->
-      c.arena <- -1;
-      m.stats.Stats.heap_allocs <- m.stats.Stats.heap_allocs + 1
-  | Some a ->
-      c.arena <- a.dyn_id;
-      a.acells <- addr :: a.acells;
-      m.stats.Stats.arena_allocs <- m.stats.Stats.arena_allocs + 1);
-  m.live <- m.live + 1;
-  if m.live > m.stats.Stats.peak_live then m.stats.Stats.peak_live <- m.live;
+  let c = H.get h addr in
+  assert c.H.free;
+  c.H.car <- hd;
+  c.H.cdr <- tl;
+  H.register h addr
+    (match arena with Some ar -> H.In_arena ar | None -> where);
+  (* init barrier: an old or arena-resident cell may be born holding
+     young references *)
+  (match (arena, where) with
+  | Some _, _ | None, H.Old -> H.barrier h addr
+  | None, _ -> ());
   Wptr addr
 
 (* ---- primitives ---------------------------------------------------------- *)
@@ -304,29 +323,29 @@ let delta m p args =
   | Ast.And, [ a; b ] -> Wbool (as_bool a && as_bool b)
   | Ast.Or, [ a; b ] -> Wbool (as_bool a || as_bool b)
   | Ast.Not, [ a ] -> Wbool (not (as_bool a))
-  | Ast.Car, [ Wptr a ] -> (cell_read m "car" a).car
+  | Ast.Car, [ Wptr a ] -> (cell_read m "car" a).H.car
   | Ast.Car, [ Wnil ] -> error "car of nil"
   | Ast.Car, [ w ] -> error "car of a %s" (type_name w)
-  | Ast.Cdr, [ Wptr a ] -> (cell_read m "cdr" a).cdr
+  | Ast.Cdr, [ Wptr a ] -> (cell_read m "cdr" a).H.cdr
   | Ast.Cdr, [ Wnil ] -> error "cdr of nil"
   | Ast.Cdr, [ w ] -> error "cdr of a %s" (type_name w)
   | Ast.Null, [ Wnil ] -> Wbool true
   | Ast.Null, [ Wptr _ ] -> Wbool false
   | Ast.Null, [ w ] -> error "null of a %s" (type_name w)
-  | Ast.Fst, [ Wpair a ] -> (cell_read m "fst" a).car
+  | Ast.Fst, [ Wpair a ] -> (cell_read m "fst" a).H.car
   | Ast.Fst, [ w ] -> error "fst of a %s" (type_name w)
-  | Ast.Snd, [ Wpair a ] -> (cell_read m "snd" a).cdr
+  | Ast.Snd, [ Wpair a ] -> (cell_read m "snd" a).H.cdr
   | Ast.Snd, [ w ] -> error "snd of a %s" (type_name w)
   | Ast.Isleaf, [ Wleaf ] -> Wbool true
   | Ast.Isleaf, [ Wtree _ ] -> Wbool false
   | Ast.Isleaf, [ w ] -> error "isleaf of a %s" (type_name w)
-  | Ast.Label, [ Wtree a ] -> (cell_read m "label" a).lbl
+  | Ast.Label, [ Wtree a ] -> (cell_read m "label" a).H.lbl
   | Ast.Label, [ Wleaf ] -> error "label of leaf"
   | Ast.Label, [ w ] -> error "label of a %s" (type_name w)
-  | Ast.Left, [ Wtree a ] -> (cell_read m "left" a).car
+  | Ast.Left, [ Wtree a ] -> (cell_read m "left" a).H.car
   | Ast.Left, [ Wleaf ] -> error "left of leaf"
   | Ast.Left, [ w ] -> error "left of a %s" (type_name w)
-  | Ast.Right, [ Wtree a ] -> (cell_read m "right" a).cdr
+  | Ast.Right, [ Wtree a ] -> (cell_read m "right" a).H.cdr
   | Ast.Right, [ Wleaf ] -> error "right of leaf"
   | Ast.Right, [ w ] -> error "right of a %s" (type_name w)
   | (Ast.Cons | Ast.Pair | Ast.Node), _ -> assert false (* handled by the allocator *)
@@ -335,10 +354,12 @@ let delta m p args =
 let do_dcons m p hd tl =
   match p with
   | Wptr a ->
-      let c = m.cells.(a) in
-      if c.free then error "DCONS on a freed cell";
-      c.car <- hd;
-      c.cdr <- tl;
+      let c = H.get m.heap a in
+      if c.H.free then error "DCONS on a freed cell";
+      c.H.car <- hd;
+      c.H.cdr <- tl;
+      (* reuse can write young references into an old or arena cell *)
+      H.barrier m.heap a;
       m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
       Wptr a
   | Wnil -> error "DCONS on nil (no cell to reuse)"
@@ -347,11 +368,12 @@ let do_dcons m p hd tl =
 let do_dnode m p l x r =
   match p with
   | Wtree a ->
-      let c = m.cells.(a) in
-      if c.free then error "DNODE on a freed cell";
-      c.car <- l;
-      c.lbl <- x;
-      c.cdr <- r;
+      let c = H.get m.heap a in
+      if c.H.free then error "DNODE on a freed cell";
+      c.H.car <- l;
+      c.H.lbl <- x;
+      c.H.cdr <- r;
+      H.barrier m.heap a;
       m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
       Wtree a
   | Wleaf -> error "DNODE on leaf (no cell to reuse)"
@@ -368,11 +390,11 @@ let reachable_into_arena m roots sid =
     | Wptr a | Wpair a | Wtree a ->
         if not (Hashtbl.mem seen a) then begin
           Hashtbl.add seen a ();
-          let c = m.cells.(a) in
-          if c.arena = sid then hit := true;
-          walk c.car;
-          walk c.cdr;
-          walk c.lbl
+          let c = H.get m.heap a in
+          if c.H.arena = sid then hit := true;
+          walk c.H.car;
+          walk c.H.cdr;
+          walk c.H.lbl
         end
     | Wclos c ->
         if not (List.memq c !seen_clos) then begin
@@ -434,31 +456,25 @@ let rec eval_ir m env (e : Ir.expr) : word =
       m.env_stack <- List.tl m.env_stack;
       v
   | Ir.WithArena (kind, sid, body) ->
-      let dyn_id = m.next_dyn_arena in
-      m.next_dyn_arena <- m.next_dyn_arena + 1;
-      let a = { kind; dyn_id; acells = [] } in
-      let stack = Option.value ~default:[] (Hashtbl.find_opt m.arena_stacks sid) in
-      Hashtbl.replace m.arena_stacks sid (a :: stack);
-      let v = eval_ir m env body in
-      Hashtbl.replace m.arena_stacks sid stack;
-      if m.check_arenas then begin
-        let roots = (v :: m.shadow) @ List.concat_map env_words m.env_stack in
-        if reachable_into_arena m roots a.dyn_id then
-          error "arena safety violation: a cell of arena %d escapes its scope" sid
-      end;
-      List.iter
-        (fun addr ->
-          let c = m.cells.(addr) in
-          if not c.free then begin
-            c.free <- true;
-            c.arena <- -1;
-            scrub m c;
-            m.free_list <- addr :: m.free_list;
-            m.live <- m.live - 1;
-            m.stats.Stats.arena_freed <- m.stats.Stats.arena_freed + 1
-          end)
-        a.acells;
-      v
+      if not (H.config m.heap).H.regions then
+        (* regions disabled (a chaos-harness coverage configuration):
+           no arena is opened, and the allocator sends this arena's
+           sites to the GC heap instead *)
+        eval_ir m env body
+      else begin
+        let a = H.open_arena m.heap ~kind in
+        let stack = Option.value ~default:[] (Hashtbl.find_opt m.arena_stacks sid) in
+        Hashtbl.replace m.arena_stacks sid (a :: stack);
+        let v = eval_ir m env body in
+        Hashtbl.replace m.arena_stacks sid stack;
+        if m.check_arenas then begin
+          let roots = (v :: m.shadow) @ List.concat_map env_words m.env_stack in
+          if reachable_into_arena m roots a.H.dyn_id then
+            error "arena safety violation: a cell of arena %d escapes its scope" sid
+        end;
+        H.close_arena m.heap a;
+        v
+      end
 
 and env_words env =
   Env.fold
@@ -492,7 +508,8 @@ and apply m vf va =
         | _ -> error "node: children must be trees");
         match alloc_cell m Ir.Heap l va with
         | Wptr addr ->
-            m.cells.(addr).lbl <- x;
+            (H.get m.heap addr).H.lbl <- x;
+            H.barrier m.heap addr;
             Wtree addr
         | _ -> assert false)
     | Wprim (p, collected) ->
@@ -508,7 +525,8 @@ and apply m vf va =
         | _ -> error "node: children must be trees");
         match alloc_cell m target l va with
         | Wptr addr ->
-            m.cells.(addr).lbl <- x;
+            (H.get m.heap addr).H.lbl <- x;
+            H.barrier m.heap addr;
             Wtree addr
         | _ -> assert false)
     | Wnode_at (_, _) -> error "annotated node applied to too many arguments"
@@ -524,7 +542,12 @@ and apply m vf va =
   pop m;
   result
 
-let eval m e = eval_ir m Env.empty e
+let eval m e =
+  let before = Stats.snapshot m.stats in
+  Fun.protect
+    ~finally:(fun () -> Stats.global_add ~before ~after:m.stats)
+    (fun () -> eval_ir m Env.empty e)
+
 let run m p = eval m (Ir.of_program p)
 
 let read_value m w =
@@ -537,18 +560,18 @@ let read_value m w =
     | Wbool b -> Nml.Eval.Vbool b
     | Wnil -> Nml.Eval.Vnil
     | Wptr a ->
-        let c = m.cells.(a) in
-        if c.free then error "read_value: dangling pointer to a freed cell";
-        Nml.Eval.Vcons (go c.car, go c.cdr)
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vcons (go c.H.car, go c.H.cdr)
     | Wpair a ->
-        let c = m.cells.(a) in
-        if c.free then error "read_value: dangling pointer to a freed cell";
-        Nml.Eval.Vpair (go c.car, go c.cdr)
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vpair (go c.H.car, go c.H.cdr)
     | Wleaf -> Nml.Eval.Vleaf
     | Wtree a ->
-        let c = m.cells.(a) in
-        if c.free then error "read_value: dangling pointer to a freed cell";
-        Nml.Eval.Vnode (go c.car, go c.lbl, go c.cdr)
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vnode (go c.H.car, go c.H.lbl, go c.H.cdr)
     | Wclos _ | Wprim _ | Wcons_at _ | Wnode_at _ | Wdcons _ | Wdnode _ ->
         error "read_value: result is a function"
   in
@@ -559,16 +582,16 @@ let rec pp_word m ppf = function
   | Wbool b -> Format.pp_print_bool ppf b
   | Wnil -> Format.pp_print_string ppf "[]"
   | Wptr a ->
-      let c = m.cells.(a) in
-      Format.fprintf ppf "@[<hov 1>(%a ::@ %a)@]" (pp_word m) c.car (pp_word m) c.cdr
+      let c = H.get m.heap a in
+      Format.fprintf ppf "@[<hov 1>(%a ::@ %a)@]" (pp_word m) c.H.car (pp_word m) c.H.cdr
   | Wpair a ->
-      let c = m.cells.(a) in
-      Format.fprintf ppf "@[<hov 1>(%a,@ %a)@]" (pp_word m) c.car (pp_word m) c.cdr
+      let c = H.get m.heap a in
+      Format.fprintf ppf "@[<hov 1>(%a,@ %a)@]" (pp_word m) c.H.car (pp_word m) c.H.cdr
   | Wleaf -> Format.pp_print_string ppf "leaf"
   | Wtree a ->
-      let c = m.cells.(a) in
-      Format.fprintf ppf "@[<hov 1>(node %a %a %a)@]" (pp_word m) c.car (pp_word m) c.lbl
-        (pp_word m) c.cdr
+      let c = H.get m.heap a in
+      Format.fprintf ppf "@[<hov 1>(node %a %a %a)@]" (pp_word m) c.H.car (pp_word m)
+        c.H.lbl (pp_word m) c.H.cdr
   | Wclos { param; _ } -> Format.fprintf ppf "<fun %s>" param
   | Wprim (p, args) -> Format.fprintf ppf "<prim %s/%d>" (Ast.prim_name p) (List.length args)
   | Wcons_at (_, args) -> Format.fprintf ppf "<cons@/%d>" (List.length args)

@@ -66,6 +66,7 @@ val create :
   ?check_arenas:bool ->
   ?fuel:int ->
   ?chaos:chaos ->
+  ?config:Heap.config ->
   unit ->
   t
 (** [heap_size] is the cell-store capacity (default 4096).  With
@@ -74,9 +75,15 @@ val create :
     [check_arenas] enables the arena-safety validation (default false).
     [fuel] bounds evaluation steps.  [chaos] (default {!no_chaos})
     injects faults — forced collections and freed-cell poisoning — for
-    the soundness harness ({!Check.Harness}). *)
+    the soundness harness ({!Check.Harness}).  [config] selects the
+    storage policy (default {!Heap.legacy}, the seed machine;
+    {!Heap.generational} adds the nursery, promotion, pretenuring and
+    the pause-distribution counters). *)
 
 val stats : t -> Stats.t
+
+val config : t -> Heap.config
+(** The storage configuration the machine was created with. *)
 
 val live_cells : t -> int
 (** Currently live (allocated, unfreed) cells. *)
@@ -95,6 +102,13 @@ val read_value : t -> word -> Nml.Eval.value
     @raise Error on closures. *)
 
 val collect : t -> unit
-(** Forces a garbage collection (normally triggered by allocation). *)
+(** Forces a full garbage collection (normally triggered by allocation);
+    under the generational policy this is a major collection, promoting
+    every survivor. *)
+
+val collect_minor : t -> unit
+(** Forces a nursery collection under the generational policy (mark from
+    the roots stopping at old cells, sweep only the nursery chain,
+    promote survivors in place); a full collection under legacy. *)
 
 val pp_word : t -> Format.formatter -> word -> unit

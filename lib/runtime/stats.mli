@@ -2,7 +2,12 @@
 
     The paper's optimizations do not change {e what} a program computes,
     only {e where} cons cells live and how they are reclaimed; these
-    counters are the quantities its claims are about. *)
+    counters are the quantities its claims are about.
+
+    The generational heap (PR7) adds pause-distribution samples and
+    promotion/pretenuring counters.  They are collected unconditionally
+    but only rendered by {!to_row} when {!field-generational} is set, so
+    the output of legacy runs is byte-for-byte what it always was. *)
 
 type t = {
   mutable heap_allocs : int;  (** cells allocated from the GC heap *)
@@ -17,6 +22,20 @@ type t = {
   mutable steps : int;  (** evaluation steps *)
   mutable chaos_gcs : int;  (** collections forced by fault injection *)
   mutable poisoned : int;  (** freed cells scribbled over by poisoning *)
+  (* -- generational heap ------------------------------------------- *)
+  mutable generational : bool;
+      (** set by {!Machine} for generational runs; gates the extra
+          {!to_row} rows so legacy output never changes *)
+  mutable minor_gcs : int;  (** nursery collections *)
+  mutable major_gcs : int;  (** full-heap collections *)
+  mutable promoted : int;  (** cells promoted nursery -> old *)
+  mutable pretenured : int;  (** cells allocated directly old, on a hint *)
+  mutable remembered : int;  (** write-barrier hits (remembered-set adds) *)
+  mutable regions_reclaimed : int;  (** arenas reset wholesale at exit *)
+  (* -- pause distribution ------------------------------------------ *)
+  mutable pause_ns : float array;  (** per-collection wall time, ns *)
+  mutable pause_cells : int array;  (** per-collection cells touched *)
+  mutable pauses : int;  (** samples recorded in the two buffers *)
 }
 
 val create : unit -> t
@@ -28,7 +47,41 @@ val total_allocs : t -> int
 val gc_work : t -> int
 (** [marked + swept]: cells the collector had to touch. *)
 
+val record_pause : t -> cells:int -> ns:float -> unit
+(** Appends one collection-pause sample.  [cells] is the deterministic
+    pause proxy (cells marked + swept + remembered-set entries scanned);
+    [ns] is wall-clock, kept separate so CI gates never compare it. *)
+
+val pause_percentiles_cells : t -> (int * int * int) option
+(** [(p50, p95, max)] over the deterministic cells-touched samples, or
+    [None] when no collection ever ran. *)
+
+val pause_percentiles_ns : t -> (float * float * float) option
+(** [(p50, p95, max)] over the wall-clock samples, in nanoseconds. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_row : t -> (string * int) list
-(** Labelled counters, for the bench tables. *)
+(** Labelled counters, for the bench tables.  Chaos counters appear only
+    when fault injection fired; generational counters (including the
+    cells-touched pause percentiles) only when {!field-generational} is
+    set — plain legacy runs print exactly the historical rows. *)
+
+(** {2 Process-global telemetry}
+
+    Every {!Machine.eval} folds the counters it accumulated into a
+    process-wide aggregate, so long-lived processes (the [nmlc serve]
+    daemon) can report heap activity across all the machines they ever
+    ran.  Thread-safe; counters only grow. *)
+
+val global_add : before:t -> after:t -> unit
+(** Adds the field-wise difference [after - before] to the global
+    aggregate (the two snapshots bracket one evaluation). *)
+
+val snapshot : t -> t
+(** A copy of the integer counters (shares the sample buffers; only
+    meant as the [before] argument of {!global_add}). *)
+
+val global_row : unit -> (string * int) list
+(** The aggregate, as labelled counters: evaluations served plus the
+    allocation/collection totals across the whole process. *)

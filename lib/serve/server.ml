@@ -127,6 +127,11 @@ let status_json t =
       ("queue_depth", J.int (Squeue.length t.queue));
       ("memory_entries", J.int mem);
       ("dirty_entries", J.int dirty);
+      (* storage-machine activity aggregated across every evaluation this
+         process ever ran (lint rules and vet mutants execute programs) *)
+      ( "heap",
+        J.Obj
+          (List.map (fun (k, v) -> (k, J.int v)) (Runtime.Stats.global_row ())) );
       ("draining", J.Bool (a t.stop));
     ]
 

@@ -175,6 +175,22 @@ pass and clears the application memo wholesale, visible in the counts):
   application cache   4368 hits, 41000 misses, 22 invalidated
   chain bound d       2
   capped              false
+  -- storage (generational heap) --
+  heap_allocs        28
+  arena_allocs       0
+  dcons_reuses       14
+  gc_runs            0
+  marked             0
+  swept              0
+  arena_freed        0
+  heap_capacity      4096
+  peak_live          28
+  minor_gcs          0
+  major_gcs          0
+  promoted           0
+  pretenured         0
+  remembered         0
+  regions_reclaimed  0
 
   $ nmlc analyze ../../examples/programs/partition_sort.nml --fun ps --stats --engine round-robin
   ps : int list -> int list
@@ -191,6 +207,22 @@ pass and clears the application memo wholesale, visible in the counts):
   application cache   8609 hits, 82325 misses, 0 invalidated
   chain bound d       2
   capped              false
+  -- storage (generational heap) --
+  heap_allocs        28
+  arena_allocs       0
+  dcons_reuses       14
+  gc_runs            0
+  marked             0
+  swept              0
+  arena_freed        0
+  heap_capacity      4096
+  peak_live          28
+  minor_gcs          0
+  major_gcs          0
+  promoted           0
+  pretenured         0
+  remembered         0
+  regions_reclaimed  0
 
 The annotation verifier re-derives every proof obligation behind the
 optimizer's destructive and arena annotations, independently of the
@@ -230,7 +262,7 @@ Solver statistics as JSON (the same emitter as the benchmark
 trajectory):
 
   $ nmlc analyze ../../examples/programs/reverse.nml --json
-  {"schema": "nmlc/solver-stats-v1", "engine": "worklist", "passes": 2, "iterations": 4, "entries": 2, "evaluations": 4, "sccs": 2, "largest_scc": 1, "cache_hits": 90, "cache_misses": 306, "cache_invalidated": 6, "d_bound": 1, "capped": false}
+  {"schema": "nmlc/solver-stats-v1", "engine": "worklist", "passes": 2, "iterations": 4, "entries": 2, "evaluations": 4, "sccs": 2, "largest_scc": 1, "cache_hits": 90, "cache_misses": 306, "cache_invalidated": 6, "d_bound": 1, "capped": false, "heap": {"heap_allocs": 8, "arena_allocs": 0, "dcons_reuses": 36, "gc_runs": 0, "marked": 0, "swept": 0, "arena_freed": 0, "heap_capacity": 4096, "peak_live": 8, "minor_gcs": 0, "major_gcs": 0, "promoted": 0, "pretenured": 0, "remembered": 0, "regions_reclaimed": 0}}
 
 Internal errors are distinguished from user errors by exit code 124
 (the hook below forces one):

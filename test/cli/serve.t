@@ -22,8 +22,8 @@ EOF on stdin would drain the server too; the shutdown makes it explicit.
   >   frame 'this is not json'
   >   frame '{"id": 3, "method": "shutdown"}'
   > } | nmlc serve --stdio --quiet --cache cache --jobs 1
-  293
-  {"id": 1, "result": {"schema": "nmlc/serve-status-v1", "workers": 1, "served": 0, "errors": 0, "timeouts": 0, "shed": 0, "malformed": 0, "invalid": 0, "crashes": 0, "respawns": 0, "discarded": 0, "quarantined": 0, "queue_depth": 0, "memory_entries": 0, "dirty_entries": 0, "draining": false}}
+  515
+  {"id": 1, "result": {"schema": "nmlc/serve-status-v1", "workers": 1, "served": 0, "errors": 0, "timeouts": 0, "shed": 0, "malformed": 0, "invalid": 0, "crashes": 0, "respawns": 0, "discarded": 0, "quarantined": 0, "queue_depth": 0, "memory_entries": 0, "dirty_entries": 0, "heap": {"evals": 0, "steps": 0, "heap_allocs": 0, "arena_allocs": 0, "dcons_reuses": 0, "gc_runs": 0, "minor_gcs": 0, "major_gcs": 0, "promoted": 0, "pretenured": 0, "swept": 0, "arena_freed": 0, "regions_reclaimed": 0}, "draining": false}}
   432
   {"id": 2, "result": {"path": "ok.nml", "code": 0, "defs": 1, "findings": 0, "evaluations": 2, "scc_hits": 0, "scc_misses": 1, "output": "append : int list -> int list -> int list\n  G(append, 1) = <1,0>  -- no spine of argument 1 escapes, only elements may\n  G(append, 2) = <1,1>  -- top 0 of 1 spine(s) never escape; bottom 1 may escape\n  sharing: top 0 of the result's 1 spine(s) are unshared in any call\n\n\n", "errors": ""}}
   95

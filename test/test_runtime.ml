@@ -434,6 +434,177 @@ let ir_tests =
         | _ -> Alcotest.fail "expected an error");
   ]
 
+(* ---- the generational heap --------------------------------------------------- *)
+
+let tiny_gen nursery = { Runtime.Heap.generational with Runtime.Heap.nursery }
+
+let run_gen ?(config = tiny_gen 2) ?(heap_size = 64) src =
+  let m = M.create ~heap_size ~check_arenas:true ~config () in
+  let w = M.run m (Surface.of_string src) in
+  (M.read_value m w, m)
+
+(* cons 0 (dcons [9] 1 [2]): the reused cell is promoted long before the
+   young tail is written into it — the old-to-young edge only survives
+   the next minor collection if the write barrier remembered it *)
+let barrier_program =
+  let open Ir in
+  App
+    ( App (Prim Nml.Ast.Cons, Const (Nml.Ast.Cint 0)),
+      App
+        ( App (App (Dcons, ir_parse "[9]"), Const (Nml.Ast.Cint 1)),
+          ir_parse "[2]" ) )
+
+let generational_tests =
+  [
+    Alcotest.test_case "promotion-preserves-results" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5,6,7,8]" in
+        let v, m = run_gen src in
+        Alcotest.check value "result" (eval_src src) v;
+        let s = M.stats m in
+        checkb "minor collections ran" true (s.Stats.minor_gcs > 0);
+        checkb "survivors were promoted" true (s.Stats.promoted > 0);
+        checkb "promoted within allocations" true
+          (s.Stats.promoted + s.Stats.pretenured <= s.Stats.heap_allocs);
+        check_live_invariant m);
+    Alcotest.test_case "minor-then-major-stay-consistent" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.create_list_def ] "create_list 10" in
+        let _, m = run_gen ~config:(tiny_gen 3) src in
+        M.collect_minor m;
+        M.collect m;
+        let s = M.stats m in
+        checkb "split covers all collections" true
+          (s.Stats.minor_gcs + s.Stats.major_gcs <= s.Stats.gc_runs);
+        checkb "major ran" true (s.Stats.major_gcs > 0);
+        check_live_invariant m);
+    Alcotest.test_case "pretenured-cells-skip-the-nursery" `Quick (fun () ->
+        let prog =
+          Ir.App
+            ( Ir.App (Ir.ConsAt Ir.Pretenured, Ir.Const (Nml.Ast.Cint 1)),
+              Ir.App
+                ( Ir.App (Ir.ConsAt Ir.Pretenured, Ir.Const (Nml.Ast.Cint 2)),
+                  Ir.Const Nml.Ast.Cnil ) )
+        in
+        let m = M.create ~config:Runtime.Heap.generational () in
+        let w = M.eval m prog in
+        Alcotest.check value "value"
+          (Eval.value_of_int_list [ 1; 2 ])
+          (M.read_value m w);
+        let s = M.stats m in
+        checki "pretenured" 2 s.Stats.pretenured;
+        checki "no minors triggered" 0 s.Stats.minor_gcs);
+    Alcotest.test_case "pretenure-hint-ignored-when-disabled" `Quick (fun () ->
+        let prog =
+          Ir.App
+            ( Ir.App (Ir.ConsAt Ir.Pretenured, Ir.Const (Nml.Ast.Cint 1)),
+              Ir.Const Nml.Ast.Cnil )
+        in
+        let m =
+          M.create
+            ~config:{ Runtime.Heap.generational with Runtime.Heap.pretenure = false }
+            ()
+        in
+        let w = M.eval m prog in
+        Alcotest.check value "value" (Eval.value_of_int_list [ 1 ]) (M.read_value m w);
+        checki "hint ignored" 0 (M.stats m).Stats.pretenured);
+    Alcotest.test_case "barrier-keeps-old-to-young-edge" `Quick (fun () ->
+        (* nursery of 1: every allocation ages its predecessors *)
+        let m = M.create ~config:(tiny_gen 1) () in
+        let w = M.eval m barrier_program in
+        Alcotest.check value "value"
+          (Eval.value_of_int_list [ 0; 1; 2 ])
+          (M.read_value m w);
+        let s = M.stats m in
+        checkb "promotion happened" true (s.Stats.promoted > 0);
+        checkb "reuse happened" true (s.Stats.dcons_reuses = 1);
+        check_live_invariant m);
+    Alcotest.test_case "regions-reset-wholesale" `Quick (fun () ->
+        let m =
+          M.create ~check_arenas:true ~config:Runtime.Heap.generational ()
+        in
+        let w = M.eval m region_program in
+        checki "result" 2 (match w with M.Wint n -> n | _ -> -1);
+        let s = M.stats m in
+        checki "arena allocs" 2 s.Stats.arena_allocs;
+        checki "arena freed" 2 s.Stats.arena_freed;
+        checki "one region reclaimed" 1 s.Stats.regions_reclaimed;
+        checki "no gc needed" 0 s.Stats.gc_runs);
+    Alcotest.test_case "arena-reset-poisons-under-generational" `Quick (fun () ->
+        (* a dangling read into a reset region must crash, not read stale
+           bits, exactly as on the legacy heap *)
+        let m =
+          M.create ~check_arenas:false
+            ~chaos:{ M.no_chaos with M.poison = true }
+            ~config:Runtime.Heap.generational ()
+        in
+        (match M.eval m use_after_free_program with
+        | exception M.Error msg ->
+            checkb "mentions use after free" true (contains_substring msg "freed")
+        | w -> Alcotest.failf "expected a crash, got %a" (M.pp_word m) w);
+        checkb "poisoned cells counted" true ((M.stats m).Stats.poisoned > 0));
+    Alcotest.test_case "regions-off-falls-back-to-the-heap" `Quick (fun () ->
+        let m =
+          M.create ~check_arenas:true
+            ~config:{ Runtime.Heap.generational with Runtime.Heap.regions = false }
+            ()
+        in
+        let w = M.eval m region_program in
+        checki "result" 2 (match w with M.Wint n -> n | _ -> -1);
+        let s = M.stats m in
+        checki "no arena cells" 0 s.Stats.arena_allocs;
+        checki "spine on the gc heap" 2 s.Stats.heap_allocs;
+        checki "nothing reclaimed wholesale" 0 s.Stats.regions_reclaimed);
+    Alcotest.test_case "chaos-agrees-on-the-generational-heap" `Quick (fun () ->
+        let src = Ex.wrap [ Ex.append_def; Ex.rev_def ] "rev [1,2,3,4,5,6,7,8]" in
+        let m =
+          M.create ~heap_size:4 ~grow:true ~check_arenas:true ~chaos:chaos_on
+            ~config:(tiny_gen 2) ()
+        in
+        let v = M.read_value m (M.run m (Surface.of_string src)) in
+        Alcotest.check value "result" (eval_src src) v;
+        checkb "chaos collections happened" true ((M.stats m).Stats.chaos_gcs > 0);
+        check_live_invariant m);
+    Alcotest.test_case "fragmentation-witness-recycles-freed-cells" `Quick (fun () ->
+        (* an alloc/free churn several times over capacity in a
+           fixed-size store: every allocation after the first sweep must
+           come off the intrusive free list, so capacity never moves *)
+        let src =
+          Ex.wrap
+            [ Ex.insert_def; Ex.isort_def; Ex.last_def ]
+            "last (isort [9,3,7,1,8,2,6,4,5]) + last (isort [5,4,6,2,8,1,7,3,9])"
+        in
+        List.iter
+          (fun config ->
+            let m = M.create ~heap_size:32 ~grow:false ~check_arenas:true ~config () in
+            let w = M.run m (Surface.of_string src) in
+            Alcotest.check value "result" (eval_src src) (M.read_value m w);
+            let s = M.stats m in
+            checkb "churn exceeded capacity" true (Stats.total_allocs s > 64);
+            checki "capacity unchanged" 32 s.Stats.heap_capacity;
+            check_live_invariant m)
+          [ Runtime.Heap.legacy; tiny_gen 4 ]);
+  ]
+
+(* ---- pause statistics --------------------------------------------------------- *)
+
+let pause_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"pause percentiles are monotone" ~count:300
+        QCheck.(list (int_bound 100_000))
+        (fun cells ->
+          let s = Stats.create () in
+          List.iter (fun c -> Stats.record_pause s ~cells:c ~ns:(float_of_int c)) cells;
+          match (Stats.pause_percentiles_cells s, Stats.pause_percentiles_ns s) with
+          | None, None -> cells = []
+          | Some (p50, p95, mx), Some (n50, n95, nmx) ->
+              cells <> []
+              && p50 <= p95 && p95 <= mx
+              && mx = List.fold_left max 0 cells
+              && n50 <= n95 && n95 <= nmx
+              && int_of_float nmx = List.fold_left max 0 cells
+          | _ -> false);
+    ]
+
 (* ---- differential property -------------------------------------------------- *)
 
 let differential =
@@ -453,6 +624,16 @@ let differential =
           let m = M.create ~heap_size:2 ~grow:true () in
           let got = M.read_value m (M.run m (Surface.of_string src)) in
           Eval.equal_value expected got);
+      QCheck.Test.make ~name:"generational machine agrees with reference" ~count:200
+        (QCheck.make ~print:(fun s -> s) Gen.gen_program)
+        (fun src ->
+          let expected = eval_src src in
+          let m =
+            M.create ~heap_size:8 ~grow:true ~check_arenas:true
+              ~config:(tiny_gen 2) ()
+          in
+          let got = M.read_value m (M.run m (Surface.of_string src)) in
+          Eval.equal_value expected got);
     ]
 
 let () =
@@ -466,5 +647,7 @@ let () =
       ("pairs", pair_tests);
       ("dcons", dcons_tests);
       ("ir", ir_tests);
+      ("generational", generational_tests);
+      ("pauses", pause_tests);
       ("differential", differential);
     ]
