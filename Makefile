@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke framework-smoke ci clean
 
 all: build
 
@@ -37,14 +37,16 @@ bench: build
 	dune exec bench/main.exe -- --validate BENCH_PR6.json
 	dune exec bench/main.exe -- H1 H2 --json BENCH_PR7.json
 	dune exec bench/main.exe -- --validate BENCH_PR7.json
+	dune exec bench/main.exe -- S5 --json BENCH_PR8.json
+	dune exec bench/main.exe -- --validate BENCH_PR8.json
 	dune exec bench/main.exe -- --history BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 L1 E1 H1 H2 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 S5 L1 E1 H1 H2 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
 
 # The perf trajectory gate: every committed benchmark artifact must still
@@ -53,7 +55,7 @@ bench-smoke: build
 # what the artifact recorded.
 bench-gate: build
 	dune exec bench/main.exe -- --gate BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
 
 # The persistent cache end to end through the CLI: a second batch run
 # over the unchanged examples must perform zero entry evaluations.
@@ -83,6 +85,24 @@ lint-smoke: build
 	head -n -1 _build/lint_smoke_cold.out > _build/lint_smoke_cold.body
 	head -n -1 _build/lint_smoke_warm.out > _build/lint_smoke_warm.body
 	cmp _build/lint_smoke_cold.body _build/lint_smoke_warm.body
+
+# The pluggable-analysis surface end to end through the CLI: the registry
+# lists every analysis, each one reports over a shipped example, and a
+# warm cached batch rerun of a non-default analysis performs zero entry
+# evaluations out of its own key namespace.
+framework-smoke: build
+	dune exec bin/nmlc.exe -- analyze --list-analyses | grep -q 'escape-x-usage'
+	dune exec bin/nmlc.exe -- analyze examples/programs/reverse.nml \
+	  --analysis usage | grep -q 'U(append, 1) = used'
+	dune exec bin/nmlc.exe -- analyze examples/programs/reverse.nml \
+	  --analysis spine-liveness | grep -q 'L(append, 1) = spine-live'
+	dune exec bin/nmlc.exe -- analyze examples/programs/reverse.nml \
+	  --analysis escape-x-usage | grep -q 'P(append, 1) = spine-scratch'
+	rm -rf _build/framework_smoke_cache
+	dune exec bin/nmlc.exe -- batch examples/programs --analysis usage --jobs 2 \
+	  --cache _build/framework_smoke_cache > /dev/null
+	dune exec bin/nmlc.exe -- batch examples/programs --analysis usage --jobs 2 \
+	  --cache _build/framework_smoke_cache | grep -q '; 0 entry evaluation(s)'
 
 # The analysis daemon end to end through the CLI: a socket server with
 # the slow-request fault armed, every method exercised by the one-shot
@@ -119,6 +139,7 @@ ci: build
 	$(MAKE) bench-gate
 	$(MAKE) batch-smoke
 	$(MAKE) lint-smoke
+	$(MAKE) framework-smoke
 	$(MAKE) serve-smoke
 
 clean:

@@ -683,20 +683,18 @@ let rec_chain_src k =
   in
   Ex.wrap defs "0"
 
-(* One cold-start solver run: reset the process-global engine state,
-   solve, snapshot the statistics, then time identical runs. *)
+(* One cold-start solver run: every [Fix.of_source] owns a fresh private
+   solver state, so each run is cold by construction — solve, snapshot
+   the statistics, then time identical runs. *)
 let run_engine ~engine ~demand src =
-  Escape.Dvalue.reset_engine ();
   let t = Fix.of_source ~max_iters:1000 ~engine src in
   demand t;
   let stats = Fix.stats t in
   let wall =
     measure_ns (Fix.engine_name engine) (fun () ->
-        Escape.Dvalue.reset_engine ();
         let t = Fix.of_source ~max_iters:1000 ~engine src in
         demand t)
   in
-  Escape.Dvalue.reset_engine ();
   (stats, wall)
 
 let push_record ~experiment ~workload ~size ~wall (s : Fix.stats) =
@@ -958,6 +956,156 @@ let s4 () =
     "\nexpected shape: warm = 0 evaluations with bit-identical reports;\n\
      the edit re-solves only its invalidation cone (%d of %d cold evaluations).\n"
     (ev_of !edited) (ev_of !cold)
+
+(* ---- S5: the analysis framework -- functor overhead and per-analysis caching -------- *)
+
+(* Part A: the frozen pre-framework escape solver (test/support/
+   legacy_fixpoint.ml, kept verbatim as the differential baseline)
+   against [Framework.Solver.Make (Escape.Espec)] on the two solver
+   stress shapes.  The functorized engine must perform {e exactly} the
+   same entry evaluations -- the test suite proves value equality; the
+   bench records the counts so the artifact can re-assert it -- and its
+   wall overhead is the headline: the aggregate framework/legacy ratio
+   must stay within 1.05x (plus a small absolute noise floor, since a
+   smoke run's workloads are microseconds).
+
+   Part B: every registered analysis (escape, usage, spine-liveness and
+   the reduced product) over the soundness corpus through its own cache
+   namespace: the cold run solves and writes, the warm rerun must be
+   completely evaluation-free. *)
+let s5 () =
+  section "S5" "analysis framework -- functorized solver overhead, per-analysis cache";
+  let shapes =
+    if !smoke then [ ("wide-chain", [ 12 ]); ("deep-recursion", [ 3 ]) ]
+    else [ ("wide-chain", [ 20; 40; 80 ]); ("deep-recursion", [ 4; 8; 16 ]) ]
+  in
+  let src_of shape n =
+    match shape with
+    | "wide-chain" -> wide_chain_src n
+    | _ -> rec_chain_src n
+  in
+  let demand_of shape n =
+    match shape with
+    | "wide-chain" ->
+        fun value -> value (Printf.sprintf "w%d" (n - 1)) None
+    | _ ->
+        let rec deep k = if k = 0 then Ty.Int else Ty.List (deep (k - 1)) in
+        let inst = Ty.Arrow (deep 3, Ty.Arrow (deep 3, deep 3)) in
+        fun value -> value (Printf.sprintf "f%d" (n - 1)) (Some inst)
+  in
+  let rows = ref [] in
+  let legacy_total = ref 0. and framework_total = ref 0. in
+  List.iter
+    (fun (shape, sizes) ->
+      List.iter
+        (fun n ->
+          let src = src_of shape n in
+          let demand = demand_of shape n in
+          let lt = Legacy_fixpoint.of_source ~max_iters:1000 src in
+          demand (fun name inst -> ignore (Legacy_fixpoint.value lt name inst));
+          let l_ev = Legacy_fixpoint.evaluations lt in
+          let l_ns =
+            measure_ns "legacy" (fun () ->
+                let t = Legacy_fixpoint.of_source ~max_iters:1000 src in
+                demand (fun name inst -> ignore (Legacy_fixpoint.value t name inst)))
+          in
+          let ft = Fix.of_source ~max_iters:1000 src in
+          demand (fun name inst -> ignore (Fix.value ft name inst));
+          let f_ev = Fix.evaluations ft in
+          let f_ns =
+            measure_ns "framework" (fun () ->
+                let t = Fix.of_source ~max_iters:1000 src in
+                demand (fun name inst -> ignore (Fix.value t name inst)))
+          in
+          legacy_total := !legacy_total +. l_ns;
+          framework_total := !framework_total +. f_ns;
+          List.iter
+            (fun (solver, ev, ns) ->
+              json_records :=
+                J.Obj
+                  [
+                    ("experiment", J.Str "S5");
+                    ("workload", J.Str "framework-overhead");
+                    ("shape", J.Str shape);
+                    ("solver", J.Str solver);
+                    ("size", J.int n);
+                    ("evaluations", J.int ev);
+                    ("wall_ns", J.int (int_of_float ns));
+                  ]
+                :: !json_records)
+            [ ("legacy", l_ev, l_ns); ("framework", f_ev, f_ns) ];
+          rows :=
+            [
+              shape; string_of_int n; string_of_int l_ev; string_of_int f_ev;
+              ms l_ns; ms f_ns; Printf.sprintf "%.3fx" (f_ns /. l_ns);
+            ]
+            :: !rows)
+        sizes)
+    shapes;
+  print_table
+    [ "shape"; "size"; "legacy evals"; "fw evals"; "legacy ms"; "fw ms"; "ratio" ]
+    (List.rev !rows);
+  Printf.printf
+    "\naggregate framework/legacy wall ratio: %.3fx (budget 1.05x)\n"
+    (!framework_total /. !legacy_total);
+  (* part B: cold/warm of every registered analysis, each in its own
+     cache namespace inside one shared store *)
+  let dir = scratch_dir "s5" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let corpus = Filename.concat dir "corpus" in
+  Sys.mkdir corpus 0o755;
+  let files =
+    List.map
+      (fun (name, src) ->
+        let path = Filename.concat corpus (name ^ ".nml") in
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc src);
+        path)
+      Check.Harness.builtin_corpus
+  in
+  let store = Cache.Store.create (Filename.concat dir "cache") in
+  let crows = ref [] in
+  List.iter
+    (fun (e : Analyses.Registry.entry) ->
+      let sweep () =
+        List.map (fun p -> Analyses.Registry.batch_job e ~store:(Some store) p) files
+      in
+      let cold = ref [] in
+      let cold_ns = time_once (fun () -> cold := sweep ()) in
+      let warm = sweep () in
+      let warm_ns = measure_ns "warm" (fun () -> ignore (sweep ())) in
+      let record phase wall results =
+        let ev, hits, misses, _ = batch_totals results in
+        json_records :=
+          J.Obj
+            [
+              ("experiment", J.Str "S5");
+              ("workload", J.Str "analysis-cache");
+              ("analysis", J.Str e.Analyses.Registry.name);
+              ("phase", J.Str phase);
+              ("files", J.int (List.length files));
+              ("evaluations", J.int ev);
+              ("scc_hits", J.int hits);
+              ("scc_misses", J.int misses);
+              ("wall_ns", J.int (int_of_float wall));
+            ]
+          :: !json_records;
+        crows :=
+          [
+            e.Analyses.Registry.name; phase; string_of_int ev;
+            string_of_int hits; string_of_int misses; ms wall;
+          ]
+          :: !crows
+      in
+      record "cold" cold_ns !cold;
+      record "warm" warm_ns warm)
+    Analyses.Registry.all;
+  print_table
+    [ "analysis"; "phase"; "evals"; "scc hits"; "scc misses"; "ms" ]
+    (List.rev !crows);
+  Printf.printf
+    "\nexpected shape: per (shape, size) the two solvers' evaluation counts\n\
+     are identical; every analysis' warm rerun is evaluation-free in its\n\
+     own key namespace.\n"
 
 (* ---- L1: lint throughput through the summary cache --------------------------------- *)
 
@@ -1412,6 +1560,20 @@ let validate_json file =
                   ~strs:[ "workload"; "phase" ]
                   ~nums:[ "files"; "requests"; "p50_ns"; "p99_ns"; "evaluations" ]
                   r
+            | "S5" -> (
+                match get_str "workload" r with
+                | "framework-overhead" ->
+                    shaped
+                      ~strs:[ "workload"; "shape"; "solver" ]
+                      ~nums:[ "size"; "evaluations"; "wall_ns" ]
+                      r
+                | _ ->
+                    shaped
+                      ~strs:[ "workload"; "analysis"; "phase" ]
+                      ~nums:
+                        [ "files"; "evaluations"; "scc_hits"; "scc_misses";
+                          "wall_ns" ]
+                      r)
             | "H1" | "H2" ->
                 shaped
                   ~strs:[ "workload"; "config"; "policy" ]
@@ -1535,6 +1697,77 @@ let validate_json file =
               "%s: daemon invariants broken (warm phase must be 0 evaluations with \
                p50 <= the edit storm's p99, and p50 <= p99 everywhere)\n"
               file;
+          (* framework headline: the functorized escape solver performs
+             exactly the frozen solver's entry evaluations on every
+             (shape, size), the aggregate wall overhead stays within
+             1.05x (plus a 0.5ms noise floor for smoke-sized runs), and
+             every registered analysis' warm rerun is evaluation-free *)
+          let s5r = List.filter (fun r -> get_str "experiment" r = "S5") records in
+          let overhead =
+            List.filter (fun r -> get_str "workload" r = "framework-overhead") s5r
+          in
+          let s5cache =
+            List.filter (fun r -> get_str "workload" r = "analysis-cache") s5r
+          in
+          let framework_ok =
+            s5r = []
+            || overhead <> []
+               && s5cache <> []
+               && (let keys =
+                     List.sort_uniq compare
+                       (List.map
+                          (fun r -> (get_str "shape" r, get_num "size" r))
+                          overhead)
+                   in
+                   List.for_all
+                     (fun (shape, sz) ->
+                       let of_solver s =
+                         List.find_opt
+                           (fun r ->
+                             get_str "solver" r = s
+                             && get_str "shape" r = shape
+                             && get_num "size" r = sz)
+                           overhead
+                       in
+                       match (of_solver "legacy", of_solver "framework") with
+                       | Some l, Some f ->
+                           get_num "evaluations" l = get_num "evaluations" f
+                       | _ -> false)
+                     keys)
+               && (let total s =
+                     List.fold_left
+                       (fun a r ->
+                         if get_str "solver" r = s then a +. get_num "wall_ns" r
+                         else a)
+                       0. overhead
+                   in
+                   total "framework" <= (total "legacy" *. 1.05) +. 5e5)
+               && (let analyses =
+                     List.sort_uniq compare (List.map (get_str "analysis") s5cache)
+                   in
+                   analyses <> []
+                   && List.for_all
+                        (fun a ->
+                          let at p =
+                            List.find_opt
+                              (fun r ->
+                                get_str "analysis" r = a && get_str "phase" r = p)
+                              s5cache
+                          in
+                          match (at "cold", at "warm") with
+                          | Some c, Some w ->
+                              get_num "evaluations" c > 0.
+                              && get_num "evaluations" w = 0.
+                              && get_num "scc_misses" w = 0.
+                          | _ -> false)
+                        analyses)
+          in
+          if not framework_ok then
+            Printf.eprintf
+              "%s: framework invariants broken (functorized evaluations must equal \
+               the frozen solver's, aggregate wall overhead within 1.05x, and every \
+               analysis' warm rerun evaluation-free)\n"
+              file;
           (* heap headline: on every workload size, analysis-on must not
              do more GC work or pause longer (deterministic cells proxy)
              than analysis-off on the same generational heap, and must
@@ -1603,12 +1836,17 @@ let validate_json file =
               "%s: heap invariants broken (analysis-on must beat analysis-off in \
                gc_work and max pause, and in throughput where the gap is real)\n"
               file;
-          if shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok then
+          if shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok
+             && framework_ok
+          then
             Printf.printf
-              "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve, %d heap)\n"
+              "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve, %d heap, \
+               %d framework)\n"
               file (List.length records) (List.length solver) (List.length s4)
-              (List.length l1r) (List.length e1r) (List.length hrec);
+              (List.length l1r) (List.length e1r) (List.length hrec)
+              (List.length s5r);
           shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok
+          && framework_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
@@ -1727,6 +1965,34 @@ let gate files =
       within_120pct
         ~what:(Printf.sprintf "S1 worklist evaluations (wide chain of %d)" n)
         ~recorded:(get_num "evaluations" biggest) ~now:stats.Fix.stats_evaluations);
+  (* S5: each registered analysis' cold evaluation count over the builtin
+     soundness corpus is exact; re-run coldly (no store) and compare *)
+  let s5_cold =
+    List.filter
+      (fun r ->
+        get_str "experiment" r = "S5"
+        && get_str "workload" r = "analysis-cache"
+        && get_str "phase" r = "cold")
+      records
+  in
+  List.iter
+    (fun recorded ->
+      let name = get_str "analysis" recorded in
+      match Analyses.Registry.find name with
+      | None -> failgate "S5 records unknown analysis %s" name
+      | Some e ->
+          let now =
+            List.fold_left
+              (fun acc (_, src) ->
+                let prog = Nml.Infer.infer_program (Surface.of_string src) in
+                let o = e.Analyses.Registry.run prog in
+                acc + o.Analyses.Registry.evaluations)
+              0 Check.Harness.builtin_corpus
+          in
+          within_120pct
+            ~what:(Printf.sprintf "S5 %s cold evaluations (builtin corpus)" name)
+            ~recorded:(get_num "evaluations" recorded) ~now)
+    s5_cold;
   (* H1/H2: re-run the smallest recorded size of each workload and compare
      the deterministic storage counters per configuration *)
   List.iter
@@ -1781,8 +2047,8 @@ let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
-    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("L1", l1); ("E1", e1);
-    ("H1", h1); ("H2", h2);
+    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("S5", s5); ("L1", l1);
+    ("E1", e1); ("H1", h1); ("H2", h2);
   ]
 
 let () =
@@ -1821,7 +2087,7 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S4, L1, E1, \
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S5, L1, E1, \
                  H1, H2)\n"
                 id)
         requested;

@@ -202,8 +202,22 @@ let heap_row_of surface =
   | exception Runtime.Machine.Out_of_memory -> Error "storage exhausted"
   | exception Runtime.Machine.Error msg -> Error msg
 
+let list_analyses () =
+  Format.printf "@[<v 0>registered analyses:@,";
+  List.iter
+    (fun (e : Analyses.Registry.entry) ->
+      let aliases =
+        match e.Analyses.Registry.aliases with
+        | [] -> ""
+        | a -> Printf.sprintf " (alias: %s)" (String.concat ", " a)
+      in
+      Format.printf "  %-16s %s%s@,  %-16s domain: %s@," e.Analyses.Registry.name
+        e.Analyses.Registry.doc aliases "" e.Analyses.Registry.domain)
+    Analyses.Registry.all;
+  Format.printf "@]@?"
+
 let analyze_cmd =
-  let run file inline func enumerate local engine show_stats json =
+  let run_escape file inline func enumerate local engine show_stats json =
     with_source file inline (fun s ->
         if json then begin
           if enumerate then
@@ -278,6 +292,33 @@ let analyze_cmd =
           end
         end)
   in
+  let run file inline func enumerate local engine show_stats json analysis listing =
+    if listing then begin
+      list_analyses ();
+      0
+    end
+    else if String.equal analysis "escape" then
+      run_escape file inline func enumerate local engine show_stats json
+    else
+      with_source file inline (fun s ->
+          let e =
+            match Analyses.Registry.find analysis with
+            | Some e -> e
+            | None ->
+                failwith
+                  (Printf.sprintf "unknown analysis %s (try --list-analyses)" analysis)
+          in
+          if enumerate || local || json || func <> None then
+            failwith "--enumerate/--local/--json/-f apply to the escape analysis only";
+          let o = e.Analyses.Registry.run (Nml.Infer.infer_program s) in
+          print_string o.Analyses.Registry.output;
+          if show_stats then
+            Format.printf
+              "-- solver --@.analysis            %s@.definitions         \
+               %d@.entry evaluations   %d@."
+              e.Analyses.Registry.name o.Analyses.Registry.defs
+              o.Analyses.Registry.evaluations)
+  in
   let func =
     Arg.(
       value
@@ -323,11 +364,26 @@ let analyze_cmd =
           ~doc:"Emit the solver statistics as a JSON document instead of the report \
                 (not available with --enumerate).")
   in
+  let analysis =
+    Arg.(
+      value & opt string "escape"
+      & info [ "analysis" ] ~docv:"NAME"
+          ~doc:
+            "Which registered analysis to run: $(b,escape) (default), $(b,usage) \
+             (alias $(b,strictness)), $(b,spine-liveness), or $(b,escape-x-usage) \
+             (alias $(b,product)).  See $(b,--list-analyses).")
+  in
+  let listing =
+    Arg.(
+      value & flag
+      & info [ "list-analyses" ]
+          ~doc:"List the registered analyses (name, question, abstract domain) and exit.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Escape analysis report (global tests and sharing)")
     Term.(
       const run $ file_arg $ inline_arg $ func $ enumerate $ local $ engine $ show_stats
-      $ json)
+      $ json $ analysis $ listing)
 
 let batch_cmd =
   let expand path =
@@ -338,7 +394,7 @@ let batch_cmd =
       |> List.map (Filename.concat path)
     else [ path ]
   in
-  let run paths jobs cache_dir no_cache lint format =
+  let run paths jobs cache_dir no_cache lint format analysis =
     let rc = ref 0 in
     let code =
       handle (fun () ->
@@ -349,8 +405,20 @@ let batch_cmd =
           (match store with Some s -> ignore (Cache.Store.cleanup_tmp s) | None -> ());
           let jobs = match jobs with Some n -> max 1 n | None -> Domain.recommended_domain_count () in
           let analyze =
-            if lint then Some (fun ~store path -> Lint.Batch.analyze_file ~store path)
-            else None
+            if lint then begin
+              if not (String.equal analysis "escape") then
+                failwith "--lint runs the lint rules; it does not take --analysis";
+              Some (fun ~store path -> Lint.Batch.analyze_file ~store path)
+            end
+            else if String.equal analysis "escape" then None
+            else
+              match Analyses.Registry.find analysis with
+              | None ->
+                  failwith
+                    (Printf.sprintf "unknown analysis %s (try nmlc analyze --list-analyses)"
+                       analysis)
+              | Some e when String.equal e.Analyses.Registry.name "escape" -> None
+              | Some e -> Some (fun ~store path -> Analyses.Registry.batch_job e ~store path)
           in
           (* SIGINT/SIGTERM drain the pool instead of killing it mid-write:
              in-flight files finish (and their summaries commit through the
@@ -491,11 +559,18 @@ let batch_cmd =
           ~doc:"Report rendering: $(b,human) (default, per-file reports and a summary \
                 line) or $(b,json) (one machine-readable document, no timing data).")
   in
+  let analysis =
+    Arg.(
+      value & opt string "escape"
+      & info [ "analysis" ] ~docv:"NAME"
+          ~doc:"Which registered analysis to run per file (default $(b,escape)); see \
+                $(b,nmlc analyze --list-analyses).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Analyze or lint many programs in parallel through the persistent summary \
              cache")
-    Term.(const run $ paths $ jobs $ cache_dir $ no_cache $ lint $ format)
+    Term.(const run $ paths $ jobs $ cache_dir $ no_cache $ lint $ format $ analysis)
 
 let options_term =
   let no_mono =
@@ -561,6 +636,17 @@ let run_cmd =
           | `Legacy -> Runtime.Heap.legacy
           | `Generational -> Runtime.Heap.generational
         in
+        (* liveness hints for the generational collector: parameters
+           whose argument spine the callee provably never needs past the
+           head.  Advisory metadata — the stats rows are identical with
+           and without them. *)
+        let liveness_hints =
+          match policy with
+          | `Legacy -> []
+          | `Generational ->
+              let t = Framework.Spinelive.Solver.make (Nml.Infer.infer_program s) in
+              Framework.Spinelive.dead_spine_params t
+        in
         let config =
           {
             base with
@@ -570,6 +656,7 @@ let run_cmd =
               (match nursery with
               | Some n -> max 1 n
               | None -> base.Runtime.Heap.nursery);
+            liveness_hints;
           }
         in
         (* tenured-at-birth sites only exist if the optimizer emits them;

@@ -1,0 +1,159 @@
+(* The reduced product escape × usage, surfaced as the registry's
+   [escape-x-usage] analysis.
+
+   The domain-level pairing is {!Framework.Product.Make} applied to the
+   escape Spec and the usage Spec: one solver run settles both
+   components in lockstep (same demand keys, same read frames, shared
+   invalidation).  The {e reduction} happens where both components are
+   in hand, per (definition, parameter):
+
+   - usage [Unused]/[Consumed] proves the argument is never retained in
+     the result, so the escape component refines to [<0,0>] even when
+     the escape side over-approximated;
+   - escape [<0,0>] proves no part of the argument reaches the result,
+     so a usage [Carried]/[Used] verdict sheds its retention bit.
+
+   The combined verdict is the storage story the heap layer wants:
+
+   - [Dead]          — never inspected, never retained: garbage at call
+                       entry;
+   - [Scratch]       — inspected only: every cell is reclaimable the
+                       moment the call returns (the DCONS / unboxing
+                       license);
+   - [Spine_scratch] — elements may be retained but the top
+                       [reclaimable] spine levels never escape: those
+                       cells can be reused per Theorem 2;
+   - [Retained]      — (part of) the argument may live on in the
+                       result. *)
+
+module Usage = Framework.Usage
+module Besc = Escape.Besc
+module Ty = Nml.Ty
+
+module PD = Framework.Product.Make (Escape.Espec) (Usage.D) ()
+module Solver = Framework.Solver.Make (PD)
+
+type verdict = Dead | Scratch | Spine_scratch | Retained
+
+let verdict_name = function
+  | Dead -> "dead"
+  | Scratch -> "scratch"
+  | Spine_scratch -> "spine-scratch"
+  | Retained -> "retained"
+
+let verdict_of_name = function
+  | "dead" -> Some Dead
+  | "scratch" -> Some Scratch
+  | "spine-scratch" -> Some Spine_scratch
+  | "retained" -> Some Retained
+  | _ -> None
+
+let verdict_doc = function
+  | Dead -> "never inspected, never retained: dead at call entry"
+  | Scratch -> "inspected only: reclaimable when the call returns"
+  | Spine_scratch -> "elements may be retained; the unescaping top spines are reusable"
+  | Retained -> "the argument may live on in the result"
+
+(* The mutual refinement; each direction uses one component's soundness
+   to discharge the other's over-approximation. *)
+let reduce ~(usage : Usage.verdict) ~(esc : Besc.t) =
+  let esc =
+    match usage with Usage.Unused | Usage.Consumed -> Besc.zero | _ -> esc
+  in
+  let usage =
+    if Besc.equal esc Besc.zero then
+      match usage with
+      | Usage.Carried -> Usage.Unused
+      | Usage.Used -> Usage.Consumed
+      | v -> v
+    else usage
+  in
+  (usage, esc)
+
+let classify ~spines (usage, esc) =
+  match usage with
+  | Usage.Unused -> Dead
+  | Usage.Consumed -> Scratch
+  | Usage.Carried | Usage.Used ->
+      if spines > 0 && Besc.spines esc < spines then Spine_scratch else Retained
+
+type arg_report = {
+  a_index : int;  (* 1-based parameter position *)
+  a_usage : Usage.verdict;  (* reduced usage component *)
+  a_esc : Besc.t;  (* reduced escape component *)
+  a_spines : int;  (* spine count of the parameter's type *)
+  a_verdict : verdict;
+}
+
+type def_report = {
+  r_name : string;
+  r_ty : string;  (* rendered simplest ground instance *)
+  r_args : arg_report list;
+}
+
+(* Both global tests against the same product value: the escape side
+   applies [interesting]/[boring] worst-case arguments to the first
+   component, the usage side probes the second — then the pair is
+   reduced.  Runs inside the product solver's state, which installs both
+   components' ambient engines. *)
+let arg_report t name ~arg =
+  let ty = Solver.instance_ty t name in
+  let m = Ty.arity ty in
+  if arg < 1 || arg > m then
+    invalid_arg (Printf.sprintf "Product.arg_report: %s has arity %d" name m);
+  let va, vb = Solver.value t name (Some ty) in
+  Solver.with_state t @@ fun () ->
+  let arg_tys = Ty.arg_tys ty m in
+  let pick j a b = List.mapi (fun i aty -> if i = arg - 1 then a aty else b aty) j in
+  let esc =
+    Escape.Dvalue.total_esc
+      (Escape.Dvalue.apply_all va
+         (pick arg_tys Escape.Dvalue.interesting Escape.Dvalue.boring))
+  in
+  let u = Usage.D.total (Usage.D.apply_all vb (pick arg_tys Usage.D.probe Usage.D.bottom)) in
+  let usage =
+    match (Usage.Flags.dep u, u.Usage.Flags.use) with
+    | false, false -> Usage.Unused
+    | true, false -> Usage.Carried
+    | false, true -> Usage.Consumed
+    | true, true -> Usage.Used
+  in
+  let spines = Ty.max_list_depth (List.nth arg_tys (arg - 1)) in
+  let usage, esc = reduce ~usage ~esc in
+  {
+    a_index = arg;
+    a_usage = usage;
+    a_esc = esc;
+    a_spines = spines;
+    a_verdict = classify ~spines (usage, esc);
+  }
+
+let report t name =
+  let ty = Solver.instance_ty t name in
+  let m = Ty.arity ty in
+  {
+    r_name = name;
+    r_ty = Ty.to_string ty;
+    r_args = List.init m (fun i -> arg_report t name ~arg:(i + 1));
+  }
+
+let reclaimable a =
+  match a.a_verdict with
+  | Dead | Scratch -> a.a_spines
+  | Spine_scratch -> a.a_spines - Besc.spines a.a_esc
+  | Retained -> 0
+
+let pp_def_report ppf r =
+  Format.fprintf ppf "@[<v 0>%s : %s" r.r_name r.r_ty;
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@,  P(%s, %d) = %s  [usage %s, escape %s]  -- %s"
+        r.r_name a.a_index (verdict_name a.a_verdict)
+        (Usage.verdict_name a.a_usage) (Besc.to_string a.a_esc)
+        (verdict_doc a.a_verdict);
+      let k = reclaimable a in
+      if k > 0 && a.a_spines > 0 then
+        Format.fprintf ppf " (%d of %d spine level%s reclaimable)" k a.a_spines
+          (if k = 1 then "" else "s"))
+    r.r_args;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,299 @@
+(* The analysis registry: every Spec the framework can run, addressable
+   by name from the CLI ([nmlc analyze --analysis NAME]), the batch
+   driver and the serve daemon.  Each entry runs through
+   {!Cache.Engine}, so every analysis inherits the per-SCC persistent
+   cache under its own key namespace — a warm rerun of any analysis
+   performs zero solver evaluations. *)
+
+module J = Nml.Json
+module Engine = Cache.Engine
+module Usage = Framework.Usage
+module Spinelive = Framework.Spinelive
+
+type outcome = {
+  output : string;  (* rendered report, one block per definition *)
+  defs : int;
+  evaluations : int;
+  scc_hits : int;
+  scc_misses : int;
+}
+
+type entry = {
+  name : string;  (* canonical registry / cache-namespace name *)
+  aliases : string list;
+  domain : string;  (* one-line abstract-domain description *)
+  doc : string;  (* one-line "what question does it answer" *)
+  run : ?store:Cache.Store.t -> Nml.Infer.program -> outcome;
+}
+
+(* ---- codec helpers ---------------------------------------------------------- *)
+
+let fail = failwith
+let str = function J.Str s -> s | _ -> fail "expected a string"
+let num = function J.Num f -> int_of_float f | _ -> fail "expected a number"
+let arr = function J.Arr xs -> xs | _ -> fail "expected an array"
+
+let get field j =
+  match J.member field j with Some v -> v | None -> fail ("missing field " ^ field)
+
+let render pp summaries =
+  Format.asprintf "@[<v 0>%a@]@."
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp)
+    summaries
+
+let of_engine output (o : _ Engine.outcome) =
+  {
+    output;
+    defs = List.length o.Engine.summaries;
+    evaluations = o.Engine.evaluations;
+    scc_hits = o.Engine.scc_hits;
+    scc_misses = o.Engine.scc_misses;
+  }
+
+(* ---- escape ----------------------------------------------------------------- *)
+
+let escape_run ?store prog =
+  let o = Cache.Summary.analyze ?store prog in
+  {
+    output = Format.asprintf "%a" Escape.Report.pp_program_summaries o.Cache.Summary.summaries;
+    defs = List.length o.Cache.Summary.summaries;
+    evaluations = o.Cache.Summary.evaluations;
+    scc_hits = o.Cache.Summary.scc_hits;
+    scc_misses = o.Cache.Summary.scc_misses;
+  }
+
+(* ---- usage ------------------------------------------------------------------ *)
+
+let usage_def_to_json (r : Usage.def_report) =
+  J.Obj
+    [
+      ("name", J.Str r.Usage.r_name);
+      ("inst", J.Str r.Usage.r_ty);
+      ( "args",
+        J.Arr
+          (List.map
+             (fun (a : Usage.arg_report) ->
+               J.Arr [ J.int a.Usage.a_index; J.Str (Usage.verdict_name a.Usage.a_verdict) ])
+             r.Usage.r_args) );
+    ]
+
+let usage_def_of_json j =
+  {
+    Usage.r_name = str (get "name" j);
+    r_ty = str (get "inst" j);
+    r_args =
+      List.map
+        (function
+          | J.Arr [ i; v ] ->
+              {
+                Usage.a_index = num i;
+                a_verdict =
+                  (match Usage.verdict_of_name (str v) with
+                  | Some v -> v
+                  | None -> fail "bad usage verdict");
+              }
+          | _ -> fail "bad usage arg")
+        (arr (get "args" j));
+  }
+
+let usage_spec : Usage.def_report Engine.spec =
+  {
+    Engine.analysis = "usage";
+    def_name = (fun r -> r.Usage.r_name);
+    to_json = usage_def_to_json;
+    of_json = usage_def_of_json;
+    session =
+      (fun prog ->
+        let t = Usage.Solver.make prog in
+        {
+          Engine.summarize = Usage.report t;
+          evaluations = (fun () -> Usage.Solver.evaluations t);
+        });
+  }
+
+let usage_run ?store prog =
+  let o = Engine.analyze usage_spec ?store prog in
+  of_engine (render Usage.pp_def_report o.Engine.summaries) o
+
+(* ---- spine-liveness --------------------------------------------------------- *)
+
+let spinelive_def_to_json (r : Spinelive.def_report) =
+  J.Obj
+    [
+      ("name", J.Str r.Spinelive.r_name);
+      ("inst", J.Str r.Spinelive.r_ty);
+      ( "args",
+        J.Arr
+          (List.map
+             (fun (a : Spinelive.arg_report) ->
+               J.Arr
+                 [
+                   J.int a.Spinelive.a_index;
+                   J.Str (Spinelive.verdict_name a.Spinelive.a_verdict);
+                 ])
+             r.Spinelive.r_args) );
+    ]
+
+let spinelive_def_of_json j =
+  {
+    Spinelive.r_name = str (get "name" j);
+    r_ty = str (get "inst" j);
+    r_args =
+      List.map
+        (function
+          | J.Arr [ i; v ] ->
+              {
+                Spinelive.a_index = num i;
+                a_verdict =
+                  (match Spinelive.verdict_of_name (str v) with
+                  | Some v -> v
+                  | None -> fail "bad liveness verdict");
+              }
+          | _ -> fail "bad liveness arg")
+        (arr (get "args" j));
+  }
+
+let spinelive_spec : Spinelive.def_report Engine.spec =
+  {
+    Engine.analysis = "spine-liveness";
+    def_name = (fun r -> r.Spinelive.r_name);
+    to_json = spinelive_def_to_json;
+    of_json = spinelive_def_of_json;
+    session =
+      (fun prog ->
+        let t = Spinelive.Solver.make prog in
+        {
+          Engine.summarize = Spinelive.report t;
+          evaluations = (fun () -> Spinelive.Solver.evaluations t);
+        });
+  }
+
+let spinelive_run ?store prog =
+  let o = Engine.analyze spinelive_spec ?store prog in
+  of_engine (render Spinelive.pp_def_report o.Engine.summaries) o
+
+(* ---- escape × usage reduced product ----------------------------------------- *)
+
+let besc_of_string s =
+  match Scanf.sscanf_opt s "<%d,%d>" (fun a b -> (a, b)) with
+  | Some (0, 0) -> Escape.Besc.zero
+  | Some (1, k) when k >= 0 -> Escape.Besc.one k
+  | _ -> fail ("bad escape value " ^ s)
+
+let product_def_to_json (r : Product.def_report) =
+  J.Obj
+    [
+      ("name", J.Str r.Product.r_name);
+      ("inst", J.Str r.Product.r_ty);
+      ( "args",
+        J.Arr
+          (List.map
+             (fun (a : Product.arg_report) ->
+               J.Obj
+                 [
+                   ("arg", J.int a.Product.a_index);
+                   ("usage", J.Str (Usage.verdict_name a.Product.a_usage));
+                   ("esc", J.Str (Escape.Besc.to_string a.Product.a_esc));
+                   ("spines", J.int a.Product.a_spines);
+                   ("verdict", J.Str (Product.verdict_name a.Product.a_verdict));
+                 ])
+             r.Product.r_args) );
+    ]
+
+let product_def_of_json j =
+  let req of_name s =
+    match of_name s with Some v -> v | None -> fail ("bad verdict " ^ s)
+  in
+  {
+    Product.r_name = str (get "name" j);
+    r_ty = str (get "inst" j);
+    r_args =
+      List.map
+        (fun a ->
+          {
+            Product.a_index = num (get "arg" a);
+            a_usage = req Usage.verdict_of_name (str (get "usage" a));
+            a_esc = besc_of_string (str (get "esc" a));
+            a_spines = num (get "spines" a);
+            a_verdict = req Product.verdict_of_name (str (get "verdict" a));
+          })
+        (arr (get "args" j));
+  }
+
+let product_spec : Product.def_report Engine.spec =
+  {
+    Engine.analysis = "escape-x-usage";
+    def_name = (fun r -> r.Product.r_name);
+    to_json = product_def_to_json;
+    of_json = product_def_of_json;
+    session =
+      (fun prog ->
+        let t = Product.Solver.make prog in
+        {
+          Engine.summarize = Product.report t;
+          evaluations = (fun () -> Product.Solver.evaluations t);
+        });
+  }
+
+let product_run ?store prog =
+  let o = Engine.analyze product_spec ?store prog in
+  of_engine (render Product.pp_def_report o.Engine.summaries) o
+
+(* ---- the registry ----------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      name = "escape";
+      aliases = [];
+      domain = "B_e chains <e,s> over list spines (Park-Goldberg)";
+      doc = "which bottom spines of each argument may escape into the result";
+      run = escape_run;
+    };
+    {
+      name = "usage";
+      aliases = [ "strictness" ];
+      domain = "dep x use bits per argument";
+      doc = "is each argument inspected, retained, both, or neither";
+      run = usage_run;
+    };
+    {
+      name = "spine-liveness";
+      aliases = [ "liveness" ];
+      domain = "dep x head x tail bits per argument (Karkare-style)";
+      doc = "which part of each argument's heap structure the callee needs";
+      run = spinelive_run;
+    };
+    {
+      name = "escape-x-usage";
+      aliases = [ "product" ];
+      domain = "reduced product of escape and usage";
+      doc = "storage verdicts per argument: dead / scratch / spine-scratch / retained";
+      run = product_run;
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name =
+  List.find_opt (fun e -> String.equal e.name name || List.mem name e.aliases) all
+
+(* A per-file job with the {!Cache.Batch.result} shape, so any registered
+   analysis rides the batch pool (and the serve daemon) exactly like the
+   escape default does. *)
+let batch_job e ~store path =
+  Cache.Batch.protect path (fun () ->
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let prog = Nml.Infer.infer_program (Nml.Surface.of_string ~file:path src) in
+      let o = e.run ?store prog in
+      {
+        Cache.Batch.path;
+        output = o.output;
+        errors = "";
+        code = 0;
+        defs = o.defs;
+        findings = 0;
+        evaluations = o.evaluations;
+        scc_hits = o.scc_hits;
+        scc_misses = o.scc_misses;
+      })

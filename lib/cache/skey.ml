@@ -19,7 +19,11 @@
 module Infer = Nml.Infer
 module Ty = Nml.Ty
 
-let schema_version = "nmlc/summary-cache-v1"
+(* v2 (PR8): summary payloads are namespaced per analysis Spec — the
+   analysis name is digested into every key and stamped into every
+   record.  Pre-PR8 v1 shards therefore miss cleanly on both the schema
+   stamp and the key itself; they are never mis-decoded. *)
+let schema_version = "nmlc/summary-cache-v2"
 
 type t = {
   sccs : (string * string list) list;  (* (key, members) dependencies first *)
@@ -40,7 +44,7 @@ let member_descriptor prog name =
   let body = Nml.Surface.def prog.Infer.surface name in
   Printf.sprintf "%s : %s = %s" name (Ty.to_string inst) (Nml.Pretty.to_string body)
 
-let of_program prog =
+let of_program ?(analysis = "escape") prog =
   let cg = Nml.Callgraph.of_program prog in
   let by_def = Hashtbl.create 16 in
   let sccs =
@@ -63,7 +67,9 @@ let of_program prog =
           Digest.to_hex
             (Digest.string
                (String.concat "\n"
-                  ((schema_version :: Printf.sprintf "d=%d" d :: descriptors)
+                  ((schema_version
+                   :: Printf.sprintf "analysis=%s" analysis
+                   :: Printf.sprintf "d=%d" d :: descriptors)
                   @ ("callees:" :: callee_keys))))
         in
         List.iter (fun m -> Hashtbl.replace by_def m key) members;

@@ -10,7 +10,11 @@ val schema_version : string
 
 type t
 
-val of_program : Nml.Infer.program -> t
+val of_program : ?analysis:string -> Nml.Infer.program -> t
+(** [analysis] (default ["escape"]) is the registered Spec the keys
+    namespace: the same program stores each analysis' summaries under
+    distinct keys, so warm reruns stay at zero evaluations per
+    analysis and a record can never be decoded by the wrong Spec. *)
 
 val sccs : t -> (string * string list) list
 (** [(key, member names)] per SCC, dependencies first. *)

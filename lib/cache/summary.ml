@@ -84,33 +84,28 @@ let def_of_json j =
       | Some _ -> raise (Decode "bad sharing"));
   }
 
-let record_to_json ~key summaries =
-  J.Obj
-    [
-      ("schema", J.Str Skey.schema_version);
-      ("key", J.Str key);
-      ("defs", J.Arr (List.map def_to_json summaries));
-    ]
-
-(* [None] on any shape mismatch: the caller treats it as a miss. *)
-let record_of_json ~key ~members j =
-  match
-    let schema = str (get "schema" j) in
-    let stored_key = str (get "key" j) in
-    let defs = List.map def_of_json (arr (get "defs" j)) in
-    (schema, stored_key, defs)
-  with
-  | exception _ -> None
-  | schema, stored_key, defs ->
-      let names = List.sort String.compare (List.map (fun d -> d.Report.s_name) defs) in
-      if
-        String.equal schema Skey.schema_version
-        && String.equal stored_key key
-        && names = List.sort String.compare members
-      then Some defs
-      else None
-
 (* ---- cache-aware analysis -------------------------------------------------- *)
+
+(* The escape analysis as an [Engine] instance; the per-SCC loop, lazy
+   session construction, record stamping and self-healing all live
+   there, shared with every Spec in [Analyses.Registry]. *)
+let engine_spec : Report.def_summary Engine.spec =
+  {
+    Engine.analysis = "escape";
+    def_name = (fun d -> d.Report.s_name);
+    to_json = def_to_json;
+    of_json = def_of_json;
+    session =
+      (fun prog ->
+        let t = Escape.Fixpoint.make prog in
+        {
+          Engine.summarize = Report.summarize t;
+          evaluations = (fun () -> Escape.Fixpoint.evaluations t);
+        });
+  }
+
+let record_to_json ~key summaries = Engine.record_to_json engine_spec ~key summaries
+let record_of_json ~key ~members j = Engine.record_of_json engine_spec ~key ~members j
 
 type outcome = {
   summaries : Report.def_summary list;  (* one per definition, program order *)
@@ -120,64 +115,10 @@ type outcome = {
 }
 
 let analyze ?store prog =
-  match store with
-  | None ->
-      let t = Escape.Fixpoint.make prog in
-      let summaries = Report.summarize_program t in
-      {
-        summaries;
-        evaluations = Escape.Fixpoint.evaluations t;
-        scc_hits = 0;
-        scc_misses = 0;
-      }
-  | Some store ->
-      let keys = Skey.of_program prog in
-      let by_name = Hashtbl.create 16 in
-      let solver = ref None in
-      let the_solver () =
-        match !solver with
-        | Some t -> t
-        | None ->
-            let t = Escape.Fixpoint.make prog in
-            solver := Some t;
-            t
-      in
-      let hits = ref 0 and misses = ref 0 in
-      List.iter
-        (fun (key, members) ->
-          let decode = record_of_json ~key ~members in
-          let cached =
-            match Store.load store ~key with
-            | None -> None
-            | Some j -> (
-                match decode j with
-                | Some defs -> Some defs
-                | None -> (
-                    (* the loaded copy (possibly the in-memory tier) is
-                       corrupted: self-heal by rebuilding the entry from
-                       the on-disk store before falling back to a cold
-                       re-solve *)
-                    match Store.reload store ~key with
-                    | None -> None
-                    | Some j -> decode j))
-          in
-          match cached with
-          | Some defs ->
-              incr hits;
-              List.iter (fun d -> Hashtbl.replace by_name d.Report.s_name d) defs
-          | None ->
-              incr misses;
-              let defs = List.map (Report.summarize (the_solver ())) members in
-              List.iter (fun d -> Hashtbl.replace by_name d.Report.s_name d) defs;
-              Store.save store ~key (record_to_json ~key defs))
-        (Skey.sccs keys);
-      {
-        summaries =
-          List.map
-            (fun (name, _) -> Hashtbl.find by_name name)
-            prog.Nml.Infer.schemes;
-        evaluations =
-          (match !solver with None -> 0 | Some t -> Escape.Fixpoint.evaluations t);
-        scc_hits = !hits;
-        scc_misses = !misses;
-      }
+  let o = Engine.analyze engine_spec ?store prog in
+  {
+    summaries = o.Engine.summaries;
+    evaluations = o.Engine.evaluations;
+    scc_hits = o.Engine.scc_hits;
+    scc_misses = o.Engine.scc_misses;
+  }

@@ -439,16 +439,4 @@ let reset_stats () =
   st.misses <- 0;
   st.invalidated <- 0
 
-(* Compatibility shim from the era of process-global engine state: now
-   that every solver owns a {!state}, this only restores the *current*
-   (usually the domain's ambient) state to a cold start. *)
-let reset_engine () =
-  let st = current_state () in
-  Hashtbl.reset st.cache;
-  Hashtbl.reset st.probe_table;
-  Hashtbl.reset st.intern_table;
-  st.frames <- [];
-  st.d <- 0;
-  reset_stats ()
-
 let pp ppf t = Format.fprintf ppf "@[%a : %a@]" Besc.pp t.esc Ty.pp t.ty

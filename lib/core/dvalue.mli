@@ -236,17 +236,9 @@ val invalidations : unit -> int
     {!reset_stats}. *)
 
 val reset_stats : unit -> unit
-
-val reset_engine : unit -> unit
-(** Compatibility shim from the era of process-global engine state:
-    deterministically resets the {e current} state — the application
-    memo, the probe and intern tables, the chain bound and the statistics
-    counters.  Solvers own their state nowadays, so this only affects
-    computations running on the same (usually the ambient) state.  Value
-    identifiers are {e not} reset (their uniqueness is load-bearing for
-    the memo keys), so values created before the reset remain
-    well-formed — but their comparisons become coarse (bound 0) until
-    {!ensure_d} is raised again. *)
+(** The round-robin-era [reset_engine] shim is gone: a cold start is a
+    fresh {!create_state} installed with {!with_state} — every solver
+    already owns one. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the basic component and the type, e.g. [<1,1> : int list]. *)

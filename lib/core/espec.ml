@@ -1,0 +1,49 @@
+(* The escape analysis as a [Framework.Spec.S]: a thin delegation layer
+   over the existing domain engine ([Dvalue]), extensional comparison
+   ([Probe]) and abstract semantics ([Semantics]).  [Fixpoint] is the
+   generic solver instantiated at this Spec; the correctness bar is that
+   the instantiation is byte-identical to the pre-framework hand-wired
+   solver — reports, entry-evaluation counts, solver stats — which the
+   differential suite ([test/test_framework.ml]) and bench S5 enforce
+   against a frozen copy of the old engine. *)
+
+let name = "escape"
+
+type value = Dvalue.t
+
+let bottom = Dvalue.bottom
+let top = Dvalue.top
+let join = Dvalue.join
+let equal = Probe.equal
+let leq = Probe.leq
+let widen ~d ty _v = Dvalue.top ~d ty
+
+type state = Dvalue.state
+
+let create_state = Dvalue.create_state
+let with_state = Dvalue.with_state
+let ensure_d = Dvalue.ensure_d
+
+type source = Dvalue.source
+
+let new_source = Dvalue.new_source
+let source_id = Dvalue.source_id
+let touch = Dvalue.touch
+let note_read = Dvalue.note_read
+let with_reads = Dvalue.with_reads
+let clear_memo = Dvalue.clear_cache
+let memo_stats = Dvalue.cache_stats
+let invalidations = Dvalue.invalidations
+
+type ctx = Semantics.ctx
+
+let make_ctx ~d ~global ~max_iters =
+  { Semantics.d; global; max_iters; iters = 0; capped = false; fv_cache = [] }
+
+let transfer ctx tast = Semantics.eval ctx Semantics.Env.empty tast
+let iterations (ctx : ctx) = ctx.Semantics.iters
+let record_iteration (ctx : ctx) = ctx.Semantics.iters <- ctx.Semantics.iters + 1
+let capped (ctx : ctx) = ctx.Semantics.capped
+let set_capped (ctx : ctx) = ctx.Semantics.capped <- true
+
+let demand_key name ty = name ^ " @ " ^ Nml.Ty.to_string ty

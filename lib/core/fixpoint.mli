@@ -34,7 +34,7 @@
     the top of its type — the safe direction (everything escapes) — and
     {!capped} reports it. *)
 
-type engine = Worklist | Round_robin
+type engine = Framework.Solver.engine = Worklist | Round_robin
 
 val engine_name : engine -> string
 (** ["worklist"] / ["round-robin"]. *)
@@ -105,7 +105,7 @@ val instances : t -> (string * Nml.Ty.t) list
 
 val capped : t -> bool
 
-type stats = {
+type stats = Framework.Solver.stats = {
   stats_engine : engine;
   stats_passes : int;
   stats_iterations : int;

@@ -1,0 +1,117 @@
+(** The analysis [Spec]: everything the generic fixpoint engine
+    ({!Solver.Make}) needs to know about one abstract interpretation.
+
+    The shape follows Goblint's [Analyses.Spec] — a swappable abstract
+    domain plus transfer functions behind one solver — specialized to
+    this compiler's demand-driven, instance-memoizing engine:
+
+    - an {e abstract domain} over the monomorphized types
+      ([bottom]/[top], [join]/[leq], probe-based [equal], [widen]);
+    - {e per-solver state} ([create_state]/[with_state]): every solver
+      owns a private state (memo tables, chain bound, read frames) so
+      concurrently live solvers — including solvers in different
+      domains — are shared-nothing;
+    - {e dependency sources} (generation-stamped cells with recorded
+      read frames), which is how the engine gets the instance-level
+      dependency graph for free and invalidates selectively;
+    - a {e transfer function} over the typed AST, evaluated under a
+      context whose [global] hook resolves top-level definitions at
+      ground instance types (the solver supplies it and memoizes per
+      {e (definition, instance)} demand key).
+
+    An implementation with no cross-evaluation application memo can
+    leave [clear_memo] a no-op and report zero
+    [memo_stats]/[invalidations]; {!Flow} provides the complete
+    state/source/memo machinery for taint-flag domains. *)
+
+module type S = sig
+  val name : string
+  (** Registry / cache-namespace identifier (e.g. ["escape"]). *)
+
+  (** {2 Abstract domain} *)
+
+  type value
+
+  val bottom : Nml.Ty.t -> value
+  (** Least element of the domain at a type. *)
+
+  val top : d:int -> Nml.Ty.t -> value
+  (** Greatest element at a type, bounded by the chain bound [d]. *)
+
+  val join : value -> value -> value
+  (** Least upper bound; keeps the left operand's type. *)
+
+  val equal : d:int -> value -> value -> bool
+  (** Convergence test (extensional / probe-based where needed). *)
+
+  val leq : d:int -> value -> value -> bool
+  (** Partial order consistent with [join] (used by law tests and
+      clients; the engine itself decides convergence with [equal]). *)
+
+  val widen : d:int -> Nml.Ty.t -> value -> value
+  (** Safe over-approximation applied when iteration hits the cap.
+      Must be an upper bound of its argument; the canonical
+      implementation is [fun ~d ty _ -> top ~d ty]. *)
+
+  (** {2 Per-solver state} *)
+
+  type state
+
+  val create_state : unit -> state
+  val with_state : state -> (unit -> 'a) -> 'a
+
+  val ensure_d : int -> unit
+  (** Raise the current state's chain bound to at least the given
+      value (monotone: growing [d] only refines comparisons). *)
+
+  (** {2 Dependency sources and read frames} *)
+
+  type source
+
+  val new_source : unit -> source
+  val source_id : source -> int
+
+  val touch : source -> unit
+  (** Advance the generation: dependents become stale. *)
+
+  val note_read : source -> unit
+  (** Record a read in the innermost open frame (no-op outside). *)
+
+  val with_reads : (unit -> 'a) -> 'a * (source * int) list
+  (** Run in a fresh isolated read frame; return the result and every
+      (source, generation-at-read) pair noted during the run. *)
+
+  (** {2 Application memo (optional)} *)
+
+  val clear_memo : unit -> unit
+  val memo_stats : unit -> int * int  (** (hits, misses) *)
+
+  val invalidations : unit -> int
+
+  (** {2 Transfer function} *)
+
+  type ctx
+
+  val make_ctx :
+    d:(unit -> int) ->
+    global:(string -> Nml.Ty.t -> value) ->
+    max_iters:int ->
+    ctx
+  (** [d] reads the solver's current chain bound (it may grow as
+      instances are demanded); [global] resolves a top-level definition
+      at a ground instance type (the solver's demand hook). *)
+
+  val transfer : ctx -> Nml.Tast.texpr -> value
+  (** Abstract value of a closed typed expression (definition body)
+      under the context. *)
+
+  val iterations : ctx -> int
+  val record_iteration : ctx -> unit
+  val capped : ctx -> bool
+  val set_capped : ctx -> unit
+
+  (** {2 Demand keys} *)
+
+  val demand_key : string -> Nml.Ty.t -> string
+  (** Memo key for a (definition, ground instance) pair. *)
+end

@@ -1,0 +1,108 @@
+(* Usage / strictness analysis: for every (definition, parameter) pair,
+   may the parameter's value be {e retained} in the result (the [dep]
+   bit survives to the result), and is it {e inspected} while computing
+   it (the [use] bit)?  The four-point verdict lattice
+
+       unused ⊏ {carried, consumed} ⊏ used
+
+   reads off both bits: [Carried] is a lazy pass-through (retained,
+   never looked at), [Consumed] a strict consumer (inspected, never
+   retained — after the call the argument is garbage unless the caller
+   holds it), [Used] both, [Unused] neither.  [Consumed]-style facts are
+   what the reduced product with the escape analysis turns into
+   reclaim-after-call verdicts (see [Analyses.Product]). *)
+
+module Flags = struct
+  let analysis_name = "usage"
+
+  type t = { dep : bool; use : bool }
+
+  let bot = { dep = false; use = false }
+  let top = { dep = true; use = true }
+  let join a b = { dep = a.dep || b.dep; use = a.use || b.use }
+  let equal a b = a.dep = b.dep && a.use = b.use
+  let leq a b = ((not a.dep) || b.dep) && ((not a.use) || b.use)
+  let dep f = f.dep
+  let mark_dep f = { f with dep = true }
+  let detach f = { f with dep = false }
+
+  (* every way of touching the argument is a use; usage tracks retention
+     of any part of the argument, so the dep bit always survives *)
+  let observe f = { f with use = f.use || f.dep }
+  let elem_view ~structured:_ = observe
+  let force_tail = observe
+  let force_test = observe
+  let force_proj = observe
+end
+
+module D = Flow.Make (Flags) ()
+module Solver = Solver.Make (D)
+
+type verdict = Unused | Carried | Consumed | Used
+
+let verdict_name = function
+  | Unused -> "unused"
+  | Carried -> "carried"
+  | Consumed -> "consumed"
+  | Used -> "used"
+
+let verdict_of_name = function
+  | "unused" -> Some Unused
+  | "carried" -> Some Carried
+  | "consumed" -> Some Consumed
+  | "used" -> Some Used
+  | _ -> None
+
+let verdict_doc = function
+  | Unused -> "never inspected, never retained"
+  | Carried -> "retained in the result but never inspected"
+  | Consumed -> "inspected but never retained in the result"
+  | Used -> "inspected and may be retained in the result"
+
+type arg_report = { a_index : int; a_verdict : verdict }
+
+type def_report = {
+  r_name : string;
+  r_ty : string;  (* rendered simplest ground instance *)
+  r_args : arg_report list;
+}
+
+(* The global-test harness: mark parameter [i] interesting, every other
+   parameter boring, apply, read the flags off the result. *)
+let arg_verdict t name ~arg =
+  let ty = Solver.instance_ty t name in
+  let m = Nml.Ty.arity ty in
+  if arg < 1 || arg > m then
+    invalid_arg (Printf.sprintf "Usage.arg_verdict: %s has arity %d" name m);
+  let v = Solver.value t name (Some ty) in
+  Solver.with_state t @@ fun () ->
+  let args =
+    List.mapi
+      (fun j aty -> if j = arg - 1 then D.probe aty else D.bottom aty)
+      (Nml.Ty.arg_tys ty m)
+  in
+  let r = D.total (D.apply_all v args) in
+  match (Flags.dep r, r.Flags.use) with
+  | false, false -> Unused
+  | true, false -> Carried
+  | false, true -> Consumed
+  | true, true -> Used
+
+let report t name =
+  let ty = Solver.instance_ty t name in
+  let m = Nml.Ty.arity ty in
+  {
+    r_name = name;
+    r_ty = Nml.Ty.to_string ty;
+    r_args =
+      List.init m (fun i -> { a_index = i + 1; a_verdict = arg_verdict t name ~arg:(i + 1) });
+  }
+
+let pp_def_report ppf r =
+  Format.fprintf ppf "@[<v 0>%s : %s" r.r_name r.r_ty;
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@,  U(%s, %d) = %s  -- %s" r.r_name a.a_index
+        (verdict_name a.a_verdict) (verdict_doc a.a_verdict))
+    r.r_args;
+  Format.fprintf ppf "@]"

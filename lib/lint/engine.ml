@@ -28,7 +28,9 @@ module A = Nml.Ast
 module D = Nml.Diagnostic
 module J = Nml.Json
 
-let schema_version = "nmlc/lint-cache-v1"
+(* v2 (PR8): the rule set gained the spine-liveness-backed LINT007, so
+   pre-PR8 finding records must not replay. *)
+let schema_version = "nmlc/lint-cache-v2"
 
 (* ---- source slices ---------------------------------------------------------- *)
 
@@ -109,6 +111,7 @@ let run ?(config = Registry.default) ?store ?(fault = Rule.No_fault) ~file src =
       prog;
       solver = lazy (Escape.Fixpoint.make prog);
       dead_params = lazy (Rules.dead_params surface);
+      spinelive = lazy (Framework.Spinelive.Solver.make prog);
       fault;
     }
   in

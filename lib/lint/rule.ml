@@ -28,6 +28,9 @@ type ctx = {
   dead_params : (string * int) list Lazy.t;
       (* (definition, 1-based parameter): occurs in the body but is
          never truly used (see {!Rules.dead_params}) *)
+  spinelive : Framework.Spinelive.Solver.t Lazy.t;
+      (* the spine-liveness solver (LINT007's evidence), forced only
+         when a rule needs liveness verdicts *)
   fault : fault;
 }
 

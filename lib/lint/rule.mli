@@ -21,6 +21,9 @@ type ctx = {
   dead_params : (string * int) list Lazy.t;
       (** [(definition, 1-based parameter)] pairs that occur in their
           body but are never truly used *)
+  spinelive : Framework.Spinelive.Solver.t Lazy.t;
+      (** the spine-liveness solver backing LINT007; forced on first
+          use, so runs without liveness findings never solve it *)
   fault : fault;
 }
 

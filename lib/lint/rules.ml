@@ -445,6 +445,85 @@ let unreachable_scc ctx ~members =
 
 let unreachable_program ctx = unreachable_in_expr ctx.Rule.surface.Nml.Surface.main
 
+(* ---- LINT007: wasted spine at a call site ------------------------------------- *)
+
+(* Cells of a syntactic cons-literal spine: [cons a (cons b nil)] has 2.
+   The count stops at the first non-cons tail — even with a variable
+   tail, the prefix cells are freshly allocated by the caller. *)
+let rec spine_cells = function
+  | A.App (_, A.App (_, A.Prim (_, A.Cons), _), tl) -> 1 + spine_cells tl
+  | _ -> 0
+
+(* A caller builds a fresh spine of two or more cells and passes it to a
+   parameter whose spine-liveness verdict says the callee never needs
+   the spine ([Dead]) or needs only its head cell ([Head_only]): every
+   cell past what the callee reads is allocated for nothing.  The
+   evidence is the callee's summary, which lives in the caller's
+   dependency cone, so the finding is cacheable per SCC like the
+   escape-backed rules. *)
+let wasted_spine_in ctx e =
+  let is_def g = List.mem_assoc g ctx.Rule.prog.Nml.Infer.schemes in
+  let flatten e =
+    let rec go acc = function A.App (_, f, a) -> go (a :: acc) f | h -> (h, acc) in
+    go [] e
+  in
+  let findings = ref [] in
+  let rec walk bound e =
+    match e with
+    | A.Const _ | A.Prim _ | A.Var _ -> ()
+    | A.Lam (_, x, b) -> walk (x :: bound) b
+    | A.If (_, c, t, f) ->
+        walk bound c;
+        walk bound t;
+        walk bound f
+    | A.Letrec (_, bs, body) ->
+        let bound = List.map fst bs @ bound in
+        List.iter (fun (_, rhs) -> walk bound rhs) bs;
+        walk bound body
+    | A.App _ -> (
+        let head, args = flatten e in
+        walk bound head;
+        List.iter (walk bound) args;
+        match head with
+        | A.Var (_, g) when (not (List.mem g bound)) && is_def g ->
+            let t = Lazy.force ctx.Rule.spinelive in
+            let m = Ty.arity (Framework.Spinelive.Solver.instance_ty t g) in
+            List.iteri
+              (fun j a ->
+                let j = j + 1 in
+                let cells = spine_cells a in
+                if j <= m && cells >= 2 then
+                  match Framework.Spinelive.arg_verdict t g ~arg:j with
+                  | Framework.Spinelive.Dead ->
+                      findings :=
+                        D.make D.Warning ~code:"LINT007" (A.loc a)
+                          (Printf.sprintf
+                             "a fresh %d-cell spine is passed to parameter %d of \
+                              %s, but %s never needs any of it — the whole \
+                              allocation is wasted"
+                             cells j g g)
+                        :: !findings
+                  | Framework.Spinelive.Head_only ->
+                      findings :=
+                        D.make D.Warning ~code:"LINT007" (A.loc a)
+                          (Printf.sprintf
+                             "a fresh %d-cell spine is passed to parameter %d of \
+                              %s, but %s only ever needs its head cell — every \
+                              cell past the first is allocated for nothing"
+                             cells j g g)
+                        :: !findings
+                  | Framework.Spinelive.Spine_live | Framework.Spinelive.Live -> ())
+              args
+        | _ -> ())
+  in
+  walk [] e;
+  List.rev !findings
+
+let wasted_spine ctx ~members =
+  List.concat_map (fun (_, rhs) -> wasted_spine_in ctx rhs) (member_defs ctx members)
+
+let wasted_spine_program ctx = wasted_spine_in ctx ctx.Rule.surface.Nml.Surface.main
+
 (* ---- the registry data -------------------------------------------------------- *)
 
 let all : Rule.t list =
@@ -504,5 +583,15 @@ let all : Rule.t list =
       severity = D.Warning;
       check_scc = unreachable_scc;
       check_program = unreachable_program;
+    };
+    {
+      Rule.code = "LINT007";
+      title = "wasted-spine";
+      summary =
+        "a fresh multi-cell spine is passed to a parameter whose spine-liveness \
+         verdict is dead or head-only, so the callee never needs the cells";
+      severity = D.Warning;
+      check_scc = wasted_spine;
+      check_program = wasted_spine_program;
     };
   ]

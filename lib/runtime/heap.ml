@@ -5,12 +5,30 @@ type config = {
   regions : bool;
   pretenure : bool;
   nursery : int;
+  liveness_hints : (string * int list) list;
+      (* (definition, 1-based parameter indices) whose argument spine the
+         callee provably never needs past the head — the spine-liveness
+         analysis' Dead/Head_only verdicts.  Advisory: the policies
+         reclaim identically with or without them (they never change the
+         stats rows); a collector may use them to skip scavenging. *)
 }
 
-let legacy = { policy = Legacy; regions = true; pretenure = false; nursery = 0 }
+let legacy =
+  { policy = Legacy; regions = true; pretenure = false; nursery = 0; liveness_hints = [] }
 
 let generational =
-  { policy = Generational; regions = true; pretenure = true; nursery = 1024 }
+  {
+    policy = Generational;
+    regions = true;
+    pretenure = true;
+    nursery = 1024;
+    liveness_hints = [];
+  }
+
+let hinted_dead_spine c ~fname ~arg =
+  match List.assoc_opt fname c.liveness_hints with
+  | Some idxs -> List.mem arg idxs
+  | None -> false
 
 let config_name c =
   match c.policy with

@@ -40,6 +40,14 @@ type config = {
   pretenure : bool;
       (** honor [Ir.Pretenured] hints (generational policy only) *)
   nursery : int;  (** minor-collection threshold, in young cells *)
+  liveness_hints : (string * int list) list;
+      (** [(definition, 1-based parameter indices)] whose argument spine
+          the callee provably never needs past the head — the
+          spine-liveness analysis' [Dead]/[Head_only] verdicts
+          ({!Framework.Spinelive.dead_spine_params}).  Advisory: the
+          policies reclaim identically with or without them (the stats
+          rows never change); a collector may use them to avoid
+          scavenging provably dead spines. *)
 }
 
 val legacy : config
@@ -49,7 +57,12 @@ val generational : config
 (** Nursery of 1024 cells, regions on, pretenuring on. *)
 
 val config_name : config -> string
-(** A short stable label, for harness stage names and bench rows. *)
+(** A short stable label, for harness stage names and bench rows.
+    Deliberately independent of [liveness_hints]. *)
+
+val hinted_dead_spine : config -> fname:string -> arg:int -> bool
+(** Whether the hints mark the [arg]-th (1-based) parameter of [fname]
+    as a dead spine. *)
 
 type 'w cell = {
   mutable car : 'w;

@@ -104,10 +104,42 @@ let dispatch t (req : Protocol.request) =
   let read path = In_channel.with_open_text path In_channel.input_all in
   match req.meth with
   | Protocol.Analyze -> (
-      match req.path, req.source with
-      | Some path, _ -> Cache.Batch.analyze_file ?store:t.store path
-      | None, Some src -> Cache.Batch.analyze_source ?store:t.store ~path:"<request>" src
-      | None, None -> assert false (* rejected by Protocol.parse *))
+      match req.analysis with
+      | None | Some "escape" -> (
+          match req.path, req.source with
+          | Some path, _ -> Cache.Batch.analyze_file ?store:t.store path
+          | None, Some src ->
+              Cache.Batch.analyze_source ?store:t.store ~path:"<request>" src
+          | None, None -> assert false (* rejected by Protocol.parse *))
+      | Some name -> (
+          match Analyses.Registry.find name with
+          | None ->
+              (* a user error, not a crash: rendered as a code-1 diagnostic
+                 through the same protection the default path uses *)
+              Cache.Batch.protect "<request>" (fun () ->
+                  failwith (Printf.sprintf "unknown analysis %s" name))
+          | Some e -> (
+              match req.path, req.source with
+              | Some path, _ -> Analyses.Registry.batch_job e ~store:t.store path
+              | None, Some src ->
+                  Cache.Batch.protect "<request>" (fun () ->
+                      let prog =
+                        Nml.Infer.infer_program
+                          (Nml.Surface.of_string ~file:"<request>" src)
+                      in
+                      let o = e.Analyses.Registry.run ?store:t.store prog in
+                      {
+                        Cache.Batch.path = "<request>";
+                        output = o.Analyses.Registry.output;
+                        errors = "";
+                        code = 0;
+                        defs = o.Analyses.Registry.defs;
+                        findings = 0;
+                        evaluations = o.Analyses.Registry.evaluations;
+                        scc_hits = o.Analyses.Registry.scc_hits;
+                        scc_misses = o.Analyses.Registry.scc_misses;
+                      })
+              | None, None -> assert false)))
   | Protocol.Lint -> (
       match req.path, req.source with
       | Some path, _ -> Lint.Batch.analyze_file ~store:t.store path

@@ -38,6 +38,7 @@ type request = {
   meth : meth;
   path : string option;
   source : string option;
+  analysis : string option;  (* analyze only: a registered analysis name *)
   deadline_ms : int option;
   boom : bool;  (* fault-injection marker, honored only under --inject-fault *)
 }
@@ -104,6 +105,7 @@ let parse payload =
                   meth;
                   path = str "path";
                   source = str "source";
+                  analysis = str "analysis";
                   deadline_ms = num "deadline_ms";
                   boom;
                 }

@@ -16,6 +16,8 @@ type request = {
   meth : meth;
   path : string option;
   source : string option;
+  analysis : string option;
+      (** [analyze] only: the registered analysis to run (default escape) *)
   deadline_ms : int option;
   boom : bool;
       (** fault-injection marker; honored only under [--inject-fault] *)

@@ -19,8 +19,9 @@ forwarded (LINT004), and y is never used at all (LINT005).
   noisy.nml:3.11-3.43: warning[LINT004]: parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing
   noisy.nml:4.11-4.27: warning[LINT001]: h misses in-place reuse of parameter x: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of x or is not guarded by the emptiness test
   noisy.nml:4.11-4.27: warning[LINT005]: binding y is never used
+  noisy.nml:5.21-5.22: warning[LINT007]: a fresh 2-cell spine is passed to parameter 1 of f, but f only ever needs its head cell — every cell past the first is allocated for nothing
   
-  lint: 4 finding(s), 0 suppressed
+  lint: 5 finding(s), 0 suppressed
   [1]
   $ echo "exit: $?"
   exit: 0
@@ -28,11 +29,12 @@ forwarded (LINT004), and y is never used at all (LINT005).
 JSON output is a single document:
 
   $ nmlc lint --format json noisy.nml
-  {"schema": "nmlc/lint-v1", "findings": 4, "suppressed": 0, "diagnostics": [
+  {"schema": "nmlc/lint-v1", "findings": 5, "suppressed": 0, "diagnostics": [
     {"severity": "warning", "code": "LINT001", "loc": {"file": "noisy.nml", "start": {"line": 2, "col": 9}, "end": {"line": 2, "col": 25}}, "message": "f misses in-place reuse of parameter l: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of l or is not guarded by the emptiness test", "notes": []},
     {"severity": "warning", "code": "LINT004", "loc": {"file": "noisy.nml", "start": {"line": 3, "col": 11}, "end": {"line": 3, "col": 43}}, "message": "parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing", "notes": []},
     {"severity": "warning", "code": "LINT001", "loc": {"file": "noisy.nml", "start": {"line": 4, "col": 11}, "end": {"line": 4, "col": 27}}, "message": "h misses in-place reuse of parameter x: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of x or is not guarded by the emptiness test", "notes": []},
-    {"severity": "warning", "code": "LINT005", "loc": {"file": "noisy.nml", "start": {"line": 4, "col": 11}, "end": {"line": 4, "col": 27}}, "message": "binding y is never used", "notes": []}
+    {"severity": "warning", "code": "LINT005", "loc": {"file": "noisy.nml", "start": {"line": 4, "col": 11}, "end": {"line": 4, "col": 27}}, "message": "binding y is never used", "notes": []},
+    {"severity": "warning", "code": "LINT007", "loc": {"file": "noisy.nml", "start": {"line": 5, "col": 21}, "end": {"line": 5, "col": 22}}, "message": "a fresh 2-cell spine is passed to parameter 1 of f, but f only ever needs its head cell — every cell past the first is allocated for nothing", "notes": []}
   ]}
   [1]
   $ echo "exit: $?"
@@ -48,18 +50,21 @@ SARIF output carries the registry's rule metadata:
       {"id": "LINT003", "shortDescription": {"text": "Theorem-1 self-audit: s_i - k_i must agree across all monomorphic instances of a definition"}},
       {"id": "LINT004", "shortDescription": {"text": "a parameter spine with global escape <0,0> that the function never traverses"}},
       {"id": "LINT005", "shortDescription": {"text": "a binding that is never used"}},
-      {"id": "LINT006", "shortDescription": {"text": "a conditional branch under a constant condition"}}
+      {"id": "LINT006", "shortDescription": {"text": "a conditional branch under a constant condition"}},
+      {"id": "LINT007", "shortDescription": {"text": "a fresh multi-cell spine is passed to a parameter whose spine-liveness verdict is dead or head-only, so the callee never needs the cells"}}
     ]}}, "results": [
       {"ruleId": "LINT001", "level": "warning", "message": {"text": "f misses in-place reuse of parameter l: its top spine is unshared and non-escaping (reuse budget 1) yet no cons site was rewritten to a destructive one — every site either precedes a later use of l or is not guarded by the emptiness test"}, "locations": [
         {"physicalLocation": {"artifactLocation": {"uri": "noisy.nml"}, "region": {"startLine": 2, "startColumn": 9, "endLine": 2, "endColumn": 25}}}
-      ]},
   $ echo "exit: $?"
   exit: 0
 
 Rules can be disabled, restricted and re-levelled:
 
   $ nmlc lint --disable LINT001 --disable LINT004 --disable LINT005 noisy.nml
-  lint: 0 finding(s), 0 suppressed
+  noisy.nml:5.21-5.22: warning[LINT007]: a fresh 2-cell spine is passed to parameter 1 of f, but f only ever needs its head cell — every cell past the first is allocated for nothing
+  
+  lint: 1 finding(s), 0 suppressed
+  [1]
   $ echo "exit: $?"
   exit: 0
 
@@ -80,7 +85,7 @@ Rules can be disabled, restricted and re-levelled:
   exit: 0
 
   $ nmlc lint --only LINT999 noisy.nml
-  error: --only: unknown rule LINT999 (known rules: LINT001, LINT002, LINT003, LINT004, LINT005, LINT006)
+  error: --only: unknown rule LINT999 (known rules: LINT001, LINT002, LINT003, LINT004, LINT005, LINT006, LINT007)
   [1]
   $ echo "exit: $?"
   exit: 0
@@ -98,8 +103,9 @@ trailing) without hiding the rest:
 
   $ nmlc lint hushed.nml
   hushed.nml:4.11-4.43: warning[LINT004]: parameter l of g is a dead spine: it is spine-polymorphic and escapes nowhere (<0,0>) and g never traverses it — the whole structure is passed around for nothing
+  hushed.nml:5.21-5.22: warning[LINT007]: a fresh 2-cell spine is passed to parameter 1 of f, but f only ever needs its head cell — every cell past the first is allocated for nothing
   
-  lint: 1 finding(s), 1 suppressed
+  lint: 2 finding(s), 1 suppressed
   [1]
   $ echo "exit: $?"
   exit: 0
@@ -144,9 +150,9 @@ the findings are byte-identical.
   $ echo "exit: $?"
   exit: 0
   $ tail -1 cold.out
-  lint: 2 file(s), 0 clean, 5 finding(s); 7 entry evaluation(s), 0 scc hit(s), 7 scc miss(es)
+  lint: 2 file(s), 0 clean, 7 finding(s); 7 entry evaluation(s), 0 scc hit(s), 7 scc miss(es)
   $ tail -1 warm.out
-  lint: 2 file(s), 0 clean, 5 finding(s); 0 entry evaluation(s), 7 scc hit(s), 0 scc miss(es)
+  lint: 2 file(s), 0 clean, 7 finding(s); 0 entry evaluation(s), 7 scc hit(s), 0 scc miss(es)
   $ head -n -1 cold.out > cold.body && head -n -1 warm.out > warm.body
   $ cmp cold.body warm.body && echo "findings identical"
   findings identical

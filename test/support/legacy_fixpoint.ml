@@ -1,0 +1,409 @@
+(* Frozen pre-PR8 snapshot of lib/core/fixpoint.ml (the hand-wired escape
+   solver), kept verbatim (modulo [Escape.] qualification) as the
+   differential baseline for the functorized solver: the test suite and
+   bench S5 prove that [Framework.Solver.Make (Escape.Espec)] computes
+   identical values, evaluation counts and chain bounds.  Do not edit to
+   track solver changes — its whole value is that it does not move. *)
+
+module Ty = Nml.Ty
+module Tast = Nml.Tast
+module Infer = Nml.Infer
+
+type engine = Worklist | Round_robin
+
+let engine_name = function Worklist -> "worklist" | Round_robin -> "round-robin"
+
+type entry = {
+  name : string;
+  inst : Ty.t;
+  tast : Tast.texpr;
+  source : Escape.Dvalue.source;  (* generation stamp; touched when [value] changes *)
+  mutable value : Escape.Dvalue.t;
+  mutable deps : entry list;  (* entries read during the last evaluation *)
+  rdeps : (int, entry) Hashtbl.t;  (* reader's source id -> reader *)
+  mutable dirty : bool;  (* a dependency changed since the last evaluation *)
+  mutable evals : int;
+  mutable in_progress : bool;  (* on the recursive-descent evaluation stack *)
+  mutable idx : int;  (* scratch index for the condensation *)
+}
+
+type t = {
+  prog : Infer.program;
+  engine : engine;
+  state : Escape.Dvalue.state;  (* this solver's private engine state *)
+  cache : (string, entry) Hashtbl.t;  (* key: "name @ ground-type" *)
+  by_sid : (int, entry) Hashtbl.t;  (* source id -> entry *)
+  mutable order : entry list;  (* insertion order, newest first *)
+  mutable dbound : int;
+  mutable stable : bool;
+  mutable passes : int;
+  mutable evaluated : int;  (* top-level entry evaluations *)
+  mutable scc_count : int;  (* components in the last condensation *)
+  mutable largest_scc : int;
+  max_iters : int;
+  hits0 : int;  (* [state]'s cache counters at creation time *)
+  misses0 : int;
+  invalidated0 : int;
+  mutable ctx : Escape.Semantics.ctx;  (* hooks back into this record *)
+}
+
+let key name ty = name ^ " @ " ^ Ty.to_string ty
+
+let absorb_tree_depth t tast =
+  Tast.iter_tys (fun ty -> t.dbound <- max t.dbound (Ty.max_list_depth ty)) tast;
+  Escape.Dvalue.ensure_d t.dbound
+
+let is_def t name = List.mem_assoc name t.prog.Infer.schemes
+
+(* ---- evaluation ---------------------------------------------------------- *)
+
+(* One evaluation of an entry: run the abstract semantics on its body and
+   compare against the current value, all inside one read frame.  The
+   comparison matters for the read set: evaluating a definition mostly
+   builds closures, and the reads of other entries happen when those
+   closures are probed — which [Escape.Probe.equal] does.  The collected sources
+   are therefore the entry's true dependency set.  On a change the value
+   is joined upward, the entry's source is touched (staling every memo
+   that read it) and all recorded readers become dirty. *)
+let rec evaluate t e =
+  e.dirty <- false;
+  e.evals <- e.evals + 1;
+  t.evaluated <- t.evaluated + 1;
+  t.ctx.Escape.Semantics.iters <- t.ctx.Escape.Semantics.iters + 1;
+  let grown, reads =
+    Escape.Dvalue.with_reads (fun () ->
+        let v = Escape.Semantics.eval t.ctx Escape.Semantics.Env.empty e.tast in
+        if Escape.Probe.equal ~d:t.dbound e.value v then None
+        else Some (Escape.Dvalue.join e.value v))
+  in
+  set_deps t e reads;
+  match grown with
+  | None -> ()
+  | Some v ->
+      e.value <- v;
+      Escape.Dvalue.touch e.source;
+      Hashtbl.iter (fun _ r -> r.dirty <- true) e.rdeps
+
+and set_deps t e reads =
+  List.iter (fun d -> Hashtbl.remove d.rdeps (Escape.Dvalue.source_id e.source)) e.deps;
+  let ds =
+    List.filter_map
+      (fun (s, _gen) -> Hashtbl.find_opt t.by_sid (Escape.Dvalue.source_id s))
+      reads
+  in
+  e.deps <- ds;
+  List.iter (fun d -> Hashtbl.replace d.rdeps (Escape.Dvalue.source_id e.source) e) ds
+
+(* First solve of a freshly demanded entry, called from the global hook:
+   recursive descent.  Dependencies demanded during the evaluation are
+   solved (recursively) before their value is returned, so on a cycle-free
+   path every entry is evaluated exactly once, against already-final
+   dependencies.  A self-cycle re-dirties the entry through its recorded
+   self-dependency; the local loop iterates it to its own fixpoint. *)
+and solve_fresh t e =
+  e.in_progress <- true;
+  Fun.protect ~finally:(fun () -> e.in_progress <- false) @@ fun () ->
+  evaluate t e;
+  let n = ref 0 in
+  while e.dirty && !n < t.max_iters do
+    incr n;
+    evaluate t e
+  done
+
+and demand t name ty =
+  let k = key name ty in
+  match Hashtbl.find_opt t.cache k with
+  | Some e -> e
+  | None ->
+      let tast = Infer.instantiate_def t.prog name (Some ty) in
+      absorb_tree_depth t tast;
+      let e =
+        {
+          name;
+          inst = ty;
+          tast;
+          source = Escape.Dvalue.new_source ();
+          value = Escape.Dvalue.bottom tast.Tast.ty;
+          deps = [];
+          rdeps = Hashtbl.create 4;
+          dirty = false;
+          evals = 0;
+          in_progress = false;
+          idx = -1;
+        }
+      in
+      Hashtbl.add t.cache k e;
+      Hashtbl.add t.by_sid (Escape.Dvalue.source_id e.source) e;
+      t.order <- e :: t.order;
+      t.stable <- false;
+      e
+
+and global_hook t name ty =
+  if not (is_def t name) then
+    invalid_arg (Printf.sprintf "Fixpoint: unknown identifier %s" name);
+  let e = demand t name ty in
+  (match t.engine with
+  | Worklist -> if e.evals = 0 && not e.in_progress then solve_fresh t e
+  | Round_robin -> ());
+  (* record the read after any recursive solve: the caller consumes the
+     settled value, not the intermediate iterates *)
+  Escape.Dvalue.note_read e.source;
+  e.value
+
+let make ?(max_iters = 200) ?(engine = Worklist) prog =
+  let state = Escape.Dvalue.create_state () in
+  let hits0, misses0 = Escape.Dvalue.with_state state Escape.Dvalue.cache_stats in
+  let rec t =
+    {
+      prog;
+      engine;
+      state;
+      cache = Hashtbl.create 32;
+      by_sid = Hashtbl.create 32;
+      order = [];
+      dbound = 0;
+      stable = true;
+      passes = 0;
+      evaluated = 0;
+      scc_count = 0;
+      largest_scc = 0;
+      max_iters;
+      hits0;
+      misses0;
+      invalidated0 = Escape.Dvalue.with_state state Escape.Dvalue.invalidations;
+      ctx =
+        {
+          Escape.Semantics.d = (fun () -> t.dbound);
+          global = (fun name ty -> global_hook t name ty);
+          max_iters;
+          iters = 0;
+          capped = false;
+          fv_cache = [];
+        };
+    }
+  in
+  let main = Infer.main_ground prog in
+  Escape.Dvalue.with_state state (fun () -> absorb_tree_depth t main);
+  t
+
+let with_state t f = Escape.Dvalue.with_state t.state f
+
+let of_source ?max_iters ?engine src =
+  make ?max_iters ?engine (Infer.infer_program (Nml.Surface.of_string src))
+
+let program t = t.prog
+let d t = t.dbound
+let engine t = t.engine
+
+let widen_all t =
+  List.iter
+    (fun e ->
+      e.value <- Escape.Dvalue.top ~d:t.dbound e.tast.Tast.ty;
+      Escape.Dvalue.touch e.source;
+      e.dirty <- false;
+      if e.evals = 0 then e.evals <- 1)
+    t.order;
+  t.ctx.Escape.Semantics.capped <- true;
+  t.stable <- true
+
+exception Widened
+
+(* ---- worklist engine ----------------------------------------------------- *)
+
+(* Condense the recorded instance-level dependency graph into SCCs and
+   settle the components dependencies-first: within a component, a
+   worklist re-evaluates dirty members until none remain (a change
+   re-dirties only its recorded readers); entries outside any cycle are
+   already final from the recursive descent and are not touched at all. *)
+let sweep t =
+  let entries = Array.of_list (List.rev t.order) in
+  let n = Array.length entries in
+  Array.iteri (fun i e -> e.idx <- i) entries;
+  let succs i =
+    List.filter_map
+      (fun d -> if d.idx >= 0 && d.idx < n && entries.(d.idx) == d then Some d.idx else None)
+      entries.(i).deps
+  in
+  let comps = Nml.Callgraph.Scc.compute ~n ~succs in
+  t.scc_count <- List.length comps;
+  t.largest_scc <- List.fold_left (fun a c -> max a (List.length c)) 0 comps;
+  List.iter
+    (fun comp ->
+      let members = List.map (fun i -> entries.(i)) comp in
+      let budget = ref (t.max_iters * (List.length members + 1)) in
+      let rec drain () =
+        match List.find_opt (fun e -> e.dirty) members with
+        | None -> ()
+        | Some e ->
+            if !budget <= 0 then begin
+              widen_all t;
+              raise Widened
+            end;
+            decr budget;
+            evaluate t e;
+            drain ()
+      in
+      drain ())
+    comps
+
+let stabilize_worklist t =
+  let pending () = List.exists (fun e -> e.dirty || e.evals = 0) t.order in
+  let widened = ref false in
+  let pass = ref 0 in
+  (try
+     while (not !widened) && pending () do
+       if !pass >= t.max_iters then begin
+         widen_all t;
+         widened := true
+       end
+       else begin
+         incr pass;
+         t.passes <- t.passes + 1;
+         (* first approximations by recursive descent (covers entries
+            demanded outside any evaluation, e.g. by [value]) *)
+         let rec fresh () =
+           match
+             List.find_opt (fun e -> e.evals = 0 && not e.in_progress) t.order
+           with
+           | Some e ->
+               solve_fresh t e;
+               fresh ()
+           | None -> ()
+         in
+         fresh ();
+         (* settle the cyclic remainder bottom-up *)
+         sweep t
+       end
+     done
+   with Widened -> widened := true);
+  t.stable <- true
+
+(* ---- legacy round-robin engine ------------------------------------------- *)
+
+(* The seed solver, retained as the differential-testing baseline: every
+   pass drops all application memos and re-evaluates every demanded
+   instance, until a full pass changes nothing. *)
+let stabilize_round_robin t =
+  let rounds = ref 0 in
+  while not t.stable do
+    if !rounds >= t.max_iters then widen_all t
+    else begin
+      incr rounds;
+      t.passes <- t.passes + 1;
+      (* application memos from the previous pass may reflect lower
+         iterates of other entries; drop them so the final pass evaluates
+         everything against the final values *)
+      Escape.Dvalue.clear_cache ();
+      t.stable <- true;
+      (* new demands during the pass reset [stable] and are picked up on
+         the next round *)
+      let entries = List.rev t.order in
+      List.iter
+        (fun e ->
+          t.ctx.Escape.Semantics.iters <- t.ctx.Escape.Semantics.iters + 1;
+          t.evaluated <- t.evaluated + 1;
+          e.evals <- e.evals + 1;
+          let v = Escape.Semantics.eval t.ctx Escape.Semantics.Env.empty e.tast in
+          if not (Escape.Probe.equal ~d:t.dbound e.value v) then begin
+            e.value <- Escape.Dvalue.join e.value v;
+            Escape.Dvalue.touch e.source;
+            t.stable <- false
+          end)
+        entries
+    end
+  done
+
+let stabilize t =
+  with_state t @@ fun () ->
+  match t.engine with
+  | Worklist -> stabilize_worklist t
+  | Round_robin -> stabilize_round_robin t
+
+let value t name inst =
+  if not (is_def t name) then
+    invalid_arg (Printf.sprintf "Fixpoint.value: unknown definition %s" name);
+  with_state t @@ fun () ->
+  let e =
+    match inst with
+    | Some ty -> demand t name ty
+    | None ->
+        (* materialize the simplest instance, then demand it by its
+           ground type so repeated calls share the entry *)
+        let tast = Infer.instantiate_def t.prog name None in
+        demand t name tast.Tast.ty
+  in
+  stabilize t;
+  e.value
+
+let instance_ty t name =
+  let tast = Infer.instantiate_def t.prog name None in
+  tast.Tast.ty
+
+let eval_expr t tast =
+  with_state t @@ fun () ->
+  absorb_tree_depth t tast;
+  stabilize t;
+  let v = ref (Escape.Semantics.eval t.ctx Escape.Semantics.Env.empty tast) in
+  (* evaluation may have demanded new instances (still at bottom under the
+     round-robin engine): iterate to a consistent result *)
+  while not t.stable do
+    stabilize t;
+    v := Escape.Semantics.eval t.ctx Escape.Semantics.Env.empty tast
+  done;
+  !v
+
+let main_value t = eval_expr t (Infer.main_ground t.prog)
+let iterations t = t.ctx.Escape.Semantics.iters
+let passes t = t.passes
+let evaluations t = t.evaluated
+let instances t = List.rev_map (fun e -> (e.name, e.inst)) t.order
+let capped t = t.ctx.Escape.Semantics.capped
+
+(* ---- statistics ----------------------------------------------------------- *)
+
+type stats = {
+  stats_engine : engine;
+  stats_passes : int;
+  stats_iterations : int;
+  stats_entries : int;
+  stats_evaluations : int;
+  stats_sccs : int;
+  stats_largest_scc : int;
+  stats_cache_hits : int;
+  stats_cache_misses : int;
+  stats_cache_invalidated : int;
+  stats_dbound : int;
+  stats_capped : bool;
+}
+
+let stats t =
+  let hits, misses = with_state t Escape.Dvalue.cache_stats in
+  {
+    stats_engine = t.engine;
+    stats_passes = t.passes;
+    stats_iterations = t.ctx.Escape.Semantics.iters;
+    stats_entries = List.length t.order;
+    stats_evaluations = t.evaluated;
+    stats_sccs = t.scc_count;
+    stats_largest_scc = t.largest_scc;
+    stats_cache_hits = max 0 (hits - t.hits0);
+    stats_cache_misses = max 0 (misses - t.misses0);
+    stats_cache_invalidated = max 0 (with_state t Escape.Dvalue.invalidations - t.invalidated0);
+    stats_dbound = t.dbound;
+    stats_capped = t.ctx.Escape.Semantics.capped;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v 0>engine              %s@,\
+     passes              %d@,\
+     entries             %d@,\
+     entry evaluations   %d@,\
+     iterations          %d@,\
+     sccs                %d (largest %d)@,\
+     application cache   %d hits, %d misses, %d invalidated@,\
+     chain bound d       %d@,\
+     capped              %b@]"
+    (engine_name s.stats_engine) s.stats_passes s.stats_entries s.stats_evaluations
+    s.stats_iterations s.stats_sccs s.stats_largest_scc s.stats_cache_hits
+    s.stats_cache_misses s.stats_cache_invalidated s.stats_dbound s.stats_capped

@@ -1,0 +1,516 @@
+(* Tests for the pluggable analysis framework (PR8).
+
+   - Differential: the functorized escape solver ([Framework.Solver.Make
+     (Espec)], what [Escape.Fixpoint] now is) must agree with the frozen
+     pre-framework solver ([Support.Legacy_fixpoint]) on verdicts AND on
+     solver behaviour (entry evaluations, passes, chain bound) — on the
+     builtin corpus and a 40-program random corpus.
+   - Golden files: the rendered report and solver-stats block of every
+     example program must be byte-identical to the pre-refactor captures
+     in [test/golden/].
+   - Lattice laws per registered domain (escape's B_e, usage's bits,
+     spine-liveness' bits): partial order, join laws, widening is an
+     upper bound.  The bit domains are finite, so the laws are checked
+     exhaustively; B_e additionally by qcheck over random chain pairs.
+   - Verdict witnesses, firing and non-firing, for each new Spec.
+   - Cache: per-analysis key namespacing, old-schema/corrupt records are
+     clean misses, warm reruns of every registered analysis perform zero
+     evaluations.
+   - The reduced product agrees with (is no coarser than) the component
+     analyses run alone. *)
+
+module Fix = Escape.Fixpoint
+module Legacy = Legacy_fixpoint
+module An = Escape.Analysis
+module B = Escape.Besc
+module D = Escape.Dvalue
+module Usage = Framework.Usage
+module Spinelive = Framework.Spinelive
+module Product = Analyses.Product
+module Registry = Analyses.Registry
+module Engine = Cache.Engine
+module Examples = Nml.Examples
+module Ty = Nml.Ty
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let infer src = Nml.Infer.infer_program (Nml.Surface.of_string src)
+
+(* ---- differential: functorized vs frozen legacy escape solver ------------- *)
+
+(* The global test, run by hand so it works against either solver: apply
+   the definition's settled value to worst-case arguments and read the
+   total escape off the result. *)
+let hand_verdicts ~value ~instance_ty ~with_state ~schemes =
+  List.concat_map
+    (fun (name, _) ->
+      let ty = instance_ty name in
+      let m = Ty.arity ty in
+      let v = value name ty in
+      with_state (fun () ->
+          List.init m (fun i ->
+              let args =
+                List.mapi
+                  (fun j aty -> if j = i then D.interesting aty else D.boring aty)
+                  (Ty.arg_tys ty m)
+              in
+              (name, i + 1, B.to_string (D.total_esc (D.apply_all v args)))))
+    )
+    schemes
+
+let legacy_run src =
+  let t = Legacy.of_source src in
+  let prog = Legacy.program t in
+  let verdicts =
+    hand_verdicts
+      ~value:(fun name ty -> Legacy.value t name (Some ty))
+      ~instance_ty:(Legacy.instance_ty t)
+      ~with_state:(fun f -> Legacy.with_state t f)
+      ~schemes:prog.Nml.Infer.schemes
+  in
+  (verdicts, Legacy.evaluations t, Legacy.passes t, Legacy.d t)
+
+let framework_run src =
+  let t = Fix.of_source src in
+  let prog = Fix.program t in
+  let verdicts =
+    hand_verdicts
+      ~value:(fun name ty -> Fix.value t name (Some ty))
+      ~instance_ty:(Fix.instance_ty t)
+      ~with_state:(fun f -> Fix.with_state t f)
+      ~schemes:prog.Nml.Infer.schemes
+  in
+  (verdicts, Fix.evaluations t, Fix.passes t, Fix.d t)
+
+let check_against_legacy src =
+  let lv, le, lp, ld = legacy_run src in
+  let fv, fe, fp, fd = framework_run src in
+  checki "same verdict count" (List.length lv) (List.length fv);
+  List.iter2
+    (fun (n, i, a) (n', i', b) ->
+      checks "same def order" n n';
+      checki "same arg" i i';
+      checks (Printf.sprintf "G(%s, %d)" n i) a b)
+    lv fv;
+  checki "same entry evaluations" le fe;
+  checki "same passes" lp fp;
+  checki "same chain bound" ld fd
+
+let legacy_units =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("matches-legacy-" ^ name) `Quick (fun () ->
+          check_against_legacy src))
+    Check.Harness.builtin_corpus
+  @ [
+      Alcotest.test_case "matches-legacy-random-corpus" `Slow (fun () ->
+          let rand = Random.State.make [| 20260809 |] in
+          for _ = 1 to 40 do
+            let src = QCheck.Gen.generate1 ~rand Gen.gen_any_program in
+            check_against_legacy src
+          done);
+    ]
+
+(* ---- golden files --------------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* under [dune runtest] the cwd is the test directory; under [dune exec]
+   from the project root it is the root — resolve either way *)
+let golden_dir = if Sys.file_exists "golden" then "golden" else "test/golden"
+
+let examples_dir =
+  let local = Filename.concat (Filename.concat ".." "examples") "programs" in
+  if Sys.file_exists local then local else Filename.concat "examples" "programs"
+
+(* the solver block of a golden .stats capture: the lines between
+   "-- solver --" and the storage section *)
+let solver_block text =
+  let lines = String.split_on_char '\n' text in
+  let rec after = function
+    | [] -> []
+    | "-- solver --" :: rest -> rest
+    | _ :: rest -> after rest
+  in
+  let rec until acc = function
+    | [] -> List.rev acc
+    | l :: _ when String.length l >= 2 && String.sub l 0 2 = "--" -> List.rev acc
+    | l :: rest -> until (l :: acc) rest
+  in
+  String.concat "\n" (until [] (after lines))
+
+let golden_units =
+  let programs =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".nml")
+    |> List.sort String.compare
+  in
+  List.map
+    (fun f ->
+      let base = Filename.chop_suffix f ".nml" in
+      Alcotest.test_case ("golden-" ^ base) `Quick (fun () ->
+          let src = read_file (Filename.concat examples_dir f) in
+          let t = Fix.make (infer src) in
+          let report = Format.asprintf "%a@." Escape.Report.program t in
+          checks "report byte-identical"
+            (read_file (Filename.concat golden_dir (base ^ ".report")))
+            report;
+          let stats = Format.asprintf "%a" Fix.pp_stats (Fix.stats t) in
+          checks "solver stats byte-identical"
+            (solver_block (read_file (Filename.concat golden_dir (base ^ ".stats"))))
+            stats))
+    programs
+
+(* ---- lattice laws --------------------------------------------------------- *)
+
+let laws (type a) name ~(elements : a list) ~(leq : a -> a -> bool)
+    ~(join : a -> a -> a) ~(equal : a -> a -> bool) ~(bot : a) ~(top : a) =
+  let all2 f = List.for_all (fun a -> List.for_all (f a) elements) elements in
+  let all3 f =
+    List.for_all
+      (fun a -> List.for_all (fun b -> List.for_all (f a b) elements) elements)
+      elements
+  in
+  checkb (name ^ ": leq reflexive") true (List.for_all (fun a -> leq a a) elements);
+  checkb (name ^ ": leq antisymmetric") true
+    (all2 (fun a b -> (not (leq a b && leq b a)) || equal a b));
+  checkb (name ^ ": leq transitive") true
+    (all3 (fun a b c -> (not (leq a b && leq b c)) || leq a c));
+  checkb (name ^ ": join commutative") true
+    (all2 (fun a b -> equal (join a b) (join b a)));
+  checkb (name ^ ": join associative") true
+    (all3 (fun a b c -> equal (join (join a b) c) (join a (join b c))));
+  checkb (name ^ ": join idempotent") true
+    (List.for_all (fun a -> equal (join a a) a) elements);
+  checkb (name ^ ": join is an upper bound") true
+    (all2 (fun a b -> leq a (join a b) && leq b (join a b)));
+  checkb (name ^ ": join is the least upper bound") true
+    (all3 (fun a b c -> (not (leq a c && leq b c)) || leq (join a b) c));
+  checkb (name ^ ": bottom is least") true (List.for_all (leq bot) elements);
+  checkb (name ^ ": top is greatest") true
+    (List.for_all (fun a -> leq a top) elements)
+
+let bits2 =
+  [ (false, false); (true, false); (false, true); (true, true) ]
+
+let usage_flags =
+  List.map (fun (dep, use) -> { Usage.Flags.dep; use }) bits2
+
+let spinelive_flags =
+  List.concat_map
+    (fun (dep, head) ->
+      [
+        { Spinelive.Flags.dep; head; tail = false };
+        { Spinelive.Flags.dep; head; tail = true };
+      ])
+    bits2
+
+let lattice_units =
+  [
+    Alcotest.test_case "besc-laws-exhaustive" `Quick (fun () ->
+        List.iter
+          (fun d ->
+            laws
+              (Printf.sprintf "B_e(d=%d)" d)
+              ~elements:(B.all ~d) ~leq:B.leq ~join:B.join ~equal:B.equal
+              ~bot:B.bottom ~top:(B.top ~d))
+          [ 0; 1; 2; 3 ]);
+    Alcotest.test_case "usage-flag-laws" `Quick (fun () ->
+        laws "usage" ~elements:usage_flags ~leq:Usage.Flags.leq
+          ~join:Usage.Flags.join ~equal:Usage.Flags.equal ~bot:Usage.Flags.bot
+          ~top:Usage.Flags.top);
+    Alcotest.test_case "spinelive-flag-laws" `Quick (fun () ->
+        laws "spine-liveness" ~elements:spinelive_flags ~leq:Spinelive.Flags.leq
+          ~join:Spinelive.Flags.join ~equal:Spinelive.Flags.equal
+          ~bot:Spinelive.Flags.bot ~top:Spinelive.Flags.top);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"besc-join-monotone-qcheck"
+         QCheck.(
+           pair (pair (int_range 0 4) (int_range 0 4)) (pair (int_range 0 4) (int_range 0 4)))
+         (fun ((a, b), (c, d)) ->
+           (* join is monotone in both arguments over the chain *)
+           let v i j = if i = 0 then B.zero else B.one j in
+           let x = v (min a 1) b and y = v (min c 1) d in
+           B.leq x (B.join x y) && B.leq y (B.join x y)));
+  ]
+
+(* ---- verdict witnesses ---------------------------------------------------- *)
+
+let witness_src =
+  "letrec append l m = if null l then m else cons (car l) (append (cdr l) m);\n\
+  \       head l = car l;\n\
+  \       len l = if null l then 0 else 1 + len (cdr l);\n\
+  \       ignore2 x y = cons x nil\n\
+   in append (head (cons (cons 1 nil) nil)) (cons (len (cons 2 nil)) (ignore2 3 4))"
+
+let usage_v name arg =
+  let t = Usage.Solver.make (infer witness_src) in
+  Usage.verdict_name (Usage.arg_verdict t name ~arg)
+
+let live_v name arg =
+  let t = Spinelive.Solver.make (infer witness_src) in
+  Spinelive.verdict_name (Spinelive.arg_verdict t name ~arg)
+
+let product_v name arg =
+  let t = Product.Solver.make (infer witness_src) in
+  Product.verdict_name (Product.arg_report t name ~arg).Product.a_verdict
+
+let witness_units =
+  [
+    Alcotest.test_case "usage-witnesses" `Quick (fun () ->
+        checks "U(append,1)" "used" (usage_v "append" 1);
+        checks "U(append,2)" "carried" (usage_v "append" 2);
+        checks "U(head,1)" "used" (usage_v "head" 1);
+        checks "U(len,1)" "consumed" (usage_v "len" 1);
+        checks "U(ignore2,1)" "carried" (usage_v "ignore2" 1);
+        checks "U(ignore2,2)" "unused" (usage_v "ignore2" 2));
+    Alcotest.test_case "spinelive-witnesses" `Quick (fun () ->
+        checks "L(append,1)" "spine-live" (live_v "append" 1);
+        checks "L(append,2)" "live" (live_v "append" 2);
+        checks "L(len,1)" "spine-live" (live_v "len" 1);
+        checks "L(ignore2,2)" "dead" (live_v "ignore2" 2));
+    Alcotest.test_case "spinelive-head-only-and-hints" `Quick (fun () ->
+        (* head : 'a list -> 'a at its simplest instance keeps only the
+           head cell; dead_spine_params surfaces it to the heap layer *)
+        let t = Spinelive.Solver.make (infer witness_src) in
+        checks "L(head,1)" "head-only"
+          (Spinelive.verdict_name (Spinelive.arg_verdict t "head" ~arg:1));
+        let hints = Spinelive.dead_spine_params t in
+        checkb "head's parameter is hinted" true
+          (match List.assoc_opt "head" hints with
+          | Some idxs -> List.mem 1 idxs
+          | None -> false);
+        checkb "append is not hinted" true (List.assoc_opt "append" hints = None);
+        let config = { Runtime.Heap.generational with Runtime.Heap.liveness_hints = hints } in
+        checkb "heap reads the hint" true
+          (Runtime.Heap.hinted_dead_spine config ~fname:"head" ~arg:1);
+        checkb "heap rejects unhinted" false
+          (Runtime.Heap.hinted_dead_spine config ~fname:"append" ~arg:1);
+        checks "hints leave the config label alone" "gen/nursery=1024"
+          (Runtime.Heap.config_name config));
+    Alcotest.test_case "product-witnesses" `Quick (fun () ->
+        checks "P(append,1)" "spine-scratch" (product_v "append" 1);
+        checks "P(append,2)" "retained" (product_v "append" 2);
+        checks "P(len,1)" "scratch" (product_v "len" 1);
+        checks "P(ignore2,2)" "dead" (product_v "ignore2" 2));
+    Alcotest.test_case "product-reduction-refines" `Quick (fun () ->
+        (* ignore2 carries x whole: usage says Carried; escape says <1,0>.
+           Neither side reduces.  But y is Unused, so even if the escape
+           side over-approximated, the reduced escape component is <0,0>. *)
+        let t = Product.Solver.make (infer witness_src) in
+        let a = Product.arg_report t "ignore2" ~arg:2 in
+        checks "reduced escape of an unused arg" "<0,0>" (B.to_string a.Product.a_esc));
+    Alcotest.test_case "lint007-fires-and-stays-quiet" `Quick (fun () ->
+        let fire =
+          "letrec head l = car l in head (cons 1 (cons 2 (cons 3 nil)))"
+        in
+        let quiet =
+          "letrec len l = if null l then 0 else 1 + len (cdr l)\n\
+           in len (cons 1 (cons 2 nil))"
+        in
+        let codes src =
+          let o = Lint.Engine.run ~file:"<test>" src in
+          List.filter
+            (fun d -> String.equal d.Nml.Diagnostic.code "LINT007")
+            o.Lint.Engine.findings
+        in
+        checki "firing witness" 1 (List.length (codes fire));
+        checki "non-firing witness" 0 (List.length (codes quiet)));
+  ]
+
+(* ---- product consistency with the component analyses ---------------------- *)
+
+let usage_rank = function
+  | Usage.Unused -> 0
+  | Usage.Carried | Usage.Consumed -> 1
+  | Usage.Used -> 2
+
+let check_product_consistency src =
+  let prog = infer src in
+  let pt = Product.Solver.make prog in
+  let ut = Usage.Solver.make prog in
+  let et = Fix.make prog in
+  List.iter
+    (fun (name, _) ->
+      let m = Ty.arity (Product.Solver.instance_ty pt name) in
+      for i = 1 to m do
+        let a = Product.arg_report pt name ~arg:i in
+        let u_alone = Usage.arg_verdict ut name ~arg:i in
+        let e_alone = (An.global et name ~arg:i).An.esc in
+        (* the reduced components are never coarser than the analyses
+           run alone *)
+        checkb
+          (Printf.sprintf "usage component of (%s,%d) refines" name i)
+          true
+          (usage_rank a.Product.a_usage <= usage_rank u_alone);
+        checkb
+          (Printf.sprintf "escape component of (%s,%d) refines" name i)
+          true
+          (B.leq a.Product.a_esc e_alone)
+      done)
+    prog.Nml.Infer.schemes
+
+let product_units =
+  List.map
+    (fun (name, src) ->
+      Alcotest.test_case ("product-refines-" ^ name) `Quick (fun () ->
+          check_product_consistency src))
+    Check.Harness.builtin_corpus
+
+(* ---- cache: namespacing, schema, warm-run identity ------------------------ *)
+
+let tmp_counter = ref 0
+
+let with_dir prefix f =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nmlc-fw-%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  Sys.mkdir d 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm_rf d with Sys_error _ -> ()) (fun () -> f d)
+
+let keys_of ?analysis prog =
+  List.map fst (Cache.Skey.sccs (Cache.Skey.of_program ?analysis prog))
+
+let cache_units =
+  [
+    Alcotest.test_case "keys-deterministic" `Quick (fun () ->
+        let prog () = infer Examples.partition_sort_program in
+        checkb "same program, same keys" true (keys_of (prog ()) = keys_of (prog ())));
+    Alcotest.test_case "keys-namespaced-per-analysis" `Quick (fun () ->
+        let prog = infer Examples.partition_sort_program in
+        let escape = keys_of prog in
+        checkb "escape default namespace" true (escape = keys_of ~analysis:"escape" prog);
+        List.iter
+          (fun a ->
+            let other = keys_of ~analysis:a prog in
+            checkb (a ^ " keys all differ from escape") true
+              (List.for_all (fun k -> not (List.mem k escape)) other))
+          [ "usage"; "spine-liveness"; "escape-x-usage" ]);
+    Alcotest.test_case "schema-is-v2" `Quick (fun () ->
+        checks "skey schema" "nmlc/summary-cache-v2" Cache.Skey.schema_version);
+    Alcotest.test_case "old-schema-record-is-a-clean-miss" `Quick (fun () ->
+        (* a record with the v1 stamp (and no analysis field) must be
+           rejected by the decoder, not mis-replayed *)
+        with_dir "v1" @@ fun dir ->
+        let prog = infer Examples.rev_program in
+        let store = Cache.Store.create dir in
+        let keys = Cache.Skey.sccs (Cache.Skey.of_program prog) in
+        let module J = Nml.Json in
+        (* plant stale records under the *current* keys, as an interrupted
+           upgrade could: old stamp, old shape *)
+        List.iter
+          (fun (key, members) ->
+            Cache.Store.save store ~key
+              (J.Obj
+                 [
+                   ("schema", J.Str "nmlc/summary-cache-v1");
+                   ("key", J.Str key);
+                   ( "defs",
+                     J.Arr
+                       (List.map
+                          (fun m ->
+                            J.Obj
+                              [
+                                ("name", J.Str m);
+                                ("inst", J.Str "int list -> int list");
+                                ("args", J.Arr []);
+                              ])
+                          members) );
+                 ]))
+          keys;
+        ignore (Cache.Store.flush store);
+        let o = Cache.Summary.analyze ~store prog in
+        checki "every SCC misses" (List.length keys) o.Cache.Summary.scc_misses;
+        checkb "a real solve happened" true (o.Cache.Summary.evaluations > 0);
+        (* and the store has healed: the rerun is fully warm *)
+        let warm = Cache.Summary.analyze ~store prog in
+        checki "healed store serves every SCC" (List.length keys)
+          warm.Cache.Summary.scc_hits;
+        checki "zero evaluations when warm" 0 warm.Cache.Summary.evaluations);
+    Alcotest.test_case "corrupt-record-is-a-clean-miss" `Quick (fun () ->
+        with_dir "corrupt" @@ fun dir ->
+        let prog = infer Examples.rev_program in
+        let store = Cache.Store.create dir in
+        let keys = Cache.Skey.sccs (Cache.Skey.of_program ~analysis:"usage" prog) in
+        let module J = Nml.Json in
+        List.iter
+          (fun (key, _) ->
+            Cache.Store.save store ~key (J.Obj [ ("garbage", J.Bool true) ]))
+          keys;
+        ignore (Cache.Store.flush store);
+        let o = Engine.analyze Registry.usage_spec ~store prog in
+        checki "every SCC misses" (List.length keys) o.Engine.scc_misses;
+        let warm = Engine.analyze Registry.usage_spec ~store prog in
+        checki "healed rerun is warm" 0 warm.Engine.evaluations);
+    Alcotest.test_case "warm-rerun-is-free-for-every-analysis" `Quick (fun () ->
+        with_dir "warm" @@ fun dir ->
+        let store = Cache.Store.create dir in
+        let prog () = infer Examples.partition_sort_program in
+        List.iter
+          (fun (e : Registry.entry) ->
+            let cold = e.Registry.run ~store (prog ()) in
+            checkb (e.Registry.name ^ " cold run solves") true
+              (cold.Registry.evaluations > 0);
+            let warm = e.Registry.run ~store (prog ()) in
+            checki (e.Registry.name ^ " warm evaluations") 0 warm.Registry.evaluations;
+            checki (e.Registry.name ^ " warm misses") 0 warm.Registry.scc_misses;
+            checks (e.Registry.name ^ " warm output is identical")
+              cold.Registry.output warm.Registry.output)
+          Registry.all);
+    Alcotest.test_case "record-carries-the-analysis-stamp" `Quick (fun () ->
+        let spec = Registry.spinelive_spec in
+        let prog = infer Examples.rev_program in
+        let t = Spinelive.Solver.make prog in
+        let defs = List.map (fun (n, _) -> Spinelive.report t n) prog.Nml.Infer.schemes in
+        let j = Engine.record_to_json spec ~key:"k" defs in
+        let module J = Nml.Json in
+        (match J.member "analysis" j with
+        | Some (J.Str s) -> checks "stamp" "spine-liveness" s
+        | _ -> Alcotest.fail "missing analysis stamp");
+        let members = List.map (fun (n, _) -> n) prog.Nml.Infer.schemes in
+        checkb "decodes under its own spec" true
+          (Engine.record_of_json spec ~key:"k" ~members j <> None);
+        checkb "the usage spec refuses it" true
+          (Engine.record_of_json Registry.usage_spec ~key:"k" ~members j = None));
+  ]
+
+(* ---- registry surface ------------------------------------------------------ *)
+
+let registry_units =
+  [
+    Alcotest.test_case "registry-names-and-aliases" `Quick (fun () ->
+        checkb "escape registered" true (Registry.find "escape" <> None);
+        checkb "strictness aliases usage" true
+          (match Registry.find "strictness" with
+          | Some e -> String.equal e.Registry.name "usage"
+          | None -> false);
+        checkb "product aliases escape-x-usage" true
+          (match Registry.find "product" with
+          | Some e -> String.equal e.Registry.name "escape-x-usage"
+          | None -> false);
+        checkb "unknown name rejected" true (Registry.find "points-to" = None));
+  ]
+
+let () =
+  Alcotest.run "framework"
+    [
+      ("legacy-differential", legacy_units);
+      ("golden", golden_units);
+      ("lattice-laws", lattice_units);
+      ("witnesses", witness_units);
+      ("product", product_units);
+      ("cache", cache_units);
+      ("registry", registry_units);
+    ]

@@ -209,7 +209,7 @@ let config_units =
         let d = List.find (fun d -> d.D.code = "LINT002") o.Lint.Engine.findings in
         checkb "LINT002 defaults to note" true (d.D.severity = D.Note));
     Alcotest.test_case "registry-metadata" `Quick (fun () ->
-        checki "six rules" 6 (List.length Lint.Registry.all);
+        checki "seven rules" 7 (List.length Lint.Registry.all);
         List.iter
           (fun r ->
             checkb (r.Lint.Rule.code ^ " looks like LINT0xx") true

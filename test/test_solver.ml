@@ -188,8 +188,8 @@ let isolation_units =
         checki "s1 sees its bound" 3 (D.with_state s1 D.current_d);
         checki "s2 unaffected" 0 (D.with_state s2 D.current_d);
         D.with_state s2 (fun () ->
-            D.reset_engine ();
-            checki "reset is a current-state shim" 3 (D.with_state s1 D.current_d)));
+            checki "s2 stays cold inside its scope" 0 (D.current_d ());
+            checki "s1 keeps its bound across scopes" 3 (D.with_state s1 D.current_d)));
     Alcotest.test_case "concurrent-domains-match-solo" `Quick (fun () ->
         (* shared-nothing across domains: concurrent solvers on separate
            domains reproduce the solo verdicts and solo cost counters *)
