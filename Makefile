@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke framework-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke framework-smoke vm-smoke ci clean
 
 all: build
 
@@ -39,14 +39,16 @@ bench: build
 	dune exec bench/main.exe -- --validate BENCH_PR7.json
 	dune exec bench/main.exe -- S5 --json BENCH_PR8.json
 	dune exec bench/main.exe -- --validate BENCH_PR8.json
+	dune exec bench/main.exe -- V1 V2 --json BENCH_PR9.json
+	dune exec bench/main.exe -- --validate BENCH_PR9.json
 	dune exec bench/main.exe -- --history BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 S5 L1 E1 H1 H2 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 S5 L1 E1 H1 H2 V1 V2 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
 
 # The perf trajectory gate: every committed benchmark artifact must still
@@ -55,7 +57,7 @@ bench-smoke: build
 # what the artifact recorded.
 bench-gate: build
 	dune exec bench/main.exe -- --gate BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
 
 # The persistent cache end to end through the CLI: a second batch run
 # over the unchanged examples must perform zero entry evaluations.
@@ -130,11 +132,28 @@ serve-smoke: build
 	$$N serve --connect $$S --call shutdown | grep -q '"stopping": true'; \
 	wait $$SRV
 
+# The bytecode backend end to end through the CLI: every shipped example
+# runs on the VM with the same result and storage counters as the
+# interpreter (optimized, generational), the compile command disassembles,
+# and the differential oracle passes with the VM as its third leg.
+vm-smoke: build
+	set -e; N=_build/default/bin/nmlc.exe; \
+	for f in examples/programs/*.nml; do \
+	  $$N run $$f -O --policy generational --backend vm > _build/vm_smoke_vm.out; \
+	  $$N run $$f -O --policy generational > _build/vm_smoke_interp.out; \
+	  cmp _build/vm_smoke_vm.out _build/vm_smoke_interp.out \
+	    || { echo "vm-smoke: $$f diverges between backends"; exit 1; }; \
+	done
+	dune exec bin/nmlc.exe -- compile examples/programs/reverse.nml --dump-bytecode \
+	  | grep -q 'tailcall'
+	dune exec bin/nmlc.exe -- check --count 40 --seed 7 --chaos
+
 # Everything a merge must survive.
 ci: build
 	dune runtest
 	dune build @soundness
 	$(MAKE) vet
+	$(MAKE) vm-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 	$(MAKE) batch-smoke

@@ -81,20 +81,24 @@ let handle ?(format = Nml.Diagnostic.Human) f =
   | Nml.Infer.Error (loc, msg) ->
       diagnose format ~code:"TYPE001" loc msg;
       1
-  | Nml.Eval.Runtime_error msg | Runtime.Machine.Error msg ->
+  | Nml.Eval.Runtime_error msg | Runtime.Machine.Error msg | Backend.Vm.Error msg ->
       Printf.eprintf "runtime error: %s\n" msg;
       1
   | Escape.Enumerate.Higher_order msg ->
       Printf.eprintf "enumeration engine: program is not first order: %s\n" msg;
       1
-  | Runtime.Machine.Out_of_memory ->
+  | Runtime.Machine.Out_of_memory | Backend.Vm.Out_of_memory ->
       Printf.eprintf
         "error: out of memory: the cell store is exhausted even after a collection \
          (raise --heap, or drop --no-grow)\n";
       2
-  | Runtime.Machine.Out_of_fuel | Nml.Eval.Out_of_fuel ->
+  | Runtime.Machine.Out_of_fuel | Nml.Eval.Out_of_fuel | Backend.Vm.Out_of_fuel ->
       Printf.eprintf "error: out of fuel: the step budget is exhausted (raise --fuel)\n";
       3
+  | Backend.Vm.Internal msg ->
+      Printf.eprintf "nmlc: internal error: the bytecode backend broke an invariant: %s\n"
+        msg;
+      124
   | e ->
       Printf.eprintf "nmlc: internal error: %s\n" (Printexc.to_string e);
       124
@@ -192,10 +196,16 @@ let heap_row_of surface =
     { Optimize.Transform.all with Optimize.Transform.pretenure = true }
   in
   let ir = (Optimize.Transform.optimize ~options surface).Optimize.Transform.ir in
-  let m =
-    Runtime.Machine.create ~heap_size:4096 ~fuel:1_000_000
-      ~config:Runtime.Heap.generational ()
+  (* the same advisory dead-spine hints a [run --policy generational]
+     computes, so the hint-acceptance counters show up here too *)
+  let liveness_hints =
+    let t = Framework.Spinelive.Solver.make (Nml.Infer.infer_program surface) in
+    Framework.Spinelive.dead_spine_params t
   in
+  let config =
+    { Runtime.Heap.generational with Runtime.Heap.liveness_hints }
+  in
+  let m = Runtime.Machine.create ~heap_size:4096 ~fuel:1_000_000 ~config () in
   match Runtime.Machine.eval m ir with
   | _ -> Ok (Runtime.Stats.to_row (Runtime.Machine.stats m))
   | exception Runtime.Machine.Out_of_fuel -> Error "step budget exhausted"
@@ -629,7 +639,7 @@ let optimize_cmd =
 
 let run_cmd =
   let run file inline options optimized heap_size no_grow check compare fuel policy
-      nursery no_regions no_pretenure =
+      nursery no_regions no_pretenure backend =
     with_source file inline (fun s ->
         let base =
           match policy with
@@ -667,12 +677,21 @@ let run_cmd =
           else options
         in
         let exec ir =
-          let m =
-            Runtime.Machine.create ~heap_size ~grow:(not no_grow) ~check_arenas:check
-              ?fuel ~config ()
-          in
-          let w = Runtime.Machine.eval m ir in
-          (Runtime.Machine.read_value m w, Runtime.Machine.stats m)
+          match backend with
+          | `Interp ->
+              let m =
+                Runtime.Machine.create ~heap_size ~grow:(not no_grow)
+                  ~check_arenas:check ?fuel ~config ()
+              in
+              let w = Runtime.Machine.eval m ir in
+              (Runtime.Machine.read_value m w, Runtime.Machine.stats m)
+          | `Vm ->
+              let m =
+                Backend.Vm.create ~heap_size ~grow:(not no_grow)
+                  ~check_arenas:check ?fuel ~config ()
+              in
+              let v = Backend.Vm.eval m (Backend.Vm.compile ir) in
+              (Backend.Vm.read_value m v, Backend.Vm.stats m)
         in
         let show label (v, stats) =
           Format.printf "%s result: %a@." label Nml.Eval.pp_value v;
@@ -743,11 +762,70 @@ let run_cmd =
           ~doc:"Under $(b,--policy generational), do not tenure escape-doomed \
                 allocations at birth; everything unannotated starts in the nursery.")
   in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("interp", `Interp); ("vm", `Vm) ]) `Interp
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Execution backend: $(b,interp) (default, the tree-walking storage \
+                simulator) or $(b,vm) (the compact bytecode VM: ANF, flat closures, \
+                known calls, tail calls — same heap policy, same statistics).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute on the storage simulator and print statistics")
     Term.(
       const run $ file_arg $ inline_arg $ options_term $ optimized $ heap $ no_grow
-      $ check $ compare $ fuel $ policy $ nursery $ no_regions $ no_pretenure)
+      $ check $ compare $ fuel $ policy $ nursery $ no_regions $ no_pretenure
+      $ backend)
+
+let compile_cmd =
+  let run file inline options optimized dump_anf dump_bytecode =
+    with_source file inline (fun s ->
+        let ir =
+          if optimized then
+            (Optimize.Transform.optimize ~options s).Optimize.Transform.ir
+          else Runtime.Ir.of_program s
+        in
+        if dump_anf then begin
+          let a = Backend.Anf.lower ir in
+          (match Backend.Anf.verify a with
+          | Ok () -> ()
+          | Error m ->
+              raise (Backend.Vm.Internal ("ANF verification failed: " ^ m)));
+          Format.printf "%a@." Backend.Anf.pp a
+        end;
+        let code = Backend.Vm.compile ir in
+        if dump_bytecode then Format.printf "%a@." Backend.Vm.pp_code code
+        else if not dump_anf then
+          Format.printf "%a@." Backend.Closure.pp_report (Backend.Vm.report code))
+  in
+  let optimized =
+    Arg.(
+      value & flag
+      & info [ "O"; "optimized" ] ~doc:"Compile the optimized program.")
+  in
+  let dump_anf =
+    Arg.(
+      value & flag
+      & info [ "dump-anf" ]
+          ~doc:"Print the A-normal form (verified: named intermediates, saturated \
+                primitives, storage annotations as first-class forms).")
+  in
+  let dump_bytecode =
+    Arg.(
+      value & flag
+      & info [ "dump-bytecode" ]
+          ~doc:"Print the register bytecode after closure conversion, one function \
+                per lambda nest, plus the conversion report.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Lower through the bytecode middle-end (ANF, closure conversion) and \
+             print the requested stage; with no dump flag, print the closure-\
+             conversion report")
+    Term.(
+      const run $ file_arg $ inline_arg $ options_term $ optimized $ dump_anf
+      $ dump_bytecode)
 
 let check_cmd =
   let run files count seed heap fuel chaos fault =
@@ -1242,5 +1320,6 @@ let () =
        (Cmd.group info
           [
             parse_cmd; typecheck_cmd; eval_cmd; analyze_cmd; batch_cmd; mono_cmd;
-            optimize_cmd; run_cmd; check_cmd; vet_cmd; lint_cmd; serve_cmd;
+            optimize_cmd; run_cmd; compile_cmd; check_cmd; vet_cmd; lint_cmd;
+            serve_cmd;
           ]))

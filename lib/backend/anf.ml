@@ -1,0 +1,360 @@
+(* A-normal form over the annotated storage IR.
+
+   The lowering flattens [Runtime.Ir] expressions so that every
+   intermediate value has a name: operands are atoms (constants and
+   variables), every computation is let-bound or in result position.
+   The storage annotations survive verbatim — an annotated cons site
+   becomes a [Calloc] carrying its [Ir.alloc] target, [DCONS]/[DNODE]
+   become [Creuse], and arena scopes become [Carena] blocks — so the
+   bytecode backend can honor the optimizer's verdicts natively.
+
+   Two invariants matter for the VM and are enforced by {!verify}:
+
+   - primitives are saturated: the lowering eta-expands any
+     first-class or under-applied primitive (including annotated cons
+     and reuse operators) into an explicit lambda nest, so the VM has
+     no partial-primitive value forms at all;
+
+   - a generic application [Capp (f, args)] carries exactly one
+     argument unless [f] is a letrec-bound lambda nest of that exact
+     arity.  Grouped calls are what the closure converter turns into
+     direct known calls; one-at-a-time application reproduces the
+     machine's curried evaluation order (a closure body may run
+     between consecutive argument evaluations, and that order is
+     observable through errors and nontermination). *)
+
+module Ast = Nml.Ast
+module Ir = Runtime.Ir
+
+type atom = Aconst of Ast.const | Avar of string
+
+(* allocating constructors; pairs have no annotated sites, so their
+   target is always [Ir.Heap] *)
+type shape = Scons | Spair | Snode
+type reuse = Rcons  (** dcons: cell, head, tail *) | Rnode  (** dnode: cell, left, label, right *)
+
+type cexpr =
+  | Catom of atom
+  | Cprim of Ast.prim * atom list  (** saturated, non-allocating *)
+  | Calloc of Ir.alloc * shape * atom list
+  | Creuse of reuse * atom list
+  | Capp of atom * atom list
+  | Cif of atom * anf * anf
+  | Clam of string * anf
+  | Carena of Ir.arena_kind * int * anf
+  | Cblock of anf  (** a scoped sub-computation (letrec in operand position) *)
+
+and anf =
+  | Alet of string * cexpr * anf
+  | Aletrec of (string * anf) list * anf
+  | Aret of cexpr
+
+let shape_arity = function Scons | Spair -> 2 | Snode -> 3
+let reuse_arity = function Rcons -> 3 | Rnode -> 4
+
+(* ---- lowering ------------------------------------------------------------- *)
+
+module SMap = Map.Make (String)
+
+(* the syntactic lambda-nest depth of a letrec right-hand side: the
+   arity at which a call to the binding can be compiled flat *)
+let rec nest_arity = function Ir.Lam (_, b) -> 1 + nest_arity b | _ -> 0
+
+let spine e =
+  let rec go acc = function Ir.App (f, a) -> go (a :: acc) f | h -> (h, acc) in
+  go [] e
+
+let apps head args = List.fold_left (fun f a -> Ir.App (f, a)) head args
+
+(* arity of a primitive-family head once saturated *)
+let head_needs = function
+  | Ir.Prim p -> Some (Ast.prim_arity p)
+  | Ir.ConsAt _ -> Some 2
+  | Ir.NodeAt _ -> Some 3
+  | Ir.Dcons -> Some 3
+  | Ir.Dnode -> Some 4
+  | _ -> None
+
+let lower (e : Ir.expr) : anf =
+  let counter = ref 0 in
+  let fresh () =
+    let n = !counter in
+    incr counter;
+    Printf.sprintf "$%d" n
+  in
+  (* [arities]: letrec-bound lambda nests in scope, for call grouping *)
+  let rec exp arities e : anf =
+    match e with
+    | Ir.If (c, t, f) ->
+        atom arities c (fun a -> Aret (Cif (a, exp arities t, exp arities f)))
+    | Ir.Letrec (bs, body) ->
+        let arities' = letrec_arities arities bs in
+        Aletrec
+          (List.map (fun (x, rhs) -> (x, exp arities' rhs)) bs, exp arities' body)
+    | e -> cexpr arities e (fun ce -> Aret ce)
+  and letrec_arities arities bs =
+    let cleared =
+      List.fold_left (fun m (x, _) -> SMap.remove x m) arities bs
+    in
+    List.fold_left
+      (fun m (x, rhs) ->
+        match nest_arity rhs with 0 -> m | n -> SMap.add x n m)
+      cleared bs
+  and cexpr arities e (k : cexpr -> anf) : anf =
+    match e with
+    | Ir.Const c -> k (Catom (Aconst c))
+    | Ir.Var x -> k (Catom (Avar x))
+    | Ir.Lam (x, b) -> k (Clam (x, exp (SMap.remove x arities) b))
+    | Ir.If (c, t, f) ->
+        atom arities c (fun a -> k (Cif (a, exp arities t, exp arities f)))
+    | Ir.Letrec _ -> k (Cblock (exp arities e))
+    | Ir.WithArena (kind, sid, b) -> k (Carena (kind, sid, exp arities b))
+    | Ir.App _ ->
+        let head, args = spine e in
+        app_spine arities head args k
+    | (Ir.Prim _ | Ir.ConsAt _ | Ir.NodeAt _ | Ir.Dcons | Ir.Dnode) as h ->
+        (* a first-class primitive: eta-expand so the value is an
+           ordinary closure *)
+        cexpr arities (eta h (Option.get (head_needs h))) k
+  and eta h needed =
+    let xs = List.init needed (fun i -> Printf.sprintf "$p%d" i) in
+    List.fold_right
+      (fun x acc -> Ir.Lam (x, acc))
+      xs
+      (apps h (List.map (fun x -> Ir.Var x) xs))
+  and atom arities e (k : atom -> anf) : anf =
+    cexpr arities e (fun ce ->
+        match ce with
+        | Catom a -> k a
+        | ce ->
+            let t = fresh () in
+            Alet (t, ce, k (Avar t)))
+  and atoms arities es (k : atom list -> anf) : anf =
+    match es with
+    | [] -> k []
+    | e :: rest -> atom arities e (fun a -> atoms arities rest (fun az -> k (a :: az)))
+  (* one-at-a-time currying from an already-evaluated function atom:
+     preserves the machine's effect order exactly *)
+  and chain arities f args k =
+    match args with
+    | [] -> k (Catom f)
+    | [ a ] -> atom arities a (fun va -> k (Capp (f, [ va ])))
+    | a :: rest ->
+        atom arities a (fun va ->
+            let t = fresh () in
+            Alet (t, Capp (f, [ va ]), chain arities (Avar t) rest k))
+  and app_spine arities head args k =
+    match head_needs head with
+    | Some needed when List.length args >= needed ->
+        let first, rest = take needed args in
+        atoms arities first (fun az ->
+            let ce =
+              match head with
+              | Ir.Prim Ast.Cons -> Calloc (Ir.Heap, Scons, az)
+              | Ir.Prim Ast.Pair -> Calloc (Ir.Heap, Spair, az)
+              | Ir.Prim Ast.Node -> Calloc (Ir.Heap, Snode, az)
+              | Ir.ConsAt al -> Calloc (al, Scons, az)
+              | Ir.NodeAt al -> Calloc (al, Snode, az)
+              | Ir.Dcons -> Creuse (Rcons, az)
+              | Ir.Dnode -> Creuse (Rnode, az)
+              | Ir.Prim p -> Cprim (p, az)
+              | _ -> assert false
+            in
+            if rest = [] then k ce
+            else
+              let t = fresh () in
+              Alet (t, ce, chain arities (Avar t) rest k))
+    | Some _ ->
+        (* under-applied primitive: its eta-expansion is a closure and
+           the partial application is an ordinary PAP *)
+        atom arities (eta head (Option.get (head_needs head))) (fun f ->
+            chain arities f args k)
+    | None -> (
+        match head with
+        | Ir.Var f when SMap.mem f arities ->
+            let ar = SMap.find f arities in
+            if List.length args >= ar then
+              let first, rest = take ar args in
+              atoms arities first (fun az ->
+                  let ce = Capp (Avar f, az) in
+                  if rest = [] then k ce
+                  else
+                    let t = fresh () in
+                    Alet (t, ce, chain arities (Avar t) rest k))
+            else atom arities head (fun f -> chain arities f args k)
+        | _ -> atom arities head (fun f -> chain arities f args k))
+  and take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let a, b = take (n - 1) rest in
+          (x :: a, b)
+  in
+  exp SMap.empty e
+
+(* ---- free variables ------------------------------------------------------- *)
+
+module SSet = Set.Make (String)
+
+let fv_atom = function Aconst _ -> SSet.empty | Avar x -> SSet.singleton x
+let fv_atoms az = List.fold_left (fun s a -> SSet.union s (fv_atom a)) SSet.empty az
+
+let rec fv_cexpr = function
+  | Catom a -> fv_atom a
+  | Cprim (_, az) | Calloc (_, _, az) | Creuse (_, az) -> fv_atoms az
+  | Capp (f, az) -> SSet.union (fv_atom f) (fv_atoms az)
+  | Cif (c, t, f) -> SSet.union (fv_atom c) (SSet.union (fv_anf t) (fv_anf f))
+  | Clam (x, b) -> SSet.remove x (fv_anf b)
+  | Carena (_, _, b) | Cblock b -> fv_anf b
+
+and fv_anf = function
+  | Alet (x, ce, body) -> SSet.union (fv_cexpr ce) (SSet.remove x (fv_anf body))
+  | Aletrec (bs, body) ->
+      let bound = List.fold_left (fun s (x, _) -> SSet.add x s) SSet.empty bs in
+      let inner =
+        List.fold_left (fun s (_, rhs) -> SSet.union s (fv_anf rhs)) (fv_anf body) bs
+      in
+      SSet.diff inner bound
+  | Aret ce -> fv_cexpr ce
+
+let free_vars = fv_anf
+
+(* ---- verification --------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt
+
+(* Eta-expansion parameters are the only binders spelled [$pN]; user
+   identifiers cannot contain ['$'] and lowering temporaries are bare
+   [$N].  The distinction matters for arity: lowering groups calls at
+   the {e source} nest arity, and eta-expanding a partial constructor
+   in the nest's body appends [$p] lambdas that must not count. *)
+let is_eta_param x = String.length x >= 2 && x.[0] = '$' && x.[1] = 'p'
+
+(* the arity at which a verified letrec binding may be called flat: the
+   [Clam] nest depth of its right-hand side, not counting eta lambdas
+   that follow a user lambda (they belong to the body, not the nest) *)
+let rhs_arity a =
+  let rec go seen_user = function
+    | Aret (Clam (x, b)) when not (is_eta_param x && seen_user) ->
+        1 + go (seen_user || not (is_eta_param x)) b
+    | _ -> 0
+  in
+  go false a
+
+let verify (a : anf) : (unit, string) result =
+  (* scope: variable -> flat-call arity (0 = not a known nest) *)
+  let check_atom scope = function
+    | Aconst _ -> ()
+    | Avar x -> if not (SMap.mem x scope) then bad "unbound variable %s" x
+  in
+  let rec check_cexpr scope = function
+    | Catom a -> check_atom scope a
+    | Cprim (p, az) ->
+        (match p with
+        | Ast.Cons | Ast.Pair | Ast.Node ->
+            bad "allocating primitive %s outside Calloc" (Ast.prim_name p)
+        | _ -> ());
+        if List.length az <> Ast.prim_arity p then
+          bad "primitive %s applied to %d arguments (arity %d)" (Ast.prim_name p)
+            (List.length az) (Ast.prim_arity p);
+        List.iter (check_atom scope) az
+    | Calloc (_, shape, az) ->
+        if List.length az <> shape_arity shape then
+          bad "allocation with %d operands" (List.length az);
+        List.iter (check_atom scope) az
+    | Creuse (r, az) ->
+        if List.length az <> reuse_arity r then
+          bad "reuse with %d operands" (List.length az);
+        List.iter (check_atom scope) az
+    | Capp (f, az) ->
+        check_atom scope f;
+        List.iter (check_atom scope) az;
+        let n = List.length az in
+        if n < 1 then bad "application without arguments";
+        if n > 1 then (
+          match f with
+          | Avar g when SMap.find_opt g scope = Some n -> ()
+          | Avar g ->
+              bad "grouped call of %s with %d arguments, but its known arity is %d" g
+                n
+                (Option.value ~default:0 (SMap.find_opt g scope))
+          | Aconst _ -> bad "grouped call of a constant")
+    | Cif (c, t, f) ->
+        check_atom scope c;
+        check_anf scope t;
+        check_anf scope f
+    | Clam (x, b) -> check_anf (SMap.add x 0 scope) b
+    | Carena (_, _, b) | Cblock b -> check_anf scope b
+  and check_anf scope = function
+    | Alet (x, ce, body) ->
+        check_cexpr scope ce;
+        check_anf (SMap.add x 0 scope) body
+    | Aletrec (bs, body) ->
+        if bs = [] then bad "empty letrec";
+        let names = List.map fst bs in
+        if List.length (List.sort_uniq String.compare names) <> List.length names
+        then bad "duplicate letrec binders";
+        let scope' =
+          List.fold_left (fun s (x, rhs) -> SMap.add x (rhs_arity rhs) s) scope bs
+        in
+        List.iter (fun (_, rhs) -> check_anf scope' rhs) bs;
+        check_anf scope' body
+    | Aret ce -> check_cexpr scope ce
+  in
+  match check_anf SMap.empty a with () -> Ok () | exception Bad m -> Error m
+
+(* ---- pretty-printing ------------------------------------------------------ *)
+
+let pp_atom ppf = function
+  | Aconst (Ast.Cint n) -> Format.pp_print_int ppf n
+  | Aconst (Ast.Cbool b) -> Format.pp_print_bool ppf b
+  | Aconst Ast.Cnil -> Format.pp_print_string ppf "nil"
+  | Aconst Ast.Cleaf -> Format.pp_print_string ppf "leaf"
+  | Avar x -> Format.pp_print_string ppf x
+
+let shape_name = function Scons -> "cons" | Spair -> "pair" | Snode -> "node"
+let reuse_name = function Rcons -> "dcons" | Rnode -> "dnode"
+
+let pp_alloc ppf = function
+  | Ir.Heap -> ()
+  | Ir.Arena i -> Format.fprintf ppf "@@a%d" i
+  | Ir.Pretenured -> Format.pp_print_string ppf "@@old"
+
+let pp_atoms ppf az =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_atom ppf az
+
+let rec pp_cexpr ppf = function
+  | Catom a -> pp_atom ppf a
+  | Cprim (p, az) ->
+      Format.fprintf ppf "@[<hov 2>(%s@ %a)@]" (Ast.prim_name p) pp_atoms az
+  | Calloc (al, shape, az) ->
+      Format.fprintf ppf "@[<hov 2>(%s%a@ %a)@]" (shape_name shape) pp_alloc al
+        pp_atoms az
+  | Creuse (r, az) ->
+      Format.fprintf ppf "@[<hov 2>(%s!@ %a)@]" (reuse_name r) pp_atoms az
+  | Capp (f, az) -> Format.fprintf ppf "@[<hov 2>(%a@ %a)@]" pp_atom f pp_atoms az
+  | Cif (c, t, f) ->
+      Format.fprintf ppf "@[<v 2>(if %a@ then %a@ else %a)@]" pp_atom c pp t pp f
+  | Clam (x, b) -> Format.fprintf ppf "@[<hov 2>(fun %s ->@ %a)@]" x pp b
+  | Carena (k, sid, b) ->
+      Format.fprintf ppf "@[<v 2>(%s a%d in@ %a)@]"
+        (match k with Ir.Region -> "region" | Ir.Block -> "block")
+        sid pp b
+  | Cblock b -> Format.fprintf ppf "@[<v 2>(block@ %a)@]" pp b
+
+and pp ppf = function
+  | Alet (x, ce, body) ->
+      Format.fprintf ppf "@[<v 0>@[<hov 2>let %s =@ %a in@]@ %a@]" x pp_cexpr ce pp
+        body
+  | Aletrec (bs, body) ->
+      let pp_b ppf (x, rhs) = Format.fprintf ppf "@[<hov 2>%s =@ %a@]" x pp rhs in
+      Format.fprintf ppf "@[<v 0>letrec@;<1 2>%a@ in@ %a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ and ")
+           pp_b)
+        bs pp body
+  | Aret ce -> pp_cexpr ppf ce

@@ -1,0 +1,66 @@
+(** A-normal form over the annotated storage IR: every intermediate
+    value is named, primitives are saturated, and the optimizer's
+    storage annotations ([ConsAt]/[NodeAt]/[Dcons]/[Dnode]/[WithArena])
+    survive as first-class allocation and reuse forms the bytecode
+    backend honors natively. *)
+
+type atom = Aconst of Nml.Ast.const | Avar of string
+
+type shape = Scons | Spair | Snode
+type reuse = Rcons | Rnode
+
+type cexpr =
+  | Catom of atom
+  | Cprim of Nml.Ast.prim * atom list
+      (** saturated non-allocating primitive *)
+  | Calloc of Runtime.Ir.alloc * shape * atom list
+      (** cons/pair/node, carrying its allocation target *)
+  | Creuse of reuse * atom list  (** DCONS/DNODE in-place reuse *)
+  | Capp of atom * atom list
+      (** one argument, or a flat call of a letrec-bound nest at its
+          exact arity (see {!verify}) *)
+  | Cif of atom * anf * anf
+  | Clam of string * anf
+  | Carena of Runtime.Ir.arena_kind * int * anf
+  | Cblock of anf  (** scoped sub-computation (letrec in operand position) *)
+
+and anf =
+  | Alet of string * cexpr * anf
+  | Aletrec of (string * anf) list * anf
+  | Aret of cexpr
+
+val shape_arity : shape -> int
+val reuse_arity : reuse -> int
+
+val lower : Runtime.Ir.expr -> anf
+(** Lower an (optionally optimizer-annotated) IR expression.  The
+    result satisfies {!verify}; the machine's curried evaluation order
+    is preserved exactly, flattening argument evaluation only where no
+    closure body can run in between. *)
+
+val verify : anf -> (unit, string) result
+(** Check the ANF invariants: closed scoping, saturated primitives and
+    constructors, non-empty well-formed letrecs, and grouped calls only
+    at a known nest's exact arity. *)
+
+val free_vars : anf -> Set.Make(String).t
+
+val fv_anf : anf -> Set.Make(String).t
+(** Alias of {!free_vars}. *)
+
+val is_eta_param : string -> bool
+(** Binders spelled [$pN] are lowering-introduced eta parameters; user
+    identifiers cannot contain ['$']. *)
+
+val rhs_arity : anf -> int
+(** Depth of the outer [Aret]/[Clam] nest: [0] for a non-function
+    right-hand side, the uncurried arity otherwise.  Eta lambdas
+    appended after a user lambda do not count: the nest boundary is the
+    source arity calls were grouped at. *)
+
+val shape_name : shape -> string
+val reuse_name : reuse -> string
+
+val pp : Format.formatter -> anf -> unit
+val pp_cexpr : Format.formatter -> cexpr -> unit
+val pp_atom : Format.formatter -> atom -> unit

@@ -1,0 +1,241 @@
+(* Closure conversion with flat environments and known-call
+   optimization.
+
+   Every lambda nest becomes one uncurried function in a global table;
+   a closure is the function's id plus a flat array of captured values
+   (no environment chains, no linked frames — one indirection from
+   closure to any free variable).  Letrec-bound nests are {e known}:
+   a grouped [Capp] at the nest's exact arity compiles to a direct
+   [Kcall] that passes all arguments at once, skipping the per-argument
+   intermediate closures a curried evaluator would build.  Everything
+   else goes through the generic one-argument [Kapp], which builds
+   partial applications until the callee's arity is reached.
+
+   Letrec recursion uses the machine's slot semantics: binders are
+   mutable slots created before any right-hand side runs, closures
+   capture the slot itself (not its eventual value), and reading an
+   unfilled slot is a runtime error — exactly the reference machine's
+   read-before-definition behavior. *)
+
+module Ast = Nml.Ast
+module Ir = Runtime.Ir
+
+type atom = Anf.atom
+
+type cexpr =
+  | Katom of atom
+  | Kprim of Ast.prim * atom list
+  | Kalloc of Ir.alloc * Anf.shape * atom list
+  | Kreuse of Anf.reuse * atom list
+  | Kclos of int * atom list  (** function id, captures in [free] order *)
+  | Kcall of int * atom * atom list
+      (** known flat call: function id, the closure (for its
+          environment), the full argument row *)
+  | Kapp of atom * atom  (** generic curried application *)
+  | Kif of atom * kanf * kanf
+  | Karena of Ir.arena_kind * int * kanf
+  | Kblock of kanf
+
+and kanf =
+  | Klet of string * cexpr * kanf
+  | Kletrec of (string * kanf) list * kanf
+  | Kret of cexpr
+
+type fundef = {
+  fid : int;
+  fname : string;  (** binder name for letrec nests, ["anon"] otherwise *)
+  params : string list;  (** uncurried parameter row *)
+  free : string list;  (** flat environment layout *)
+  body : kanf;
+}
+
+type report = {
+  functions : int;
+  known_call_sites : int;
+  generic_app_sites : int;
+  closure_sites : int;
+  max_env : int;
+}
+
+type prog = { funs : fundef array; entry : kanf; report : report }
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type info = Plain | Known of int * int  (** function id, arity *)
+
+exception Internal of string
+
+let internal fmt = Format.kasprintf (fun m -> raise (Internal m)) fmt
+
+(* split a [Clam] nest into its uncurried parameter row and body; the
+   boundary is the same one {!Anf.rhs_arity} counts — eta lambdas after
+   a user lambda stay in the body, so the parameter row matches the
+   arity calls were grouped at *)
+let split_nest a =
+  let rec go seen_user = function
+    | Anf.Aret (Anf.Clam (x, b)) when not (Anf.is_eta_param x && seen_user) ->
+        let ps, body = go (seen_user || not (Anf.is_eta_param x)) b in
+        (x :: ps, body)
+    | b -> ([], b)
+  in
+  go false a
+
+let convert (a : Anf.anf) : prog =
+  let funs = ref [] in
+  let next = ref 0 in
+  let known_calls = ref 0 and generic = ref 0 and clos_sites = ref 0 in
+  let add_fun fname params free body =
+    let fid = !next in
+    incr next;
+    funs := { fid; fname; params; free; body } :: !funs;
+    fid
+  in
+  (* convert a lambda nest at its creation point: returns the closure
+     expression; [scope] is the creating scope (capture info survives
+     into the body, since captures copy the very same value or slot) *)
+  let rec nest_closure scope fname params body =
+    let bound = List.fold_left (fun s p -> SSet.add p s) SSet.empty params in
+    let free = SSet.elements (SSet.diff (Anf.fv_anf body) bound) in
+    let body_scope =
+      let s =
+        List.fold_left
+          (fun s x ->
+            match SMap.find_opt x scope with
+            | Some i -> SMap.add x i s
+            | None -> internal "capture of unbound %s" x)
+          SMap.empty free
+      in
+      List.fold_left (fun s p -> SMap.add p Plain s) s params
+    in
+    let fid = add_fun fname params free (conv body_scope body) in
+    incr clos_sites;
+    (fid, Kclos (fid, List.map (fun x -> Anf.Avar x) free))
+  and conv_cexpr scope (ce : Anf.cexpr) : cexpr =
+    match ce with
+    | Anf.Catom a -> Katom a
+    | Anf.Cprim (p, az) -> Kprim (p, az)
+    | Anf.Calloc (al, sh, az) -> Kalloc (al, sh, az)
+    | Anf.Creuse (r, az) -> Kreuse (r, az)
+    | Anf.Capp (f, [ a ]) -> (
+        match f with
+        | Anf.Avar g when (match SMap.find_opt g scope with
+                          | Some (Known (_, 1)) -> true
+                          | _ -> false) ->
+            let fid =
+              match SMap.find_opt g scope with
+              | Some (Known (fid, _)) -> fid
+              | _ -> assert false
+            in
+            incr known_calls;
+            Kcall (fid, f, [ a ])
+        | _ ->
+            incr generic;
+            Kapp (f, a))
+    | Anf.Capp (f, az) -> (
+        match f with
+        | Anf.Avar g -> (
+            match SMap.find_opt g scope with
+            | Some (Known (fid, ar)) when ar = List.length az ->
+                incr known_calls;
+                Kcall (fid, f, az)
+            | _ -> internal "grouped call of %s without a known arity" g)
+        | Anf.Aconst _ -> internal "grouped call of a constant")
+    | Anf.Cif (c, t, f) -> Kif (c, conv scope t, conv scope f)
+    | Anf.Clam (x, b) ->
+        let params, body = split_nest (Anf.Aret (Anf.Clam (x, b))) in
+        snd (nest_closure scope "anon" params body)
+    | Anf.Carena (k, sid, b) -> Karena (k, sid, conv scope b)
+    | Anf.Cblock b -> Kblock (conv scope b)
+  and conv scope (a : Anf.anf) : kanf =
+    match a with
+    | Anf.Alet (x, ce, body) ->
+        Klet (x, conv_cexpr scope ce, conv (SMap.add x Plain scope) body)
+    | Anf.Aletrec (bs, body) ->
+        (* decide known-ness first: every right-hand side and the body
+           see the same scope, mirroring slot creation order *)
+        let arities =
+          List.map (fun (x, rhs) -> (x, Anf.rhs_arity rhs)) bs
+        in
+        (* pre-assign function ids so mutually recursive nests can
+           reference each other as known calls *)
+        let fids =
+          List.map
+            (fun (x, ar) ->
+              if ar > 0 then begin
+                let fid = !next in
+                incr next;
+                (x, Some fid, ar)
+              end
+              else (x, None, 0))
+            arities
+        in
+        let scope' =
+          List.fold_left
+            (fun s (x, fid, ar) ->
+              match fid with
+              | Some fid -> SMap.add x (Known (fid, ar)) s
+              | None -> SMap.add x Plain s)
+            scope fids
+        in
+        let bs' =
+          List.map2
+            (fun (x, rhs) (_, fid, _) ->
+              match fid with
+              | Some fid ->
+                  let params, nbody = split_nest rhs in
+                  let ce = nest_closure_at scope' fid x params nbody in
+                  (x, Kret ce)
+              | None -> (x, conv scope' rhs))
+            bs fids
+        in
+        Kletrec (bs', conv scope' body)
+    | Anf.Aret ce -> Kret (conv_cexpr scope ce)
+  (* like [nest_closure] but at a pre-reserved id *)
+  and nest_closure_at scope fid fname params body =
+    let bound = List.fold_left (fun s p -> SSet.add p s) SSet.empty params in
+    let free = SSet.elements (SSet.diff (Anf.fv_anf body) bound) in
+    let body_scope =
+      let s =
+        List.fold_left
+          (fun s x ->
+            match SMap.find_opt x scope with
+            | Some i -> SMap.add x i s
+            | None -> internal "capture of unbound %s" x)
+          SMap.empty free
+      in
+      List.fold_left (fun s p -> SMap.add p Plain s) s params
+    in
+    (* convert the body before touching [funs]: conversion itself pushes
+       the functions it creates, and [a :: !funs] would read the tail
+       first, losing them *)
+    let body = conv body_scope body in
+    funs := { fid; fname; params; free; body } :: !funs;
+    incr clos_sites;
+    Kclos (fid, List.map (fun x -> Anf.Avar x) free)
+  in
+  let entry = conv SMap.empty a in
+  let table = Array.make !next None in
+  List.iter (fun f -> table.(f.fid) <- Some f) !funs;
+  let funs =
+    Array.map
+      (function Some f -> f | None -> internal "missing function body")
+      table
+  in
+  let report =
+    {
+      functions = Array.length funs;
+      known_call_sites = !known_calls;
+      generic_app_sites = !generic;
+      closure_sites = !clos_sites;
+      max_env =
+        Array.fold_left (fun m f -> max m (List.length f.free)) 0 funs;
+    }
+  in
+  { funs; entry; report }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v 0>functions          %d@ known call sites   %d@ generic app sites  \
+     %d@ closure sites      %d@ max environment    %d@]"
+    r.functions r.known_call_sites r.generic_app_sites r.closure_sites r.max_env

@@ -1,0 +1,987 @@
+(* A compact register VM over the closure-converted bytecode.
+
+   One instruction array per function, a flat register file per frame,
+   flat closure environments, real tail calls (the frame is replaced,
+   not stacked).  The heap primitives honor the optimizer's verdicts
+   natively: [Alloc] carries its [Ir.alloc] target (nursery, arena, or
+   tenured-at-birth), [Reuse] overwrites the scrutinee's cell in place,
+   and [Openarena]/[Closearena] delimit bump-allocated regions that are
+   reclaimed wholesale.
+
+   Storage policy is the same word-polymorphic {!Runtime.Heap} the
+   tree-walking machine uses, with the same collection discipline
+   (minor collections stop at old cells, chaos mode forces collections
+   at pseudo-random allocation points and poisons freed cells), so the
+   VM slots directly into the differential soundness oracle as a third
+   leg next to the reference interpreter and the storage simulator.
+
+   Register hygiene: scoped temporaries (if-branches, arena bodies,
+   letrec right-hand sides) are cleared with [Kill] when their scope
+   exits, so the arena escape check and the poison-marking check see
+   the same root precision the machine gets from its environment
+   discipline. *)
+
+module Ast = Nml.Ast
+module Ir = Runtime.Ir
+module H = Runtime.Heap
+module Stats = Runtime.Stats
+
+type value =
+  | Int of int
+  | Bool of bool
+  | Nil
+  | Leaf
+  | Ptr of int
+  | Pair of int
+  | Tree of int
+  | Clos of clos
+  | Slotv of slot
+
+and clos = {
+  fn : int;
+  env : value array;
+  pap : value list;  (** collected arguments, in application order *)
+  mutable cmark : bool;
+  mutable hints : int list;
+      (** 1-based parameters the spine-liveness analysis proved dead *)
+}
+
+and slot = { sname : string; mutable sv : value option }
+
+type opnd =
+  | Reg of int
+  | Envv of int
+  | Kint of int
+  | Kbool of bool
+  | Knil
+  | Kleaf
+
+type instr =
+  | Move of int * opnd
+  | Prim of int * Ast.prim * opnd array
+  | Alloc of int * Anf.shape * Ir.alloc * opnd array
+  | Reuse of int * Anf.reuse * opnd array
+  | Clo of int * int * opnd array  (** dst, function id, raw captures *)
+  | Call of int * int * opnd * opnd array
+      (** dst, function id, the closure, the full argument row *)
+  | Tailcall of int * opnd * opnd array
+  | Apply of int * opnd * opnd
+  | Tailapply of opnd * opnd
+  | Jmp of int
+  | Jifnot of opnd * int
+  | Ret of opnd
+  | Mkslot of int * string
+  | Setslot of int * opnd * string
+  | Openarena of Ir.arena_kind * int
+  | Closearena of int * opnd
+  | Kill of int  (** clear registers at and above this index *)
+
+type func = {
+  fid : int;
+  fname : string;
+  arity : int;
+  nregs : int;
+  nenv : int;
+  code : instr array;
+}
+
+type code = { funcs : func array; entry : func; report : Closure.report }
+
+let report (c : code) = c.report
+
+exception Error of string
+exception Out_of_memory
+exception Out_of_fuel
+exception Internal of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+let internal fmt = Format.kasprintf (fun m -> raise (Internal m)) fmt
+
+(* ---- compilation ---------------------------------------------------------- *)
+
+module SMap = Map.Make (String)
+
+type emitter = {
+  mutable instrs : instr list;  (* reversed *)
+  mutable len : int;
+  mutable maxreg : int;
+}
+
+let emit e i =
+  e.instrs <- i :: e.instrs;
+  e.len <- e.len + 1
+
+(* emit a placeholder jump, returning its index for later patching *)
+let emit_hole e i =
+  let at = e.len in
+  emit e i;
+  at
+
+let patch e at i =
+  e.instrs <-
+    List.mapi (fun j x -> if j = e.len - 1 - at then i else x) e.instrs
+
+let note e depth = if depth > e.maxreg then e.maxreg <- depth
+
+let opnd_of_atom map = function
+  | Anf.Aconst (Ast.Cint n) -> Kint n
+  | Anf.Aconst (Ast.Cbool b) -> Kbool b
+  | Anf.Aconst Ast.Cnil -> Knil
+  | Anf.Aconst Ast.Cleaf -> Kleaf
+  | Anf.Avar x -> (
+      match SMap.find_opt x map with
+      | Some o -> o
+      | None -> internal "compile: unbound variable %s" x)
+
+let compile_prog (p : Closure.prog) : code =
+  let compiled = Array.make (Array.length p.Closure.funs) None in
+  let rec comp_fun (f : Closure.fundef) =
+    let e = { instrs = []; len = 0; maxreg = 0 } in
+    let map, nparams =
+      List.fold_left
+        (fun (m, i) x -> (SMap.add x (Reg i) m, i + 1))
+        (SMap.empty, 0) f.Closure.params
+    in
+    let map =
+      List.fold_left
+        (fun (m, i) x -> (SMap.add x (Envv i) m, i + 1))
+        (map, 0) f.Closure.free
+      |> fst
+    in
+    note e nparams;
+    comp_anf e map nparams ~tail:true f.Closure.body |> ignore;
+    {
+      fid = f.Closure.fid;
+      fname = f.Closure.fname;
+      arity = nparams;
+      nregs = e.maxreg;
+      nenv = List.length f.Closure.free;
+      code = Array.of_list (List.rev e.instrs);
+    }
+  (* compile [a]; in tail position every path ends in Ret/Tailcall and
+     [None] is returned, otherwise the result operand comes back *)
+  and comp_anf e map depth ~tail (a : Closure.kanf) : opnd option =
+    match a with
+    | Closure.Klet (x, Closure.Katom at, body) ->
+        (* alias: no move, no register *)
+        comp_anf e (SMap.add x (opnd_of_atom map at) map) depth ~tail body
+    | Closure.Klet (x, ce, body) ->
+        let r = depth in
+        note e (r + 1);
+        comp_ce e map ~dst:r ~depth:(r + 1) ce;
+        comp_anf e (SMap.add x (Reg r) map) (r + 1) ~tail body
+    | Closure.Kletrec (bs, body) ->
+        let map, depth =
+          List.fold_left
+            (fun (m, d) (x, _) ->
+              note e (d + 1);
+              emit e (Mkslot (d, x));
+              (SMap.add x (Reg d) m, d + 1))
+            (map, depth) bs
+        in
+        List.iter
+          (fun (x, rhs) ->
+            let o =
+              match comp_anf e map depth ~tail:false rhs with
+              | Some o -> o
+              | None -> internal "compile: letrec rhs has no result"
+            in
+            let slot =
+              match SMap.find x map with
+              | Reg r -> r
+              | _ -> internal "compile: letrec slot is not a register"
+            in
+            emit e (Setslot (slot, o, x));
+            emit e (Kill depth))
+          bs;
+        comp_anf e map depth ~tail body
+    | Closure.Kret ce -> (
+        match (tail, ce) with
+        | true, Closure.Kcall (fid, f, az) ->
+            emit e
+              (Tailcall
+                 (fid, opnd_of_atom map f, Array.of_list (List.map (opnd_of_atom map) az)));
+            None
+        | true, Closure.Kapp (f, a) ->
+            emit e (Tailapply (opnd_of_atom map f, opnd_of_atom map a));
+            None
+        | true, Closure.Kif (c, t, f) ->
+            let hole = emit_hole e (Jifnot (opnd_of_atom map c, -1)) in
+            comp_anf e map depth ~tail:true t |> ignore;
+            patch e hole (Jifnot (opnd_of_atom map c, e.len));
+            comp_anf e map depth ~tail:true f |> ignore;
+            None
+        | true, Closure.Kblock b ->
+            comp_anf e map depth ~tail:true b |> ignore;
+            None
+        | true, Closure.Katom at ->
+            emit e (Ret (opnd_of_atom map at));
+            None
+        | true, ce ->
+            let r = depth in
+            note e (r + 1);
+            comp_ce e map ~dst:r ~depth:(r + 1) ce;
+            emit e (Ret (Reg r));
+            None
+        | false, Closure.Katom at -> Some (opnd_of_atom map at)
+        | false, ce ->
+            let r = depth in
+            note e (r + 1);
+            comp_ce e map ~dst:r ~depth:(r + 1) ce;
+            Some (Reg r))
+  (* non-tail compilation of a computation into register [dst];
+     temporaries live at [depth] and above and die with the scope *)
+  and comp_ce e map ~dst ~depth (ce : Closure.cexpr) : unit =
+    let opnds az = Array.of_list (List.map (opnd_of_atom map) az) in
+    match ce with
+    | Closure.Katom at -> emit e (Move (dst, opnd_of_atom map at))
+    | Closure.Kprim (p, az) -> emit e (Prim (dst, p, opnds az))
+    | Closure.Kalloc (al, sh, az) -> emit e (Alloc (dst, sh, al, opnds az))
+    | Closure.Kreuse (r, az) -> emit e (Reuse (dst, r, opnds az))
+    | Closure.Kclos (fid, caps) ->
+        (if compiled.(fid) = None then
+           match
+             Array.to_list p.Closure.funs
+             |> List.find_opt (fun f -> f.Closure.fid = fid)
+           with
+           | Some f ->
+               compiled.(fid) <- Some (comp_fun f)
+               (* recursion through [comp_fun] terminates: each id is
+                  compiled at most once, marked before its body *)
+           | None -> internal "compile: unknown function %d" fid);
+        emit e (Clo (dst, fid, opnds caps))
+    | Closure.Kcall (fid, f, az) ->
+        emit e (Call (dst, fid, opnd_of_atom map f, opnds az))
+    | Closure.Kapp (f, a) ->
+        emit e (Apply (dst, opnd_of_atom map f, opnd_of_atom map a))
+    | Closure.Kif (c, t, f) ->
+        let hole = emit_hole e (Jifnot (opnd_of_atom map c, -1)) in
+        let join o = emit e (Move (dst, o)) in
+        (match comp_anf e map depth ~tail:false t with
+        | Some o -> join o
+        | None -> internal "compile: non-tail branch has no result");
+        emit e (Kill depth);
+        let jend = emit_hole e (Jmp (-1)) in
+        patch e hole (Jifnot (opnd_of_atom map c, e.len));
+        (match comp_anf e map depth ~tail:false f with
+        | Some o -> join o
+        | None -> internal "compile: non-tail branch has no result");
+        emit e (Kill depth);
+        patch e jend (Jmp e.len)
+    | Closure.Karena (k, sid, b) ->
+        emit e (Openarena (k, sid));
+        (match comp_anf e map depth ~tail:false b with
+        | Some o -> emit e (Move (dst, o))
+        | None -> internal "compile: arena body has no result");
+        emit e (Kill depth);
+        emit e (Closearena (sid, Reg dst))
+    | Closure.Kblock b ->
+        (match comp_anf e map depth ~tail:false b with
+        | Some o -> emit e (Move (dst, o))
+        | None -> internal "compile: block has no result");
+        emit e (Kill depth)
+  in
+  let entry =
+    let e = { instrs = []; len = 0; maxreg = 0 } in
+    (match comp_anf e SMap.empty 0 ~tail:false p.Closure.entry with
+    | Some o -> emit e (Ret o)
+    | None -> internal "compile: entry has no result");
+    {
+      fid = -1;
+      fname = "entry";
+      arity = 0;
+      nregs = e.maxreg;
+      nenv = 0;
+      code = Array.of_list (List.rev e.instrs);
+    }
+  in
+  (* compile anything not reached from the entry (dead letrec bindings
+     still need bodies: a [Clo] for them may sit on a dead path) *)
+  Array.iteri
+    (fun i c ->
+      if c = None then
+        match
+          Array.to_list p.Closure.funs |> List.find_opt (fun f -> f.Closure.fid = i)
+        with
+        | Some f -> compiled.(i) <- Some (comp_fun f)
+        | None -> internal "compile: unknown function %d" i)
+    compiled;
+  let funcs =
+    Array.map
+      (function Some f -> f | None -> internal "compile: missing function")
+      compiled
+  in
+  { funcs; entry; report = p.Closure.report }
+
+let compile (ir : Ir.expr) : code =
+  let a = Anf.lower ir in
+  (match Anf.verify a with
+  | Ok () -> ()
+  | Error m -> internal "ANF verification failed: %s" m);
+  compile_prog (Closure.convert a)
+
+(* ---- the machine state ---------------------------------------------------- *)
+
+type chaos = Runtime.Machine.chaos = {
+  gc_period : int;
+  poison : bool;
+  chaos_seed : int;
+}
+
+let no_chaos = Runtime.Machine.no_chaos
+
+type frame = {
+  func : func;
+  mutable pc : int;
+  regs : value array;
+  env : value array;
+  dst : int;  (** caller register receiving the return value *)
+}
+
+type t = {
+  heap : value H.t;
+  grow : bool;
+  check_arenas : bool;
+  stats : Stats.t;
+  chaos : chaos;
+  mutable rng : int;
+  mutable fuel : int;  (** -1 = unlimited *)
+  mutable frames : frame list;  (** head = current *)
+  arena_stacks : (int, value H.arena list) Hashtbl.t;
+  mutable marked_closures : clos list;
+}
+
+let poison_value = Int 0x7EADBEEF
+
+let create ?(heap_size = 4096) ?(grow = true) ?(check_arenas = false) ?fuel
+    ?(chaos = no_chaos) ?(config = H.legacy) () =
+  let stats = Stats.create () in
+  let scrub (c : value H.cell) =
+    if chaos.poison then begin
+      c.H.car <- poison_value;
+      c.H.cdr <- poison_value;
+      c.H.lbl <- poison_value;
+      stats.Stats.poisoned <- stats.Stats.poisoned + 1
+    end
+    else begin
+      c.H.car <- Nil;
+      c.H.cdr <- Nil;
+      c.H.lbl <- Nil
+    end
+  in
+  let kind_of = function
+    | Int _ | Bool _ | Nil | Leaf -> H.Scalar
+    | Ptr a | Pair a | Tree a -> H.Ptr a
+    | Clos _ | Slotv _ -> H.Funval
+  in
+  {
+    heap = H.create ~heap_size ~config ~nil:Nil ~scrub ~kind_of ~stats ();
+    grow;
+    check_arenas;
+    stats;
+    chaos;
+    rng = chaos.chaos_seed lxor 0x2545F4914F6CDD1D;
+    fuel = (match fuel with Some f -> f | None -> -1);
+    frames = [];
+    arena_stacks = Hashtbl.create 8;
+    marked_closures = [];
+  }
+
+let stats t = t.stats
+let live_cells t = H.live t.heap
+let config t = H.config t.heap
+
+let tick m =
+  m.stats.Stats.steps <- m.stats.Stats.steps + 1;
+  if m.fuel = 0 then raise Out_of_fuel;
+  if m.fuel > 0 then m.fuel <- m.fuel - 1
+
+let chaos_draw m =
+  m.rng <- ((m.rng * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+  m.rng lsr 16
+
+let type_name = function
+  | Int _ -> "int"
+  | Bool _ -> "bool"
+  | Nil | Ptr _ -> "list"
+  | Pair _ -> "pair"
+  | Leaf | Tree _ -> "tree"
+  | Clos _ -> "function"
+  | Slotv _ -> "binding"
+
+let cell_read m what a =
+  let c = H.get m.heap a in
+  if m.chaos.poison && c.H.free then
+    error "chaos poison: %s reads cell %d after it was freed (use after free)" what a;
+  c
+
+(* ---- garbage collection --------------------------------------------------- *)
+
+let rec mark m ~stop_old v =
+  match v with
+  | Int _ | Bool _ | Nil | Leaf -> ()
+  | Ptr a | Pair a | Tree a ->
+      let c = H.get m.heap a in
+      if m.chaos.poison && c.H.free then
+        error "chaos poison: the collector reached freed cell %d from a live root" a;
+      if (not (stop_old && c.H.old)) && not c.H.marked then begin
+        c.H.marked <- true;
+        m.stats.Stats.marked <- m.stats.Stats.marked + 1;
+        mark m ~stop_old c.H.car;
+        mark m ~stop_old c.H.cdr;
+        mark m ~stop_old c.H.lbl
+      end
+  | Clos c ->
+      if not c.cmark then begin
+        c.cmark <- true;
+        m.marked_closures <- c :: m.marked_closures;
+        Array.iter (mark m ~stop_old) c.env;
+        List.iter (mark m ~stop_old) c.pap
+      end
+  | Slotv s -> ( match s.sv with Some v -> mark m ~stop_old v | None -> ())
+
+let mark_roots m ~stop_old =
+  List.iter
+    (fun fr ->
+      Array.iter (mark m ~stop_old) fr.regs;
+      Array.iter (mark m ~stop_old) fr.env)
+    m.frames
+
+let unmark_closures m =
+  List.iter (fun c -> c.cmark <- false) m.marked_closures;
+  m.marked_closures <- []
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let collect m =
+  let t0 = now_ns () in
+  let marked0 = m.stats.Stats.marked and swept0 = m.stats.Stats.swept in
+  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
+  if H.is_generational m.heap then
+    m.stats.Stats.major_gcs <- m.stats.Stats.major_gcs + 1;
+  mark_roots m ~stop_old:false;
+  H.sweep_all m.heap;
+  unmark_closures m;
+  let cells = m.stats.Stats.marked - marked0 + (m.stats.Stats.swept - swept0) in
+  Stats.record_pause m.stats ~cells ~ns:(now_ns () -. t0)
+
+let minor_collect m =
+  let t0 = now_ns () in
+  let marked0 = m.stats.Stats.marked and swept0 = m.stats.Stats.swept in
+  let scanned = H.remembered_size m.heap in
+  m.stats.Stats.gc_runs <- m.stats.Stats.gc_runs + 1;
+  m.stats.Stats.minor_gcs <- m.stats.Stats.minor_gcs + 1;
+  mark_roots m ~stop_old:true;
+  H.iter_remembered m.heap (fun a ->
+      let c = H.get m.heap a in
+      if not c.H.free then begin
+        mark m ~stop_old:true c.H.car;
+        mark m ~stop_old:true c.H.cdr;
+        mark m ~stop_old:true c.H.lbl
+      end);
+  H.sweep_nursery m.heap;
+  unmark_closures m;
+  let cells =
+    m.stats.Stats.marked - marked0 + (m.stats.Stats.swept - swept0) + scanned
+  in
+  Stats.record_pause m.stats ~cells ~ns:(now_ns () -. t0)
+
+(* ---- allocation ----------------------------------------------------------- *)
+
+let current_arena m = function
+  | Ir.Heap | Ir.Pretenured -> None
+  | Ir.Arena sid -> (
+      match Hashtbl.find_opt m.arena_stacks sid with
+      | Some (a :: _) -> Some a
+      | Some [] | None -> error "cons targets arena %d, but no such arena is open" sid)
+
+(* identical policy to the machine's allocator: chaos collections at
+   pseudo-random points, arena resolution, the nursery threshold,
+   free-list reuse, collection on exhaustion, growth or Out_of_memory *)
+let alloc_cell m target hd tl =
+  let h = m.heap in
+  let cfg = H.config h in
+  let gen = H.is_generational h in
+  if m.chaos.gc_period > 0 && chaos_draw m mod m.chaos.gc_period = 0 then begin
+    m.stats.Stats.chaos_gcs <- m.stats.Stats.chaos_gcs + 1;
+    if gen && chaos_draw m mod 4 <> 0 then minor_collect m else collect m
+  end;
+  let arena = if cfg.H.regions then current_arena m target else None in
+  let where =
+    match target with
+    | Ir.Pretenured when gen && cfg.H.pretenure && arena = None -> H.Old
+    | _ -> H.Young
+  in
+  (if gen && arena = None && where = H.Young
+   && H.young_count h >= max 1 cfg.H.nursery
+   then minor_collect m);
+  let addr =
+    match H.take_free h with
+    | Some a -> a
+    | None -> (
+        match H.bump h with
+        | Some a -> a
+        | None ->
+            if arena <> None then begin
+              H.grow_store h;
+              Option.get (H.bump h)
+            end
+            else begin
+              if gen && H.young_count h > 0 then begin
+                minor_collect m;
+                if H.take_free h = None then collect m
+              end
+              else collect m;
+              match H.take_free h with
+              | Some a -> a
+              | None ->
+                  if m.grow then begin
+                    H.grow_store h;
+                    Option.get (H.bump h)
+                  end
+                  else raise Out_of_memory
+            end)
+  in
+  let c = H.get h addr in
+  c.H.car <- hd;
+  c.H.cdr <- tl;
+  H.register h addr (match arena with Some ar -> H.In_arena ar | None -> where);
+  (match (arena, where) with
+  | Some _, _ | None, H.Old -> H.barrier h addr
+  | None, _ -> ());
+  addr
+
+(* ---- primitives ----------------------------------------------------------- *)
+
+let as_int = function Int n -> n | v -> error "expected an int, got a %s" (type_name v)
+let as_bool = function Bool b -> b | v -> error "expected a bool, got a %s" (type_name v)
+
+let delta m p (args : value array) =
+  match (p, args) with
+  | Ast.Add, [| a; b |] -> Int (as_int a + as_int b)
+  | Ast.Sub, [| a; b |] -> Int (as_int a - as_int b)
+  | Ast.Mul, [| a; b |] -> Int (as_int a * as_int b)
+  | Ast.Div, [| a; b |] ->
+      let d = as_int b in
+      if d = 0 then error "division by zero" else Int (as_int a / d)
+  | Ast.Mod, [| a; b |] ->
+      let d = as_int b in
+      if d = 0 then error "modulo by zero" else Int (as_int a mod d)
+  | Ast.Eq, [| a; b |] -> Bool (as_int a = as_int b)
+  | Ast.Ne, [| a; b |] -> Bool (as_int a <> as_int b)
+  | Ast.Lt, [| a; b |] -> Bool (as_int a < as_int b)
+  | Ast.Le, [| a; b |] -> Bool (as_int a <= as_int b)
+  | Ast.Gt, [| a; b |] -> Bool (as_int a > as_int b)
+  | Ast.Ge, [| a; b |] -> Bool (as_int a >= as_int b)
+  | Ast.And, [| a; b |] -> Bool (as_bool a && as_bool b)
+  | Ast.Or, [| a; b |] -> Bool (as_bool a || as_bool b)
+  | Ast.Not, [| a |] -> Bool (not (as_bool a))
+  | Ast.Car, [| Ptr a |] -> (cell_read m "car" a).H.car
+  | Ast.Car, [| Nil |] -> error "car of nil"
+  | Ast.Car, [| v |] -> error "car of a %s" (type_name v)
+  | Ast.Cdr, [| Ptr a |] -> (cell_read m "cdr" a).H.cdr
+  | Ast.Cdr, [| Nil |] -> error "cdr of nil"
+  | Ast.Cdr, [| v |] -> error "cdr of a %s" (type_name v)
+  | Ast.Null, [| Nil |] -> Bool true
+  | Ast.Null, [| Ptr _ |] -> Bool false
+  | Ast.Null, [| v |] -> error "null of a %s" (type_name v)
+  | Ast.Fst, [| Pair a |] -> (cell_read m "fst" a).H.car
+  | Ast.Fst, [| v |] -> error "fst of a %s" (type_name v)
+  | Ast.Snd, [| Pair a |] -> (cell_read m "snd" a).H.cdr
+  | Ast.Snd, [| v |] -> error "snd of a %s" (type_name v)
+  | Ast.Isleaf, [| Leaf |] -> Bool true
+  | Ast.Isleaf, [| Tree _ |] -> Bool false
+  | Ast.Isleaf, [| v |] -> error "isleaf of a %s" (type_name v)
+  | Ast.Label, [| Tree a |] -> (cell_read m "label" a).H.lbl
+  | Ast.Label, [| Leaf |] -> error "label of leaf"
+  | Ast.Label, [| v |] -> error "label of a %s" (type_name v)
+  | Ast.Left, [| Tree a |] -> (cell_read m "left" a).H.car
+  | Ast.Left, [| Leaf |] -> error "left of leaf"
+  | Ast.Left, [| v |] -> error "left of a %s" (type_name v)
+  | Ast.Right, [| Tree a |] -> (cell_read m "right" a).H.cdr
+  | Ast.Right, [| Leaf |] -> error "right of leaf"
+  | Ast.Right, [| v |] -> error "right of a %s" (type_name v)
+  | (Ast.Cons | Ast.Pair | Ast.Node), _ -> internal "allocating primitive in Prim"
+  | _ -> internal "primitive %s applied to %d arguments" (Ast.prim_name p)
+           (Array.length args)
+
+let do_reuse m r (args : value array) =
+  match (r, args) with
+  | Anf.Rcons, [| p; hd; tl |] -> (
+      match p with
+      | Ptr a ->
+          let c = H.get m.heap a in
+          if c.H.free then error "DCONS on a freed cell";
+          c.H.car <- hd;
+          c.H.cdr <- tl;
+          H.barrier m.heap a;
+          m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
+          Ptr a
+      | Nil -> error "DCONS on nil (no cell to reuse)"
+      | v -> error "DCONS on a %s (no cell to reuse)" (type_name v))
+  | Anf.Rnode, [| p; l; x; r |] -> (
+      match p with
+      | Tree a ->
+          let c = H.get m.heap a in
+          if c.H.free then error "DNODE on a freed cell";
+          c.H.car <- l;
+          c.H.lbl <- x;
+          c.H.cdr <- r;
+          H.barrier m.heap a;
+          m.stats.Stats.dcons_reuses <- m.stats.Stats.dcons_reuses + 1;
+          Tree a
+      | Leaf -> error "DNODE on leaf (no cell to reuse)"
+      | v -> error "DNODE on a %s (no cell to reuse)" (type_name v))
+  | _ -> internal "malformed reuse"
+
+let do_alloc m sh al (args : value array) =
+  match (sh, args) with
+  | Anf.Scons, [| hd; tl |] -> Ptr (alloc_cell m al hd tl)
+  | Anf.Spair, [| a; b |] -> Pair (alloc_cell m al a b)
+  | Anf.Snode, [| l; x; r |] ->
+      (match (l, r) with
+      | (Leaf | Tree _), (Leaf | Tree _) -> ()
+      | _ -> error "node: children must be trees");
+      let addr = alloc_cell m al l r in
+      (H.get m.heap addr).H.lbl <- x;
+      H.barrier m.heap addr;
+      Tree addr
+  | _ -> internal "malformed allocation"
+
+(* ---- arena safety check --------------------------------------------------- *)
+
+let reachable_into_arena m roots sid =
+  let seen = Hashtbl.create 256 in
+  let seen_clos = ref [] in
+  let hit = ref false in
+  let rec walk = function
+    | Int _ | Bool _ | Nil | Leaf -> ()
+    | Ptr a | Pair a | Tree a ->
+        if not (Hashtbl.mem seen a) then begin
+          Hashtbl.add seen a ();
+          let c = H.get m.heap a in
+          if c.H.arena = sid then hit := true;
+          walk c.H.car;
+          walk c.H.cdr;
+          walk c.H.lbl
+        end
+    | Clos c ->
+        if not (List.memq c !seen_clos) then begin
+          seen_clos := c :: !seen_clos;
+          Array.iter walk c.env;
+          List.iter walk c.pap
+        end
+    | Slotv s -> ( match s.sv with Some v -> walk v | None -> ())
+  in
+  List.iter walk roots;
+  !hit
+
+(* ---- execution ------------------------------------------------------------ *)
+
+let deref = function
+  | Slotv s -> (
+      match s.sv with
+      | Some v -> v
+      | None ->
+          error "letrec binding %s is used before its definition is evaluated"
+            s.sname)
+  | v -> v
+
+(* count accepted liveness hints: a call binding a hinted-dead
+   parameter to an actual spine is the moment the collector's advisory
+   metadata pays off, and the counter makes that observable *)
+let note_hints m (c : clos) (args : value array) =
+  match c.hints with
+  | [] -> ()
+  | hints ->
+      List.iter
+        (fun i ->
+          if i >= 1 && i <= Array.length args then
+            match args.(i - 1) with
+            | Ptr _ | Nil ->
+                m.stats.Stats.hints_accepted <- m.stats.Stats.hints_accepted + 1
+            | _ -> ())
+        hints
+
+let exec m (code : code) : value =
+  let funcs = code.funcs in
+  let frame_of ~dst (f : func) (env : value array) (args : value array) =
+    let regs = Array.make (max f.nregs f.arity) Nil in
+    Array.blit args 0 regs 0 (Array.length args);
+    { func = f; pc = 0; regs; env; dst }
+  in
+  let invoke m (c : clos) (args : value array) ~dst ~tail =
+    let f =
+      if c.fn < 0 || c.fn >= Array.length funcs then
+        internal "call of unknown function %d" c.fn
+      else funcs.(c.fn)
+    in
+    if Array.length args <> f.arity then
+      internal "function %s/%d called with %d arguments" f.fname f.arity
+        (Array.length args);
+    note_hints m c args;
+    let fr = frame_of ~dst f c.env args in
+    if tail then m.frames <- fr :: List.tl m.frames
+    else m.frames <- fr :: m.frames
+  in
+  let result = ref None in
+  m.frames <- [ frame_of ~dst:(-1) code.entry [||] [||] ];
+  while !result = None do
+    match m.frames with
+    | [] -> internal "no active frame"
+    | fr :: callers -> (
+        tick m;
+        let load o =
+          match o with
+          | Reg i -> deref fr.regs.(i)
+          | Envv i -> deref fr.env.(i)
+          | Kint n -> Int n
+          | Kbool b -> Bool b
+          | Knil -> Nil
+          | Kleaf -> Leaf
+        in
+        let load_raw o =
+          match o with
+          | Reg i -> fr.regs.(i)
+          | Envv i -> fr.env.(i)
+          | Kint n -> Int n
+          | Kbool b -> Bool b
+          | Knil -> Nil
+          | Kleaf -> Leaf
+        in
+        let loads az = Array.map load az in
+        let i = fr.func.code.(fr.pc) in
+        fr.pc <- fr.pc + 1;
+        match i with
+        | Move (d, o) -> fr.regs.(d) <- load o
+        | Prim (d, p, az) -> fr.regs.(d) <- delta m p (loads az)
+        | Alloc (d, sh, al, az) -> fr.regs.(d) <- do_alloc m sh al (loads az)
+        | Reuse (d, r, az) -> fr.regs.(d) <- do_reuse m r (loads az)
+        | Clo (d, fid, caps) ->
+            fr.regs.(d) <-
+              Clos
+                { fn = fid; env = Array.map load_raw caps; pap = []; cmark = false;
+                  hints = [] }
+        | Call (d, fid, fo, az) -> (
+            match load fo with
+            | Clos c when c.fn = fid && c.pap = [] ->
+                invoke m c (loads az) ~dst:d ~tail:false
+            | Clos _ -> internal "known call resolved to the wrong function"
+            | v -> error "cannot apply a %s as a function" (type_name v))
+        | Tailcall (fid, fo, az) -> (
+            match load fo with
+            | Clos c when c.fn = fid && c.pap = [] ->
+                invoke m c (loads az) ~dst:fr.dst ~tail:true
+            | Clos _ -> internal "known call resolved to the wrong function"
+            | v -> error "cannot apply a %s as a function" (type_name v))
+        | Apply (d, fo, ao) -> (
+            let a = load ao in
+            match load fo with
+            | Clos c ->
+                let f = funcs.(c.fn) in
+                let have = List.length c.pap + 1 in
+                if have = f.arity then
+                  invoke m c (Array.of_list (c.pap @ [ a ])) ~dst:d ~tail:false
+                else
+                  fr.regs.(d) <-
+                    Clos
+                      { fn = c.fn; env = c.env; pap = c.pap @ [ a ];
+                        cmark = false; hints = c.hints }
+            | v -> error "cannot apply a %s as a function" (type_name v))
+        | Tailapply (fo, ao) -> (
+            let a = load ao in
+            match load fo with
+            | Clos c ->
+                let f = funcs.(c.fn) in
+                let have = List.length c.pap + 1 in
+                if have = f.arity then
+                  invoke m c (Array.of_list (c.pap @ [ a ])) ~dst:fr.dst ~tail:true
+                else begin
+                  (* a partial application is a value: return it *)
+                  let v =
+                    Clos
+                      { fn = c.fn; env = c.env; pap = c.pap @ [ a ];
+                        cmark = false; hints = c.hints }
+                  in
+                  m.frames <- callers;
+                  match callers with
+                  | [] -> result := Some v
+                  | caller :: _ -> caller.regs.(fr.dst) <- v
+                end
+            | v -> error "cannot apply a %s as a function" (type_name v))
+        | Jmp t -> fr.pc <- t
+        | Jifnot (o, t) -> if not (as_bool (load o)) then fr.pc <- t
+        | Ret o -> (
+            let v = load o in
+            m.frames <- callers;
+            match callers with
+            | [] -> result := Some v
+            | caller :: _ -> caller.regs.(fr.dst) <- v)
+        | Mkslot (d, name) -> fr.regs.(d) <- Slotv { sname = name; sv = None }
+        | Setslot (d, o, name) -> (
+            let v = load o in
+            (match fr.regs.(d) with
+            | Slotv s -> s.sv <- Some v
+            | _ -> internal "Setslot on a non-slot register");
+            (* tag letrec-bound closures with the advisory dead-spine
+               hints so calls through them are counted *)
+            let cfg = H.config m.heap in
+            if cfg.H.liveness_hints <> [] then
+              match v with
+              | Clos c when c.pap = [] ->
+                  let arity =
+                    if c.fn >= 0 && c.fn < Array.length funcs then
+                      funcs.(c.fn).arity
+                    else 0
+                  in
+                  let idxs = ref [] in
+                  for i = arity downto 1 do
+                    if H.hinted_dead_spine cfg ~fname:name ~arg:i then
+                      idxs := i :: !idxs
+                  done;
+                  if !idxs <> [] then begin
+                    c.hints <- !idxs;
+                    m.stats.Stats.hint_sites <-
+                      m.stats.Stats.hint_sites + List.length !idxs
+                  end
+              | _ -> ())
+        | Openarena (kind, sid) ->
+            if (H.config m.heap).H.regions then begin
+              let a = H.open_arena m.heap ~kind in
+              let stack =
+                Option.value ~default:[] (Hashtbl.find_opt m.arena_stacks sid)
+              in
+              Hashtbl.replace m.arena_stacks sid (a :: stack)
+            end
+        | Closearena (sid, o) ->
+            if (H.config m.heap).H.regions then begin
+              let a, stack =
+                match Hashtbl.find_opt m.arena_stacks sid with
+                | Some (a :: rest) -> (a, rest)
+                | Some [] | None -> internal "closing arena %d with none open" sid
+              in
+              Hashtbl.replace m.arena_stacks sid stack;
+              if m.check_arenas then begin
+                let roots =
+                  load o
+                  :: List.concat_map
+                       (fun fr ->
+                         Array.to_list fr.regs @ Array.to_list fr.env)
+                       m.frames
+                in
+                if reachable_into_arena m roots a.H.dyn_id then
+                  error "arena safety violation: a cell of arena %d escapes its scope"
+                    sid
+              end;
+              H.close_arena m.heap a
+            end
+        | Kill n ->
+            for i = n to Array.length fr.regs - 1 do
+              fr.regs.(i) <- Nil
+            done)
+  done;
+  match !result with Some v -> v | None -> internal "no result"
+
+let eval m code =
+  let before = Stats.snapshot m.stats in
+  Fun.protect
+    ~finally:(fun () -> Stats.global_add ~before ~after:m.stats)
+    (fun () -> exec m code)
+
+let run_ir m ir = eval m (compile ir)
+
+(* ---- reading results ------------------------------------------------------ *)
+
+let read_value m v =
+  let budget = ref 1_000_000 in
+  let rec go v =
+    decr budget;
+    if !budget <= 0 then error "read_value: structure too large or cyclic";
+    match v with
+    | Int n -> Nml.Eval.Vint n
+    | Bool b -> Nml.Eval.Vbool b
+    | Nil -> Nml.Eval.Vnil
+    | Ptr a ->
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vcons (go c.H.car, go c.H.cdr)
+    | Pair a ->
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vpair (go c.H.car, go c.H.cdr)
+    | Leaf -> Nml.Eval.Vleaf
+    | Tree a ->
+        let c = H.get m.heap a in
+        if c.H.free then error "read_value: dangling pointer to a freed cell";
+        Nml.Eval.Vnode (go c.H.car, go c.H.lbl, go c.H.cdr)
+    | Clos _ | Slotv _ -> error "read_value: result is a function"
+  in
+  go v
+
+(* ---- disassembly ---------------------------------------------------------- *)
+
+let pp_opnd ppf = function
+  | Reg i -> Format.fprintf ppf "r%d" i
+  | Envv i -> Format.fprintf ppf "e%d" i
+  | Kint n -> Format.pp_print_int ppf n
+  | Kbool b -> Format.pp_print_bool ppf b
+  | Knil -> Format.pp_print_string ppf "nil"
+  | Kleaf -> Format.pp_print_string ppf "leaf"
+
+let pp_opnds ppf az =
+  Array.iteri
+    (fun i o ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      pp_opnd ppf o)
+    az
+
+let pp_alloc ppf = function
+  | Ir.Heap -> ()
+  | Ir.Arena i -> Format.fprintf ppf "@@a%d" i
+  | Ir.Pretenured -> Format.pp_print_string ppf "@@old"
+
+let pp_instr ppf = function
+  | Move (d, o) -> Format.fprintf ppf "r%d <- %a" d pp_opnd o
+  | Prim (d, p, az) ->
+      Format.fprintf ppf "r%d <- %s %a" d (Ast.prim_name p) pp_opnds az
+  | Alloc (d, sh, al, az) ->
+      Format.fprintf ppf "r%d <- %s%a %a" d (Anf.shape_name sh) pp_alloc al
+        pp_opnds az
+  | Reuse (d, r, az) ->
+      Format.fprintf ppf "r%d <- %s! %a" d (Anf.reuse_name r) pp_opnds az
+  | Clo (d, fid, az) ->
+      Format.fprintf ppf "r%d <- closure f%d [%a]" d fid pp_opnds az
+  | Call (d, fid, fo, az) ->
+      Format.fprintf ppf "r%d <- call f%d %a (%a)" d fid pp_opnd fo pp_opnds az
+  | Tailcall (fid, fo, az) ->
+      Format.fprintf ppf "tailcall f%d %a (%a)" fid pp_opnd fo pp_opnds az
+  | Apply (d, fo, ao) ->
+      Format.fprintf ppf "r%d <- apply %a %a" d pp_opnd fo pp_opnd ao
+  | Tailapply (fo, ao) ->
+      Format.fprintf ppf "tailapply %a %a" pp_opnd fo pp_opnd ao
+  | Jmp t -> Format.fprintf ppf "jmp %d" t
+  | Jifnot (o, t) -> Format.fprintf ppf "jifnot %a %d" pp_opnd o t
+  | Ret o -> Format.fprintf ppf "ret %a" pp_opnd o
+  | Mkslot (d, x) -> Format.fprintf ppf "r%d <- slot %s" d x
+  | Setslot (d, o, x) -> Format.fprintf ppf "r%d.%s := %a" d x pp_opnd o
+  | Openarena (k, sid) ->
+      Format.fprintf ppf "open %s a%d"
+        (match k with Ir.Region -> "region" | Ir.Block -> "block")
+        sid
+  | Closearena (sid, o) -> Format.fprintf ppf "close a%d (%a)" sid pp_opnd o
+  | Kill n -> Format.fprintf ppf "kill r%d.." n
+
+let pp_func ppf f =
+  if f.fid < 0 then Format.fprintf ppf "@[<v 2>entry (regs %d):" f.nregs
+  else
+    Format.fprintf ppf "@[<v 2>fn f%d %s/%d (env %d, regs %d):" f.fid f.fname
+      f.arity f.nenv f.nregs;
+  Array.iteri
+    (fun i inst -> Format.fprintf ppf "@,%3d: %a" i pp_instr inst)
+    f.code;
+  Format.fprintf ppf "@]"
+
+let pp_code ppf (c : code) =
+  Format.fprintf ppf "@[<v 0>%a" pp_func c.entry;
+  Array.iter (fun f -> Format.fprintf ppf "@,%a" pp_func f) c.funcs;
+  Format.fprintf ppf "@,%a@]" Closure.pp_report c.report

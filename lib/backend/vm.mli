@@ -1,0 +1,92 @@
+(** A compact register VM executing closure-converted bytecode.
+
+    The third leg of the differential oracle next to the reference
+    interpreter and the storage machine: same storage policy layer
+    ({!Runtime.Heap}), same collection discipline (minor collections
+    stop at old cells, chaos mode forces collections at deterministic
+    pseudo-random points and poisons freed cells), same observable
+    semantics — but flat closure environments, direct known calls, real
+    tail calls, and heap primitives that honor the optimizer's verdicts
+    natively ([Alloc] carries its placement, [Reuse] overwrites in
+    place, arenas bump-allocate and free wholesale). *)
+
+type value =
+  | Int of int
+  | Bool of bool
+  | Nil
+  | Leaf
+  | Ptr of int
+  | Pair of int
+  | Tree of int
+  | Clos of clos
+  | Slotv of slot
+
+and clos = {
+  fn : int;
+  env : value array;
+  pap : value list;
+  mutable cmark : bool;
+  mutable hints : int list;
+}
+
+and slot = { sname : string; mutable sv : value option }
+
+type code
+(** A compiled program: one bytecode function per lambda nest plus the
+    entry sequence. *)
+
+exception Error of string  (** a program fault: the user's bug *)
+
+exception Out_of_memory
+exception Out_of_fuel
+
+exception Internal of string  (** a backend invariant broke: our bug *)
+
+val compile : Runtime.Ir.expr -> code
+(** ANF-lower, verify, closure-convert, and emit bytecode.  Raises
+    {!Internal} if the ANF verifier rejects the lowering (a backend
+    bug). *)
+
+val report : code -> Closure.report
+
+type chaos = Runtime.Machine.chaos = {
+  gc_period : int;
+  poison : bool;
+  chaos_seed : int;
+}
+
+val no_chaos : chaos
+
+type t
+
+val create :
+  ?heap_size:int ->
+  ?grow:bool ->
+  ?check_arenas:bool ->
+  ?fuel:int ->
+  ?chaos:chaos ->
+  ?config:Runtime.Heap.config ->
+  unit ->
+  t
+(** Same knobs and defaults as {!Runtime.Machine.create}: 4096-cell
+    heap, growth on, arena escape checking off, unlimited fuel, no
+    chaos, legacy storage config. *)
+
+val eval : t -> code -> value
+(** Execute, folding this run's counters into the process-global
+    telemetry even on abnormal exit. *)
+
+val run_ir : t -> Runtime.Ir.expr -> value
+(** [compile] + [eval]. *)
+
+val read_value : t -> value -> Nml.Eval.value
+(** Chase the result into an interpreter-level value (for differential
+    comparison); fails on functions, dangling cells, or structures over
+    a million nodes. *)
+
+val stats : t -> Runtime.Stats.t
+val live_cells : t -> int
+val config : t -> Runtime.Heap.config
+
+val pp_code : Format.formatter -> code -> unit
+(** Disassembly, for [nmlc compile --dump-bytecode]. *)

@@ -73,11 +73,32 @@ let run_machine cfg ?(config = Runtime.Heap.legacy) ~heap ~grow ~chaos ir =
   in
   (outcome, m)
 
+(* The same execution on the bytecode VM: ANF, flat closures, known
+   calls, tail calls — but the identical heap policy, chaos discipline
+   and arena validation, so every machine stage doubles as a VM stage.
+   A [Vm.Internal] is a backend bug, not a program outcome, and is
+   deliberately left to propagate (it must abort the oracle loudly). *)
+let run_vm cfg ?(config = Runtime.Heap.legacy) ~heap ~grow ~chaos ir =
+  let module V = Backend.Vm in
+  let m =
+    V.create ~heap_size:heap ~grow ~check_arenas:true ?fuel:(fuel_opt cfg) ~chaos
+      ~config ()
+  in
+  let outcome =
+    match V.eval m (V.compile ir) with
+    | w -> (
+        match V.read_value m w with
+        | v -> Value v
+        | exception V.Error msg -> Crash msg)
+    | exception V.Error msg -> Crash msg
+    | exception V.Out_of_memory -> Limit "vm out of memory"
+    | exception V.Out_of_fuel -> Limit "vm out of fuel"
+  in
+  (outcome, m)
+
 (* ---- invariant counters --------------------------------------------------- *)
 
-let stats_violations m =
-  let s = M.stats m in
-  let live = M.live_cells m in
+let stats_violations_of s ~live =
   let total = Stats.total_allocs s in
   List.filter_map
     (fun (ok, msg) -> if ok then None else Some msg)
@@ -100,6 +121,11 @@ let stats_violations m =
         || s.Stats.minor_gcs + s.Stats.major_gcs <= s.Stats.gc_runs,
         "minor + major collections exceed gc_runs" );
     ]
+
+let stats_violations m = stats_violations_of (M.stats m) ~live:(M.live_cells m)
+
+let vm_stats_violations m =
+  stats_violations_of (Backend.Vm.stats m) ~live:(Backend.Vm.live_cells m)
 
 (* ---- comparison ------------------------------------------------------------ *)
 
@@ -274,14 +300,36 @@ let check_src cfg src =
                           Fail { stage; expected; got = outcome_to_string outcome }
                         else
                           match stats_violations m with
-                          | [] -> go rest
                           | v :: _ ->
                               Fail
                                 {
                                   stage = stage ^ " (stats)";
                                   expected = "consistent invariant counters";
                                   got = v;
-                                })
+                                }
+                          | [] -> (
+                              (* the same stage on the bytecode VM: the
+                                 third differential leg *)
+                              let outcome, vm =
+                                run_vm cfg ~config ~heap ~grow ~chaos ir
+                              in
+                              if not (agree reference outcome) then
+                                Fail
+                                  {
+                                    stage = stage ^ " (vm)";
+                                    expected;
+                                    got = outcome_to_string outcome;
+                                  }
+                              else
+                                match vm_stats_violations vm with
+                                | [] -> go rest
+                                | v :: _ ->
+                                    Fail
+                                      {
+                                        stage = stage ^ " (vm stats)";
+                                        expected = "consistent invariant counters";
+                                        got = v;
+                                      }))
                   in
                   go stages)))
 

@@ -63,9 +63,27 @@ val run_machine :
     configurations (tiny nursery, regions off, a seed-drawn config), so
     chaos collections also land mid-region on the generational heap. *)
 
+val run_vm :
+  config ->
+  ?config:Runtime.Heap.config ->
+  heap:int ->
+  grow:bool ->
+  chaos:Runtime.Machine.chaos ->
+  Runtime.Ir.expr ->
+  outcome * Backend.Vm.t
+(** The same execution on the bytecode VM (compile + run, arena
+    validation on) — the oracle's third leg.  Every machine stage of
+    {!check_src} is also run here, so Eval, machine and VM must agree
+    under every heap configuration and chaos schedule.  A
+    {!Backend.Vm.Internal} propagates: a broken backend invariant must
+    abort the oracle, not masquerade as a program crash. *)
+
 val stats_violations : Runtime.Machine.t -> string list
 (** Violated bookkeeping identities of the machine's counters, empty
     when consistent. *)
+
+val vm_stats_violations : Backend.Vm.t -> string list
+(** The same identities over a VM run's counters. *)
 
 val sabotage : fault -> Nml.Surface.t -> Runtime.Ir.expr option
 (** The deliberately broken IR of a program, or [None] when the fault

@@ -17,7 +17,15 @@ type word =
   | Wdcons of word list
   | Wdnode of word list
 
-and closure = { param : string; body : Ir.expr; cenv : env; mutable cmark : bool }
+and closure = {
+  param : string;
+  body : Ir.expr;
+  cenv : env;
+  mutable cmark : bool;
+  mutable hints : int list;
+      (** 1-based parameters the spine-liveness analysis proved dead;
+          tagged when a letrec binding with advisory hints is filled *)
+}
 and env = binding Env.t
 and binding = Ready of word | Slot of word option ref
 
@@ -437,7 +445,8 @@ let rec eval_ir m env (e : Ir.expr) : word =
   | Ir.Dcons -> Wdcons []
   | Ir.Dnode -> Wdnode []
   | Ir.Var x -> lookup env x
-  | Ir.Lam (x, b) -> Wclos { param = x; body = b; cenv = env; cmark = false }
+  | Ir.Lam (x, b) ->
+      Wclos { param = x; body = b; cenv = env; cmark = false; hints = [] }
   | Ir.App (f, a) ->
       let vf = eval_ir m env f in
       push m vf;
@@ -451,7 +460,12 @@ let rec eval_ir m env (e : Ir.expr) : word =
         List.fold_left (fun env (x, slot) -> Env.add x (Slot slot) env) env slots
       in
       m.env_stack <- env' :: m.env_stack;
-      List.iter2 (fun (_, rhs) (_, slot) -> slot := Some (eval_ir m env' rhs)) bs slots;
+      List.iter2
+        (fun (x, rhs) (_, slot) ->
+          let v = eval_ir m env' rhs in
+          tag_hints m x rhs v;
+          slot := Some v)
+        bs slots;
       let v = eval_ir m env' body in
       m.env_stack <- List.tl m.env_stack;
       v
@@ -485,17 +499,58 @@ and env_words env =
       | Slot { contents = None } -> acc)
     env []
 
+(* tag a letrec-bound closure with the advisory dead-spine hints of its
+   binder, so calls through the binding can be counted when they bind a
+   hinted parameter to an actual spine *)
+and tag_hints m x rhs v =
+  match v with
+  | Wclos c when c.hints = [] ->
+      let cfg = H.config m.heap in
+      if cfg.H.liveness_hints <> [] then begin
+        let rec lam_arity = function
+          | Ir.Lam (_, b) -> 1 + lam_arity b
+          | _ -> 0
+        in
+        let idxs = ref [] in
+        for i = lam_arity rhs downto 1 do
+          if H.hinted_dead_spine cfg ~fname:x ~arg:i then idxs := i :: !idxs
+        done;
+        if !idxs <> [] then begin
+          c.hints <- !idxs;
+          m.stats.Stats.hint_sites <-
+            m.stats.Stats.hint_sites + List.length !idxs
+        end
+      end
+  | _ -> ()
+
 and apply m vf va =
   tick m;
   push m vf;
   push m va;
   let result =
     match vf with
-    | Wclos { param; body; cenv; _ } ->
+    | Wclos ({ param; body; cenv; _ } as c) ->
+        (if List.mem 1 c.hints then
+           match va with
+           | Wptr _ | Wnil ->
+               m.stats.Stats.hints_accepted <- m.stats.Stats.hints_accepted + 1
+           | _ -> ());
         let env' = Env.add param (Ready va) cenv in
         m.env_stack <- env' :: m.env_stack;
         let r = eval_ir m env' body in
         m.env_stack <- List.tl m.env_stack;
+        (* under currying, hint [i] of this closure is hint [i-1] of
+           the closure its body returns — propagate only when the body
+           is syntactically the next lambda of the same nest *)
+        (match (body, r) with
+        | Ir.Lam _, Wclos rc when rc.hints = [] ->
+            let rest =
+              List.filter_map
+                (fun i -> if i > 1 then Some (i - 1) else None)
+                c.hints
+            in
+            if rest <> [] then rc.hints <- rest
+        | _ -> ());
         r
     | Wprim (Ast.Cons, [ hd ]) -> alloc_cell m Ir.Heap hd va
     | Wprim (Ast.Pair, [ a ]) -> (

@@ -18,6 +18,8 @@ type t = {
   mutable pretenured : int;
   mutable remembered : int;
   mutable regions_reclaimed : int;
+  mutable hint_sites : int;
+  mutable hints_accepted : int;
   mutable pause_ns : float array;
   mutable pause_cells : int array;
   mutable pauses : int;
@@ -44,6 +46,8 @@ let create () =
     pretenured = 0;
     remembered = 0;
     regions_reclaimed = 0;
+    hint_sites = 0;
+    hints_accepted = 0;
     pause_ns = [||];
     pause_cells = [||];
     pauses = 0;
@@ -68,6 +72,8 @@ let reset t =
   t.pretenured <- 0;
   t.remembered <- 0;
   t.regions_reclaimed <- 0;
+  t.hint_sites <- 0;
+  t.hints_accepted <- 0;
   t.pause_ns <- [||];
   t.pause_cells <- [||];
   t.pauses <- 0
@@ -149,6 +155,11 @@ let to_row t =
       ("remembered", t.remembered);
       ("regions_reclaimed", t.regions_reclaimed);
     ]
+    (* advisory dead-spine hints: rendered only when the run actually
+       tagged a binding, so hint-free output stays byte-identical *)
+    @ (if t.hint_sites > 0 then
+         [ ("hint_sites", t.hint_sites); ("hints_accepted", t.hints_accepted) ]
+       else [])
     @
     match pause_percentiles_cells t with
     | None -> []
@@ -179,6 +190,8 @@ let g_pretenured = Atomic.make 0
 let g_swept = Atomic.make 0
 let g_arena_freed = Atomic.make 0
 let g_regions_reclaimed = Atomic.make 0
+let g_hint_sites = Atomic.make 0
+let g_hints_accepted = Atomic.make 0
 
 let add_delta cell a b = ignore (Atomic.fetch_and_add cell (max 0 (a - b)))
 
@@ -195,7 +208,9 @@ let global_add ~before ~after =
   add_delta g_pretenured after.pretenured before.pretenured;
   add_delta g_swept after.swept before.swept;
   add_delta g_arena_freed after.arena_freed before.arena_freed;
-  add_delta g_regions_reclaimed after.regions_reclaimed before.regions_reclaimed
+  add_delta g_regions_reclaimed after.regions_reclaimed before.regions_reclaimed;
+  add_delta g_hint_sites after.hint_sites before.hint_sites;
+  add_delta g_hints_accepted after.hints_accepted before.hints_accepted
 
 let global_row () =
   [

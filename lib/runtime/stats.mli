@@ -32,6 +32,12 @@ type t = {
   mutable pretenured : int;  (** cells allocated directly old, on a hint *)
   mutable remembered : int;  (** write-barrier hits (remembered-set adds) *)
   mutable regions_reclaimed : int;  (** arenas reset wholesale at exit *)
+  mutable hint_sites : int;
+      (** letrec bindings tagged with an advisory dead-spine hint
+          ({!Heap.hinted_dead_spine}) when their closure was created *)
+  mutable hints_accepted : int;
+      (** calls through a hinted binding that actually passed a list
+          spine in a hinted-dead parameter position *)
   (* -- pause distribution ------------------------------------------ *)
   mutable pause_ns : float array;  (** per-collection wall time, ns *)
   mutable pause_cells : int array;  (** per-collection cells touched *)

@@ -1,0 +1,103 @@
+The bytecode backend: nmlc run --backend vm, nmlc compile, and the
+unified exit codes.
+
+  $ alias nmlc=../../bin/nmlc.exe
+
+The VM runs a shipped example with the same result and the same storage
+counters as the interpreter (annotations honored natively):
+
+  $ nmlc run ../../examples/programs/reverse.nml -O --backend vm > vm.out
+  $ nmlc run ../../examples/programs/reverse.nml -O > interp.out
+  $ cmp vm.out interp.out && cat vm.out
+  optimized result: [8, 7, 6, 5, 4, 3, 2, 1]
+  heap_allocs   8
+  arena_allocs  0
+  dcons_reuses  36
+  gc_runs       0
+  marked        0
+  swept         0
+  arena_freed   0
+  heap_capacity 4096
+  peak_live     8
+  
+
+
+The generational policy surfaces the dead-spine hint counters on both
+backends:
+
+  $ nmlc run -e 'letrec hd l = car l in hd [1, 2, 3]' --policy generational --backend vm | grep -E 'result|hint'
+  baseline result: 1
+  hint_sites    1
+  hints_accepted 1
+
+  $ nmlc run -e 'letrec hd l = car l in hd [1, 2, 3]' --policy generational | grep -E 'result|hint'
+  baseline result: 1
+  hint_sites    1
+  hints_accepted 1
+
+Resource exhaustion uses the same exit codes as the interpreter: 2 for
+storage, 3 for fuel:
+
+  $ nmlc run -e 'letrec build n = if n = 0 then nil else cons n (build (n - 1)) in build 100' --heap 8 --no-grow --backend vm
+  error: out of memory: the cell store is exhausted even after a collection (raise --heap, or drop --no-grow)
+  [2]
+
+  $ nmlc run -e 'letrec loop n = loop (n + 1) in loop 0' --fuel 1000 --backend vm
+  error: out of fuel: the step budget is exhausted (raise --fuel)
+  [3]
+
+A dynamic error in the program is exit 1, an internal error 124:
+
+  $ nmlc run -e 'car nil' --backend vm
+  runtime error: car of nil
+  [1]
+
+  $ NMLC_INTERNAL_ERROR=1 nmlc run -e '1 + 2' --backend vm
+  nmlc: internal error: forced by NMLC_INTERNAL_ERROR
+  [124]
+
+nmlc compile reports the closure-conversion statistics by default:
+
+  $ nmlc compile -e 'letrec add2 x y = x + y in add2 1 2'
+  functions          1
+  known call sites   1
+  generic app sites  0
+  closure sites      1
+  max environment    0
+
+--dump-anf prints the A-normal form (atoms only in operand position):
+
+  $ nmlc compile -e 'letrec add2 x y = x + y in add2 1 2' --dump-anf
+  letrec
+    add2 = (fun x -> (fun y -> (+ x y)))
+  in
+  (add2 1 2)
+
+--dump-bytecode disassembles: the letrec-bound nest becomes one flat
+two-argument function, called directly at its known arity:
+
+  $ nmlc compile -e 'letrec add2 x y = x + y in add2 1 2' --dump-bytecode
+  entry (regs 2):
+      0: r0 <- slot add2
+      1: r1 <- closure f0 []
+      2: r0.add2 := r1
+      3: kill r1..
+      4: r1 <- call f0 r0 (1 2)
+      5: ret r1
+  fn f0 add2/2 (env 0, regs 3):
+      0: r2 <- + r0 r1
+      1: ret r2
+  functions          1
+  known call sites   1
+  generic app sites  0
+  closure sites      1
+  max environment    0
+
+The optimizer's annotations survive into the bytecode: a self-recursive
+reverse reuses its argument's spine cells in place (dcons), and the
+recursive call is a direct tail call:
+
+  $ nmlc compile -e 'letrec rev l a = if null l then a else rev (cdr l) (cons (car l) a) in rev [1, 2] nil' -O --dump-bytecode | grep -E 'dcons|tailcall'
+      6: tailcall f0 e0 (r3 r5)
+      5: r5 <- dcons! r0 r4 r1
+      6: tailcall f1 e0 (r3 r5)
