@@ -1,4 +1,4 @@
-.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke framework-smoke vm-smoke ci clean
+.PHONY: all build test check vet bench bench-smoke bench-gate batch-smoke lint-smoke serve-smoke framework-smoke sharing-smoke vm-smoke ci clean
 
 all: build
 
@@ -41,14 +41,17 @@ bench: build
 	dune exec bench/main.exe -- --validate BENCH_PR8.json
 	dune exec bench/main.exe -- V1 V2 --json BENCH_PR9.json
 	dune exec bench/main.exe -- --validate BENCH_PR9.json
+	dune exec bench/main.exe -- S6 --json BENCH_PR10.json
+	dune exec bench/main.exe -- --validate BENCH_PR10.json
 	dune exec bench/main.exe -- --history BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json \
+	  BENCH_PR9.json BENCH_PR10.json
 
 # Tiny-budget solver benchmarks: exercises the --json trajectory end to
 # end (emit, then re-parse and check the worklist-beats-round-robin and
 # warm-cache-is-free invariants) without the full measurement quota.
 bench-smoke: build
-	dune exec bench/main.exe -- S1 S2 S3 S4 S5 L1 E1 H1 H2 V1 V2 --smoke --json _build/bench_smoke.json
+	dune exec bench/main.exe -- S1 S2 S3 S4 S5 S6 L1 E1 H1 H2 V1 V2 --smoke --json _build/bench_smoke.json
 	dune exec bench/main.exe -- --validate _build/bench_smoke.json
 
 # The perf trajectory gate: every committed benchmark artifact must still
@@ -57,7 +60,8 @@ bench-smoke: build
 # what the artifact recorded.
 bench-gate: build
 	dune exec bench/main.exe -- --gate BENCH_PR2.json BENCH_PR4.json \
-	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
+	  BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json \
+	  BENCH_PR9.json BENCH_PR10.json
 
 # The persistent cache end to end through the CLI: a second batch run
 # over the unchanged examples must perform zero entry evaluations.
@@ -105,6 +109,28 @@ framework-smoke: build
 	  --cache _build/framework_smoke_cache > /dev/null
 	dune exec bin/nmlc.exe -- batch examples/programs --analysis usage --jobs 2 \
 	  --cache _build/framework_smoke_cache | grep -q '; 0 entry evaluation(s)'
+
+# The sharing analysis end to end through the CLI: the registry lists it
+# with its own cache namespace, the per-argument verdicts over a shipped
+# example are the expected ones (append's first spine is rebuilt fresh,
+# its second is stitched into the result), the alias-informed optimizer
+# actually licenses reuse beyond Theorem 2 on the witness example, and a
+# warm cached batch rerun performs zero entry evaluations out of the
+# sharing namespace.
+sharing-smoke: build
+	dune exec bin/nmlc.exe -- analyze --list-analyses \
+	  | grep -q 'nmlc/summary-cache-v2/sharing'
+	dune exec bin/nmlc.exe -- analyze examples/programs/reverse.nml \
+	  --analysis sharing | grep -q 'S(append, 1) = unshared'
+	dune exec bin/nmlc.exe -- analyze examples/programs/reverse.nml \
+	  --analysis sharing | grep -q 'S(append, 2) = spine-shared'
+	dune exec bin/nmlc.exe -- run examples/programs/letspine_reuse.nml -O \
+	  | grep -q 'dcons_reuses  5'
+	rm -rf _build/sharing_smoke_cache
+	dune exec bin/nmlc.exe -- batch examples/programs --analysis sharing --jobs 2 \
+	  --cache _build/sharing_smoke_cache > /dev/null
+	dune exec bin/nmlc.exe -- batch examples/programs --analysis sharing --jobs 2 \
+	  --cache _build/sharing_smoke_cache | grep -q '; 0 entry evaluation(s)'
 
 # The analysis daemon end to end through the CLI: a socket server with
 # the slow-request fault armed, every method exercised by the one-shot
@@ -159,6 +185,7 @@ ci: build
 	$(MAKE) batch-smoke
 	$(MAKE) lint-smoke
 	$(MAKE) framework-smoke
+	$(MAKE) sharing-smoke
 	$(MAKE) serve-smoke
 
 clean:

@@ -1107,6 +1107,155 @@ let s5 () =
      are identical; every analysis' warm rerun is evaluation-free in its\n\
      own key namespace.\n"
 
+(* ---- S6: sharing-licensed reuse vs the Theorem-2 baseline --------------------------- *)
+
+(* Part A measures, per shipped example, what each freshness judgment
+   licenses: the Theorem-2 syntactic recursion alone (the seed baseline,
+   [alias_reuse = false]) against the flow-sensitive sharing analysis
+   joined with it.  Reuse is isolated from the arena optimizations so the
+   storage delta is attributable: fewer heap cells allocated exactly
+   where a DCONS recycles a spine the baseline could not prove fresh.
+   Part B is the sharing analysis' persistent summary cache over the same
+   corpus: the warm rerun must be evaluation-free in its own namespace. *)
+let s6_examples () =
+  let root = Filename.concat "examples" "programs" in
+  if Sys.file_exists root && Sys.is_directory root then
+    Sys.readdir root |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".nml")
+    |> List.sort compare
+    |> List.map (fun f ->
+           ( Filename.chop_suffix f ".nml",
+             In_channel.with_open_text (Filename.concat root f)
+               In_channel.input_all ))
+  else []
+
+let s6_modes =
+  [
+    ("t2-baseline", { T.none with T.monomorphize = true; T.reuse = true });
+    ( "alias-informed",
+      { T.none with T.monomorphize = true; T.reuse = true; T.alias_reuse = true }
+    );
+  ]
+
+let s6_measure options surface =
+  let r = T.optimize ~options surface in
+  let rep = Option.get r.T.reuse_report in
+  (rep, run_machine r.T.ir)
+
+let s6 () =
+  section "S6" "sharing-licensed reuse -- Theorem-2 baseline vs alias-informed";
+  let examples = s6_examples () in
+  if examples = [] then
+    Printf.printf
+      "examples/programs/ not found (run from the repository root); skipping\n"
+  else begin
+    let rows =
+      List.concat_map
+        (fun (name, src) ->
+          let surface = Surface.of_string src in
+          List.map
+            (fun (mode, options) ->
+              let rep, stats = s6_measure options surface in
+              let wall =
+                if !smoke then time_once (fun () -> ignore (s6_measure options surface))
+                else measure_ns mode (fun () -> ignore (s6_measure options surface))
+              in
+              json_records :=
+                J.Obj
+                  [
+                    ("experiment", J.Str "S6");
+                    ("workload", J.Str "alias-reuse");
+                    ("example", J.Str name);
+                    ("mode", J.Str mode);
+                    ("candidates", J.int (List.length rep.Optimize.Reuse.candidates));
+                    ( "substituted_calls",
+                      J.int rep.Optimize.Reuse.substituted_calls );
+                    ("alias_licensed", J.int rep.Optimize.Reuse.alias_licensed);
+                    ("heap_allocs", J.int stats.Stats.heap_allocs);
+                    ("dcons_reuses", J.int stats.Stats.dcons_reuses);
+                    ("wall_ns", J.int (int_of_float wall));
+                  ]
+                :: !json_records;
+              [
+                name; mode;
+                string_of_int (List.length rep.Optimize.Reuse.candidates);
+                string_of_int rep.Optimize.Reuse.substituted_calls;
+                string_of_int rep.Optimize.Reuse.alias_licensed;
+                string_of_int stats.Stats.heap_allocs;
+                string_of_int stats.Stats.dcons_reuses;
+                ms wall;
+              ])
+            s6_modes)
+        examples
+    in
+    print_table
+      [
+        "example"; "mode"; "cands"; "redirected"; "alias-only"; "heap";
+        "reuses"; "ms";
+      ]
+      rows;
+    (* part B: the sharing analysis' cold/warm cache over the examples *)
+    match Analyses.Registry.find "sharing" with
+    | None -> Printf.printf "\nno registered sharing analysis?\n"
+    | Some e ->
+        let dir = scratch_dir "s6" in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let corpus = Filename.concat dir "corpus" in
+        Sys.mkdir corpus 0o755;
+        let files =
+          List.map
+            (fun (name, src) ->
+              let path = Filename.concat corpus (name ^ ".nml") in
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc src);
+              path)
+            examples
+        in
+        let store = Cache.Store.create (Filename.concat dir "cache") in
+        let sweep () =
+          List.map (fun p -> Analyses.Registry.batch_job e ~store:(Some store) p) files
+        in
+        let cold = ref [] in
+        let cold_ns = time_once (fun () -> cold := sweep ()) in
+        let warm = sweep () in
+        let warm_ns = measure_ns "warm" (fun () -> ignore (sweep ())) in
+        let crows = ref [] in
+        let record phase wall results =
+          let ev, hits, misses, _ = batch_totals results in
+          json_records :=
+            J.Obj
+              [
+                ("experiment", J.Str "S6");
+                ("workload", J.Str "sharing-cache");
+                ("phase", J.Str phase);
+                ("files", J.int (List.length files));
+                ("evaluations", J.int ev);
+                ("scc_hits", J.int hits);
+                ("scc_misses", J.int misses);
+                ("wall_ns", J.int (int_of_float wall));
+              ]
+            :: !json_records;
+          crows :=
+            [
+              phase; string_of_int (List.length files); string_of_int ev;
+              string_of_int hits; string_of_int misses; ms wall;
+            ]
+            :: !crows
+        in
+        record "cold" cold_ns !cold;
+        record "warm" warm_ns warm;
+        Printf.printf "\nsharing summary cache over the same corpus:\n";
+        print_table
+          [ "phase"; "files"; "evals"; "scc hits"; "scc misses"; "ms" ]
+          (List.rev !crows);
+        Printf.printf
+          "\nexpected shape: alias-informed redirects at least as many call sites\n\
+           as the Theorem-2 baseline and allocates no more; on the branch-,\n\
+           stitch- and let-spine examples it redirects strictly more (the\n\
+           alias-only column) and heap allocations drop.  The warm cache rerun\n\
+           is evaluation-free.\n"
+  end
+
 (* ---- L1: lint throughput through the summary cache --------------------------------- *)
 
 let l1 () =
@@ -1805,6 +1954,22 @@ let validate_json file =
                         [ "files"; "evaluations"; "scc_hits"; "scc_misses";
                           "wall_ns" ]
                       r)
+            | "S6" -> (
+                match get_str "workload" r with
+                | "alias-reuse" ->
+                    shaped
+                      ~strs:[ "workload"; "example"; "mode" ]
+                      ~nums:
+                        [ "candidates"; "substituted_calls"; "alias_licensed";
+                          "heap_allocs"; "dcons_reuses"; "wall_ns" ]
+                      r
+                | _ ->
+                    shaped
+                      ~strs:[ "workload"; "phase" ]
+                      ~nums:
+                        [ "files"; "evaluations"; "scc_hits"; "scc_misses";
+                          "wall_ns" ]
+                      r)
             | "H1" | "H2" ->
                 shaped
                   ~strs:[ "workload"; "config"; "policy" ]
@@ -2135,17 +2300,90 @@ let validate_json file =
               "%s: VM invariants broken (opts-on must allocate no more heap cells \
                and do no more GC work than opts-off, with the optimization firing)\n"
               file;
+          (* sharing headline: per example, alias-informed reuse redirects
+             at least as many call sites and allocates no more heap cells
+             than the Theorem-2 baseline; the baseline licenses nothing of
+             its own ([alias_licensed = 0]); some sites are licensed only
+             by the sharing analysis, and on at least three examples the
+             heap-allocation count strictly drops; the sharing analysis'
+             warm summary-cache rerun is evaluation-free *)
+          let s6r = List.filter (fun r -> get_str "experiment" r = "S6") records in
+          let s6reuse =
+            List.filter (fun r -> get_str "workload" r = "alias-reuse") s6r
+          in
+          let s6cache =
+            List.filter (fun r -> get_str "workload" r = "sharing-cache") s6r
+          in
+          let sharing_ok =
+            s6r = []
+            || s6reuse <> []
+               && s6cache <> []
+               && (let names =
+                     List.sort_uniq compare
+                       (List.map (get_str "example") s6reuse)
+                   in
+                   let at name mode =
+                     List.find_opt
+                       (fun r ->
+                         get_str "example" r = name && get_str "mode" r = mode)
+                       s6reuse
+                   in
+                   let drops =
+                     List.filter
+                       (fun name ->
+                         match (at name "t2-baseline", at name "alias-informed") with
+                         | Some t2, Some al ->
+                             get_num "heap_allocs" al < get_num "heap_allocs" t2
+                         | _ -> false)
+                       names
+                   in
+                   names <> []
+                   && List.for_all
+                        (fun name ->
+                          match
+                            (at name "t2-baseline", at name "alias-informed")
+                          with
+                          | Some t2, Some al ->
+                              get_num "substituted_calls" al
+                              >= get_num "substituted_calls" t2
+                              && get_num "heap_allocs" al
+                                 <= get_num "heap_allocs" t2
+                              && get_num "alias_licensed" t2 = 0.
+                          | _ -> false)
+                        names
+                   && List.fold_left
+                        (fun a r -> a +. get_num "alias_licensed" r)
+                        0. s6reuse
+                      > 0.
+                   && List.length drops >= 3)
+               && (let at p =
+                     List.find_opt (fun r -> get_str "phase" r = p) s6cache
+                   in
+                   match (at "cold", at "warm") with
+                   | Some c, Some w ->
+                       get_num "evaluations" c > 0.
+                       && get_num "evaluations" w = 0.
+                       && get_num "scc_misses" w = 0.
+                   | _ -> false)
+          in
+          if not sharing_ok then
+            Printf.eprintf
+              "%s: sharing invariants broken (alias-informed reuse must redirect \
+               at least as much and allocate no more than the Theorem-2 baseline, \
+               license sites of its own with heap allocs dropping on >=3 examples, \
+               and the warm sharing-cache rerun must be evaluation-free)\n"
+              file;
           if shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok
-             && framework_ok && vm_ok
+             && framework_ok && vm_ok && sharing_ok
           then
             Printf.printf
               "%s: OK (%d records; %d solver, %d cache, %d lint, %d serve, %d heap, \
-               %d framework, %d vm)\n"
+               %d framework, %d vm, %d sharing)\n"
               file (List.length records) (List.length solver) (List.length s4)
               (List.length l1r) (List.length e1r) (List.length hrec)
-              (List.length s5r) (List.length v2r);
+              (List.length s5r) (List.length v2r) (List.length s6r);
           shape_ok && beats && cache_ok && lint_ok && serve_ok && heap_ok
-          && framework_ok && vm_ok
+          && framework_ok && vm_ok && sharing_ok
       | _ ->
           Printf.eprintf "%s: no \"records\" array\n" file;
           false)
@@ -2487,6 +2725,82 @@ let gate files =
                 (vratio (get_num "wall_ns" roff) (get_num "wall_ns" ron))
           | _ -> ()))
     v2_workloads;
+  (* S6: the sharing analysis' licensing power is a deterministic counter,
+     so it is re-derived exactly -- per recorded example, today's counts
+     must stay within the 20% band, today's Theorem-2-to-alias allocation
+     ratio must keep at least 80% of the recorded speedup, and the sites
+     only the sharing analysis licenses must not vanish *)
+  let s6recs =
+    List.filter
+      (fun r ->
+        get_str "experiment" r = "S6" && get_str "workload" r = "alias-reuse")
+      records
+  in
+  (if s6recs <> [] then
+     let examples = s6_examples () in
+     if examples = [] then
+       failgate
+         "S6 rows recorded but examples/programs/ not found (run bench-gate \
+          from the repository root)"
+     else begin
+       let licensed_now = ref 0. in
+       let licensed_rec = ref 0. in
+       List.iter
+         (fun (name, src) ->
+           let at mode =
+             List.find_opt
+               (fun r ->
+                 get_str "example" r = name && get_str "mode" r = mode)
+               s6recs
+           in
+           match (at "t2-baseline", at "alias-informed") with
+           | Some rt2, Some ral ->
+               let surface = Surface.of_string src in
+               let now =
+                 List.map
+                   (fun (mode, options) ->
+                     let rep, stats = s6_measure options surface in
+                     (mode, (rep, stats)))
+                   s6_modes
+               in
+               let nt2 = List.assoc "t2-baseline" now in
+               let nal = List.assoc "alias-informed" now in
+               let check mode what r v =
+                 within_120pct
+                   ~what:(Printf.sprintf "S6 %s %s %s" name mode what)
+                   ~recorded:r ~now:v
+               in
+               List.iter
+                 (fun (mode, recorded, (rep, stats)) ->
+                   check mode "substituted_calls"
+                     (get_num "substituted_calls" recorded)
+                     rep.Optimize.Reuse.substituted_calls;
+                   check mode "heap_allocs"
+                     (get_num "heap_allocs" recorded)
+                     stats.Stats.heap_allocs)
+                 [ ("t2-baseline", rt2, nt2); ("alias-informed", ral, nal) ];
+               licensed_rec := !licensed_rec +. get_num "alias_licensed" ral;
+               licensed_now :=
+                 !licensed_now
+                 +. float_of_int (fst nal).Optimize.Reuse.alias_licensed;
+               check_ratio
+                 ~what:(Printf.sprintf "S6 %s heap_allocs" name)
+                 ~recorded:
+                   (vratio
+                      (get_num "heap_allocs" rt2)
+                      (get_num "heap_allocs" ral))
+                 ~now:
+                   (vratio
+                      (float_of_int (snd nt2).Stats.heap_allocs)
+                      (float_of_int (snd nal).Stats.heap_allocs))
+           | _ -> ())
+         examples;
+       if !licensed_rec > 0. && !licensed_now <= 0. then
+         failgate
+           "S6 alias-licensed reuse sites vanished: artifact recorded %.0f, \
+            now 0"
+           !licensed_rec
+     end);
   if !ok then
     Printf.printf
       "bench-gate: OK (%d artifact(s), %d record(s); headline metrics within 20%%)\n"
@@ -2499,7 +2813,8 @@ let experiments =
   [
     ("F1", f1); ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5);
     ("T6", t6); ("T7", t7); ("T8", t8); ("T9", t9); ("X1", x1); ("X2", x2);
-    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("S5", s5); ("L1", l1);
+    ("S1", s1); ("S2", s2); ("S3", s3); ("S4", s4); ("S5", s5); ("S6", s6);
+    ("L1", l1);
     ("E1", e1); ("H1", h1); ("H2", h2); ("V1", v1); ("V2", v2);
   ]
 
@@ -2539,7 +2854,7 @@ let () =
           | Some f -> f ()
           | None ->
               Printf.eprintf
-                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S5, L1, E1, \
+                "unknown experiment %s (known: F1, T1..T9, X1, X2, S1..S6, L1, E1, \
                  H1, H2, V1, V2)\n"
                 id)
         requested;

@@ -221,8 +221,10 @@ let list_analyses () =
         | [] -> ""
         | a -> Printf.sprintf " (alias: %s)" (String.concat ", " a)
       in
-      Format.printf "  %-16s %s%s@,  %-16s domain: %s@," e.Analyses.Registry.name
-        e.Analyses.Registry.doc aliases "" e.Analyses.Registry.domain)
+      Format.printf "  %-16s %s%s@,  %-16s domain: %s@,  %-16s cache: %s/%s@,"
+        e.Analyses.Registry.name e.Analyses.Registry.doc aliases ""
+        e.Analyses.Registry.domain "" Cache.Skey.schema_version
+        e.Analyses.Registry.name)
     Analyses.Registry.all;
   Format.printf "@]@?"
 
@@ -380,8 +382,9 @@ let analyze_cmd =
       & info [ "analysis" ] ~docv:"NAME"
           ~doc:
             "Which registered analysis to run: $(b,escape) (default), $(b,usage) \
-             (alias $(b,strictness)), $(b,spine-liveness), or $(b,escape-x-usage) \
-             (alias $(b,product)).  See $(b,--list-analyses).")
+             (alias $(b,strictness)), $(b,spine-liveness), $(b,escape-x-usage) \
+             (alias $(b,product)), or $(b,sharing) (alias $(b,alias)).  See \
+             $(b,--list-analyses).")
   in
   let listing =
     Arg.(
@@ -587,6 +590,13 @@ let options_term =
     Arg.(value & flag & info [ "no-mono" ] ~doc:"Do not monomorphize first.")
   in
   let no_reuse = Arg.(value & flag & info [ "no-reuse" ] ~doc:"Disable in-place reuse.") in
+  let no_alias_reuse =
+    Arg.(
+      value & flag
+      & info [ "no-alias-reuse" ]
+          ~doc:"License in-place reuse from the Theorem-2 spine arithmetic only, \
+                without the flow-sensitive sharing analysis.")
+  in
   let no_stack =
     Arg.(value & flag & info [ "no-stack" ] ~doc:"Disable stack allocation.")
   in
@@ -601,16 +611,17 @@ let options_term =
                 result spine of main) to tenured-at-birth allocation.  A hint for \
                 the generational heap; a no-op under the legacy heap.")
   in
-  let mk m r s b p =
+  let mk m r a s b p =
     {
       Optimize.Transform.monomorphize = not m;
       reuse = not r;
+      alias_reuse = (not r) && not a;
       stack = not s;
       block = not b;
       pretenure = p;
     }
   in
-  Term.(const mk $ no_mono $ no_reuse $ no_stack $ no_block $ pretenure)
+  Term.(const mk $ no_mono $ no_reuse $ no_alias_reuse $ no_stack $ no_block $ pretenure)
 
 let mono_cmd =
   let run file inline =
@@ -941,7 +952,17 @@ let vet_cmd =
               if o.Vet.Mutate.detected < o.Vet.Mutate.draws then raise Findings
             end
         | None -> (
-            let ds, summary = Vet.Verify.audit ~source:s ir in
+            (* the same advisory dead-spine hints a [run --policy
+               generational] would hand the heap — audited here instead
+               of trusted *)
+            let hints =
+              match
+                Framework.Spinelive.Solver.make (Nml.Infer.infer_program s)
+              with
+              | t -> Framework.Spinelive.dead_spine_params t
+              | exception _ -> []
+            in
+            let ds, summary = Vet.Verify.audit ~hints ~source:s ir in
             match format with
             | Nml.Diagnostic.Human ->
                 if ds <> [] then
@@ -1101,12 +1122,19 @@ let lint_cmd =
       value
       & opt
           (enum
-             [ ("none", Lint.Rule.No_fault); ("invariance", Lint.Rule.Corrupt_invariance) ])
+             [
+               ("none", Lint.Rule.No_fault);
+               ("invariance", Lint.Rule.Corrupt_invariance);
+               ("sharing", Lint.Rule.Corrupt_sharing);
+             ])
           Lint.Rule.No_fault
       & info [ "inject-fault" ] ~docv:"KIND"
-          ~doc:"Corrupt one escape verdict before the Theorem-1 comparison so that \
-                $(b,LINT003) must fire (needs a definition used at two or more \
-                instances).  The cache is bypassed.  Expected to exit nonzero.")
+          ~doc:"Seed a lie an audit rule must catch: $(b,invariance) corrupts one \
+                escape verdict before the Theorem-1 comparison so that $(b,LINT003) \
+                must fire (needs a definition used at two or more instances); \
+                $(b,sharing) makes one reuse candidate's sharing verdict \
+                spine-shared so that $(b,LINT008) must fire (needs a reuse \
+                candidate).  The cache is bypassed.  Expected to exit nonzero.")
   in
   Cmd.v
     (Cmd.info "lint"

@@ -9,6 +9,7 @@ module J = Nml.Json
 module Engine = Cache.Engine
 module Usage = Framework.Usage
 module Spinelive = Framework.Spinelive
+module Alias = Framework.Alias
 
 type outcome = {
   output : string;  (* rendered report, one block per definition *)
@@ -172,6 +173,65 @@ let spinelive_run ?store prog =
   let o = Engine.analyze spinelive_spec ?store prog in
   of_engine (render Spinelive.pp_def_report o.Engine.summaries) o
 
+(* ---- sharing ---------------------------------------------------------------- *)
+
+let alias_def_to_json (r : Alias.def_report) =
+  J.Obj
+    [
+      ("name", J.Str r.Alias.r_name);
+      ("inst", J.Str r.Alias.r_ty);
+      ( "args",
+        J.Arr
+          (List.map
+             (fun (a : Alias.arg_report) ->
+               J.Arr [ J.int a.Alias.a_index; J.Str (Alias.verdict_name a.Alias.a_verdict) ])
+             r.Alias.r_args) );
+      ( "pairs",
+        J.Arr (List.map (fun (i, j) -> J.Arr [ J.int i; J.int j ]) r.Alias.r_pairs) );
+    ]
+
+let alias_def_of_json j =
+  {
+    Alias.r_name = str (get "name" j);
+    r_ty = str (get "inst" j);
+    r_args =
+      List.map
+        (function
+          | J.Arr [ i; v ] ->
+              {
+                Alias.a_index = num i;
+                a_verdict =
+                  (match Alias.verdict_of_name (str v) with
+                  | Some v -> v
+                  | None -> fail "bad sharing verdict");
+              }
+          | _ -> fail "bad sharing arg")
+        (arr (get "args" j));
+    r_pairs =
+      List.map
+        (function J.Arr [ i; j' ] -> (num i, num j') | _ -> fail "bad alias pair")
+        (arr (get "pairs" j));
+  }
+
+let alias_spec : Alias.def_report Engine.spec =
+  {
+    Engine.analysis = "sharing";
+    def_name = (fun r -> r.Alias.r_name);
+    to_json = alias_def_to_json;
+    of_json = alias_def_of_json;
+    session =
+      (fun prog ->
+        let t = Alias.Solver.make prog in
+        {
+          Engine.summarize = Alias.report t;
+          evaluations = (fun () -> Alias.Solver.evaluations t);
+        });
+  }
+
+let alias_run ?store prog =
+  let o = Engine.analyze alias_spec ?store prog in
+  of_engine (render Alias.pp_def_report o.Engine.summaries) o
+
 (* ---- escape × usage reduced product ----------------------------------------- *)
 
 let besc_of_string s =
@@ -270,6 +330,13 @@ let all =
       domain = "reduced product of escape and usage";
       doc = "storage verdicts per argument: dead / scratch / spine-scratch / retained";
       run = product_run;
+    };
+    {
+      name = "sharing";
+      aliases = [ "alias" ];
+      domain = "dep x spine sharing pairs per argument (Hill-Spoto-style)";
+      doc = "may the result share cells (or its spine) with each argument";
+      run = alias_run;
     };
   ]
 

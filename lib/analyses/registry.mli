@@ -35,3 +35,4 @@ val batch_job : entry -> store:Cache.Store.t option -> string -> Cache.Batch.res
 val usage_spec : Framework.Usage.def_report Cache.Engine.spec
 val spinelive_spec : Framework.Spinelive.def_report Cache.Engine.spec
 val product_spec : Product.def_report Cache.Engine.spec
+val alias_spec : Framework.Alias.def_report Cache.Engine.spec

@@ -918,6 +918,11 @@ let read_value m v =
   in
   go v
 
+let cell_values m a =
+  let c = H.get m.heap a in
+  if c.H.free then error "cell_values: address %d is a freed cell" a;
+  (c.H.car, c.H.cdr, c.H.lbl)
+
 (* ---- disassembly ---------------------------------------------------------- *)
 
 let pp_opnd ppf = function

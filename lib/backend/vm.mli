@@ -84,6 +84,13 @@ val read_value : t -> value -> Nml.Eval.value
     comparison); fails on functions, dangling cells, or structures over
     a million nodes. *)
 
+val cell_values : t -> int -> value * value * value
+(** The [car], [cdr] and [lbl] values of the live cell at an address —
+    the window the concrete-sharing oracle in the test harness uses to
+    walk a result's cell graph (the VM-side twin of
+    {!Runtime.Machine.cell_words}).
+    @raise Error on a freed cell. *)
+
 val stats : t -> Runtime.Stats.t
 val live_cells : t -> int
 val config : t -> Runtime.Heap.config

@@ -35,6 +35,15 @@ let result_unshared_given ?inst t fname ~args_unshared =
   let worst = List.fold_left max 0 shared_escaping in
   { info with unshared_top = max 0 (info.result_spines - worst) }
 
+let call_fresh_depth t fname ~args_unshared =
+  match
+    let inst = Fixpoint.instance_ty t fname in
+    if Ty.arity inst <> List.length args_unshared then 0
+    else (result_unshared_given t fname ~args_unshared).unshared_top
+  with
+  | d -> d
+  | exception (Nml.Infer.Error _ | Invalid_argument _ | Not_found) -> 0
+
 let argument_unshared_after ?inst t fname ~arg ~args_unshared =
   let _, info = base_info ?inst t fname in
   if arg < 1 || arg > List.length info.arg_spines then

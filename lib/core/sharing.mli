@@ -35,6 +35,17 @@ val result_unshared_given :
     [u_i] of each actual argument is known.
     @raise Invalid_argument if the list length differs from the arity. *)
 
+val call_fresh_depth : Fixpoint.t -> string -> args_unshared:int list -> int
+(** Total form of clause 1 for optimizer call sites: [unshared_top] of
+    {!result_unshared_given} at the definition's simplest instance, or 0
+    — the sound "proves nothing" answer — when the name is unknown to
+    the solver, the applied arity disagrees with the instance, or
+    inference fails.  This is the Theorem-2 leg that [Optimize.Reuse]
+    maxes against the flow-sensitive sharing analysis' judgment
+    ([Framework.Alias.Local.call_unshared]); the max is sound because
+    each side is an independent lower bound on the certainly-fresh
+    spine depth of the call's result. *)
+
 val argument_unshared_after :
   ?inst:Nml.Ty.t -> Fixpoint.t -> string -> arg:int -> args_unshared:int list -> int
 (** How many top spines of argument [arg] are unshared {e and} do not

@@ -68,12 +68,17 @@ module type FLAGS = sig
 
   val observe : t -> t  (** used as a base datum: arith, comparison, condition *)
 
-  val elem_view : structured:bool -> t -> t
-  (** [car]/[label]: head cell read, element extracted.  [structured] is
-      false when the element type carries no list/tree structure of its
-      own — an analysis tracking {e spine} retention may then clear its
-      dep bit (the element is not a spine), where a usage analysis keeps
-      it (the element is still the argument's data). *)
+  val elem_view : spined:bool -> boxed:bool -> t -> t
+  (** [car]/[label]: head cell read, element extracted.  Two facts about
+      the element's type qualify the read: [spined] is true when the
+      element carries list/tree structure of its own — an analysis
+      tracking {e spine} retention may clear its dep bit otherwise (the
+      element is not a spine); [boxed] is true when the element owns heap
+      cells at all ({!Nml.Ty.owns_cells}: lists, trees, pairs, closures)
+      — an analysis tracking {e cell sharing} may clear its dep bit only
+      when even that is false (an [int] element cannot retain the
+      argument's heap, but a pair element is one of its cells).  A usage
+      analysis ignores both (the element is still the argument's data). *)
 
   val force_tail : t -> t  (** [cdr]/[left]/[right]: a spine cell traversed *)
 
@@ -175,7 +180,8 @@ module Make (F : FLAGS) () = struct
      the above to its argument *)
   let worst f =
     F.observe
-      (F.elem_view ~structured:true (F.force_tail (F.force_test (F.force_proj f))))
+      (F.elem_view ~spined:true ~boxed:true
+         (F.force_tail (F.force_test (F.force_proj f))))
 
   let rec total v =
     match v.prod with
@@ -380,9 +386,10 @@ module Make (F : FLAGS) () = struct
         (* element view of the collapsed list value; reading it accesses
            the head cell.  Whether the element still counts as retainable
            structure is the analysis' call (see [FLAGS.elem_view]). *)
-        let structured = Ty.max_list_depth rest > 0 in
+        let spined = Ty.max_list_depth rest > 0 in
+        let boxed = Ty.owns_cells rest in
         func ~ty ~flags:F.bot (fun x ->
-            with_ty rest (map_flags (F.elem_view ~structured) x))
+            with_ty rest (map_flags (F.elem_view ~spined ~boxed) x))
     | Ast.Cdr | Ast.Left | Ast.Right ->
         (* the tail is as interesting as the list; taking it traverses a
            spine cell *)

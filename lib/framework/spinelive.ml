@@ -52,9 +52,9 @@ module Flags = struct
      no spine structure of its own, retaining it does not retain any
      spine, so the dep bit is cleared — this is what separates
      [Head_only] (e.g. [fun l -> car l]) from [Live] *)
-  let elem_view ~structured f =
+  let elem_view ~spined ~boxed:_ f =
     let f = { f with head = f.head || f.dep } in
-    if structured then f else { f with dep = false }
+    if spined then f else { f with dep = false }
 
   let force_tail f = { f with tail = f.tail || f.dep }
   let force_test f = { f with tail = f.tail || f.dep }

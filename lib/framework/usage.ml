@@ -29,7 +29,7 @@ module Flags = struct
   (* every way of touching the argument is a use; usage tracks retention
      of any part of the argument, so the dep bit always survives *)
   let observe f = { f with use = f.use || f.dep }
-  let elem_view ~structured:_ = observe
+  let elem_view ~spined:_ ~boxed:_ = observe
   let force_tail = observe
   let force_test = observe
   let force_proj = observe

@@ -29,8 +29,9 @@ module D = Nml.Diagnostic
 module J = Nml.Json
 
 (* v2 (PR8): the rule set gained the spine-liveness-backed LINT007, so
-   pre-PR8 finding records must not replay. *)
-let schema_version = "nmlc/lint-cache-v2"
+   pre-PR8 finding records must not replay.
+   v3 (PR10): the rule set gained the sharing-backed LINT008. *)
+let schema_version = "nmlc/lint-cache-v3"
 
 (* ---- source slices ---------------------------------------------------------- *)
 
@@ -112,6 +113,7 @@ let run ?(config = Registry.default) ?store ?(fault = Rule.No_fault) ~file src =
       solver = lazy (Escape.Fixpoint.make prog);
       dead_params = lazy (Rules.dead_params surface);
       spinelive = lazy (Framework.Spinelive.Solver.make prog);
+      alias = lazy (Framework.Alias.Solver.make prog);
       fault;
     }
   in

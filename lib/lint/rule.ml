@@ -17,7 +17,7 @@
    overrides and enable/disable filtering are applied at render time by
    {!Registry.apply}, never baked into cached records. *)
 
-type fault = No_fault | Corrupt_invariance
+type fault = No_fault | Corrupt_invariance | Corrupt_sharing
 
 type ctx = {
   surface : Nml.Surface.t;
@@ -31,6 +31,9 @@ type ctx = {
   spinelive : Framework.Spinelive.Solver.t Lazy.t;
       (* the spine-liveness solver (LINT007's evidence), forced only
          when a rule needs liveness verdicts *)
+  alias : Framework.Alias.Solver.t Lazy.t;
+      (* the sharing solver (LINT008's evidence), forced only when a
+         rule needs sharing verdicts *)
   fault : fault;
 }
 

@@ -8,10 +8,13 @@
     only change when its key does.  Program-scoped checkers run once per
     program and are cached under a whole-source key. *)
 
-type fault = No_fault | Corrupt_invariance
+type fault = No_fault | Corrupt_invariance | Corrupt_sharing
 (** [Corrupt_invariance] makes LINT003 corrupt one instance's result
     before comparing — a seeded lie the self-audit must catch (the
-    lint-side analogue of [nmlc vet --inject-fault]). *)
+    lint-side analogue of [nmlc vet --inject-fault]).
+    [Corrupt_sharing] makes LINT008 see one reuse candidate's sharing
+    verdict as spine-shared, so the escape/sharing cross-check must
+    fire. *)
 
 type ctx = {
   surface : Nml.Surface.t;
@@ -24,6 +27,8 @@ type ctx = {
   spinelive : Framework.Spinelive.Solver.t Lazy.t;
       (** the spine-liveness solver backing LINT007; forced on first
           use, so runs without liveness findings never solve it *)
+  alias : Framework.Alias.Solver.t Lazy.t;
+      (** the sharing solver backing LINT008; forced on first use *)
   fault : fault;
 }
 

@@ -12,6 +12,11 @@
                             that the function also never traverses
    LINT005 unused-binding   classic structural rule
    LINT006 unreachable      branch under a constant condition
+   LINT007 wasted-spine     a fresh multi-cell spine is passed to a
+                            parameter that never needs it (spine-liveness)
+   LINT008 shared-mutation  a destructive reuse candidate's consumed
+                            parameter is spine-shared per the sharing
+                            analysis: escape and sharing disagree
 
    Every rule anchors its finding at a parsed source span (a parameter
    binder, a definition body, a dead branch) so suppression comments
@@ -524,6 +529,60 @@ let wasted_spine ctx ~members =
 
 let wasted_spine_program ctx = wasted_spine_in ctx ctx.Rule.surface.Nml.Surface.main
 
+(* ---- LINT008: mutation through a shared spine ---------------------------------- *)
+
+(* The sharing side of the reuse licence, audited independently: a
+   destructive candidate recycles parameter [i]'s spine cells, which is
+   only coherent when the sharing analysis agrees those cells cannot
+   reappear on the result's spine ([S(f, i) <> spine-shared] — the
+   escape analysis already found the top spine non-escaping, and a
+   spine-shared verdict would contradict it).  On a sound solver pair
+   the rule is silent; [Corrupt_sharing] seeds the disagreement the
+   cross-check must catch. *)
+let mutation_shared ctx ~members =
+  let defs = member_defs ctx members in
+  if defs = [] then []
+  else
+    let t = Rule.solver ctx in
+    let sub = { ctx.Rule.surface with Nml.Surface.defs = defs } in
+    let cands = Optimize.Reuse.candidates t sub in
+    if cands = [] then []
+    else
+      let al = Lazy.force ctx.Rule.alias in
+      let injected = ref false in
+      List.filter_map
+        (fun (c : Optimize.Reuse.candidate) ->
+          let v =
+            match
+              Framework.Alias.arg_verdict al c.Optimize.Reuse.def
+                ~arg:c.Optimize.Reuse.arg
+            with
+            | v -> v
+            | exception (Invalid_argument _ | Not_found) ->
+                Framework.Alias.Unshared
+          in
+          let v =
+            if ctx.Rule.fault = Rule.Corrupt_sharing && not !injected then begin
+              injected := true;
+              Framework.Alias.Shared_spine
+            end
+            else v
+          in
+          match v with
+          | Framework.Alias.Shared_spine ->
+              Some
+                (D.make D.Error ~code:"LINT008" c.Optimize.Reuse.loc
+                   (Printf.sprintf
+                      "destructive reuse of parameter %s in %s mutates through \
+                       a possibly shared spine: the sharing analysis reports \
+                       S(%s, %d) = spine-shared, so the recycled cells may \
+                       still be reachable through the result — the escape and \
+                       sharing analyses disagree about this parameter"
+                      c.Optimize.Reuse.param c.Optimize.Reuse.primed
+                      c.Optimize.Reuse.def c.Optimize.Reuse.arg))
+          | Framework.Alias.Unshared | Framework.Alias.Shared_elem -> None)
+        cands
+
 (* ---- the registry data -------------------------------------------------------- *)
 
 let all : Rule.t list =
@@ -593,5 +652,16 @@ let all : Rule.t list =
       severity = D.Warning;
       check_scc = wasted_spine;
       check_program = wasted_spine_program;
+    };
+    {
+      Rule.code = "LINT008";
+      title = "mutation-through-shared-spine";
+      summary =
+        "a destructive reuse candidate's consumed parameter is reported \
+         spine-shared by the sharing analysis: the in-place mutation would \
+         write through cells still reachable from the result";
+      severity = D.Error;
+      check_scc = mutation_shared;
+      check_program = Rule.no_program;
     };
   ]

@@ -33,6 +33,11 @@ let rec max_list_depth t =
   | (List elt | Tree elt) as l -> max (spines l) (max_list_depth elt)
   | Prod (a, b) | Arrow (a, b) -> max (max_list_depth a) (max_list_depth b)
 
+let owns_cells t =
+  match repr t with
+  | Int | Bool -> false
+  | List _ | Tree _ | Prod _ | Arrow _ | Var _ -> true
+
 let rec arity t =
   match repr t with
   | Arrow (_, b) -> 1 + arity b

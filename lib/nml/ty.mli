@@ -39,6 +39,15 @@ val max_list_depth : t -> int
 (** Largest {!spines} value of any list type occurring inside the type;
     used to compute the per-program escape-domain bound [d]. *)
 
+val owns_cells : t -> bool
+(** Does a value of this type occupy heap cells?  False only for [int]
+    and [bool]: list and tree values are made of cells, a pair is itself
+    one cell, and a closure may capture cell-owning values.  An unbound
+    variable is conservatively cell-owning (it could be instantiated to
+    any of those).  This is the sharing analysis' notion of "structured":
+    extracting an element of a cell-owning type from a list keeps a hold
+    of the argument's heap, where an [int] element cannot. *)
+
 val arity : t -> int
 (** The paper's [m]: number of arguments a function of this type can take
     before returning a primitive value.  [arity (a -> b) = 1 + arity b],

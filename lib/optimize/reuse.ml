@@ -4,6 +4,7 @@ module Ir = Runtime.Ir
 module Fix = Escape.Fixpoint
 module An = Escape.Analysis
 module Sh = Escape.Sharing
+module Alias = Framework.Alias
 
 type candidate = {
   def : string;
@@ -15,7 +16,13 @@ type candidate = {
   node_sites : Liveness.site list;  (** node sites rewritten to [DNODE] *)
 }
 
-type report = { candidates : candidate list; substituted_calls : int }
+type report = {
+  candidates : candidate list;
+  substituted_calls : int;
+  alias_licensed : int;
+      (* redirected call sites where only the sharing analysis (not the
+         Theorem-2 freshness recursion) proved the argument unshared *)
+}
 
 (* Location of the [i]-th (1-based) leading lambda binder of a
    definition's right-hand side — where the reused parameter is bound in
@@ -87,12 +94,13 @@ let candidates t (surface : Nml.Surface.t) =
    freshness; [car] strips a level, [cdr] preserves the remaining ones;
    a let-bound variable inherits the freshness of its right-hand side
    (our uses project disjoint substructures, as in the paper's PS''). *)
+let base_of cands h =
+  match List.find_opt (fun c -> String.equal c.primed h) cands with
+  | Some c -> c.def
+  | None -> h
+
 let fresh_depth t (surface : Nml.Surface.t) cands =
-  let base_of h =
-    match List.find_opt (fun c -> String.equal c.primed h) cands with
-    | Some c -> c.def
-    | None -> h
-  in
+  let base_of = base_of cands in
   let rec depth env e =
     if Shape.is_literal_list e then
       match e with
@@ -114,18 +122,47 @@ let fresh_depth t (surface : Nml.Surface.t) cands =
               let g = base_of h in
               if not (List.mem_assoc g surface.Nml.Surface.defs) then 0
               else
-                match
-                  let inst = Fix.instance_ty t g in
-                  if Ty.arity inst <> List.length args then 0
-                  else
-                    let u = List.map (depth env) args in
-                    (Sh.result_unshared_given t g ~args_unshared:u).Sh.unshared_top
-                with
-                | d -> d
-                | exception (Nml.Infer.Error _ | Invalid_argument _) -> 0)
+                Sh.call_fresh_depth t g
+                  ~args_unshared:(List.map (depth env) args))
           | _ -> 0)
   in
   depth
+
+(* ---- alias-informed freshness ---------------------------------------------- *)
+
+(* The call clause of {!Framework.Alias.Local.depth}: resolve a head name
+   to the {b max} of the Theorem-2 spine arithmetic and the sharing
+   summaries' all-or-nothing rule (every argument unshared-into-result or
+   itself fully fresh ⇒ the result is fresh to its full spine count).
+   The max is sound because each side is an independent lower bound on
+   the certainly-fresh depth. *)
+let alias_resolve t (surface : Nml.Surface.t) cands at =
+  let base_of = base_of cands in
+  fun h ->
+    let g = base_of h in
+    if not (List.mem_assoc g surface.Nml.Surface.defs) then None
+    else
+      Some
+        (fun args_fresh ->
+          let m = List.length args_fresh in
+          let t2 = Sh.call_fresh_depth t g ~args_unshared:args_fresh in
+          let by_alias =
+            match
+              let ty = Alias.Solver.instance_ty at g in
+              if Ty.arity ty <> m then 0
+              else
+                let verdicts =
+                  List.init m (fun i -> Alias.arg_verdict at g ~arg:(i + 1))
+                in
+                Alias.Local.call_unshared ~verdicts
+                  ~arg_spines:(List.map Ty.spines (Ty.arg_tys ty m))
+                  ~result_spines:(Ty.spines (Ty.result_ty ty m))
+                  ~args_fresh
+            with
+            | d -> d
+            | exception (Nml.Infer.Error _ | Invalid_argument _ | Not_found) -> 0
+          in
+          max t2 by_alias)
 
 (* ---- occurrence linearity --------------------------------------------------- *)
 
@@ -197,21 +234,39 @@ let overlaps path others =
    the same activation may read that substructure (in
    [node (f (right t)) 0 (f (right t))] only the second call may be
    redirected). *)
-let subst_calls t surface cands ~self ~count e =
-  let fresh_depth = fresh_depth t surface cands in
+let subst_calls ?alias t surface cands ~self ~count ~alias_count e =
+  let t2_depth = fresh_depth t surface cands in
+  (* certainly-fresh depth: the Theorem-2 recursion, raised by the
+     flow-sensitive sharing judgment when a solver is supplied — the
+     latter additionally joins [if] branches, credits a just-built
+     cons/node cell with its own fresh level, and carries let-bound
+     freshness through the abstract heap *)
+  let fresh_depth =
+    match alias with
+    | None -> t2_depth
+    | Some at ->
+        let resolve = alias_resolve t surface cands at in
+        fun env e -> max (t2_depth env e) (Alias.Local.depth ~resolve env e)
+  in
   (* projection paths of the reused parameter occurring in [e] *)
   let self_paths e =
     match self with Some (_, sparam) -> occurrence_paths sparam e | None -> []
   in
-  let rec go env ~k e =
+  (* [tenv] carries let-bound depths as the pure Theorem-2 recursion
+     would derive them, [env] the alias-joined ones — so [alias_count]
+     reports exactly the sites the baseline could not have licensed
+     (without the alias solver the two environments coincide) *)
+  let rec go tenv env ~k e =
     match e with
     | A.Const _ | A.Prim _ | A.Var _ -> e
-    | A.Lam (l, x, b) -> A.Lam (l, x, go (List.remove_assoc x env) ~k:[] b)
+    | A.Lam (l, x, b) ->
+        A.Lam (l, x, go (List.remove_assoc x tenv) (List.remove_assoc x env) ~k:[] b)
     | A.If (l, c, t', f) ->
         let kc = self_paths t' @ self_paths f @ k in
-        A.If (l, go env ~k:kc c, go env ~k t', go env ~k f)
+        A.If (l, go tenv env ~k:kc c, go tenv env ~k t', go tenv env ~k f)
     | A.Letrec (l, bs, body) ->
-        let env' = List.fold_left (fun acc (x, _) -> List.remove_assoc x acc) env bs in
+        let drop acc = List.fold_left (fun acc (x, _) -> List.remove_assoc x acc) acc bs in
+        let tenv' = drop tenv and env' = drop env in
         let rec conv_bs = function
           | [] -> []
           | (x, b) :: rest ->
@@ -219,22 +274,22 @@ let subst_calls t surface cands ~self ~count e =
                 List.concat_map (fun (_, b') -> self_paths b') rest
                 @ self_paths body @ k
               in
-              (x, go env' ~k:later b) :: conv_bs rest
+              (x, go tenv' env' ~k:later b) :: conv_bs rest
         in
         let bs' = conv_bs bs in
-        A.Letrec (l, bs', go env' ~k body)
+        A.Letrec (l, bs', go tenv' env' ~k body)
     | A.App (l, A.Lam (ll, x, b), rhs) ->
         (* let sugar: the variable inherits the right-hand side's
            freshness, but only when its occurrences project pairwise
            disjoint substructures — otherwise one occurrence could
            destroy cells another still reads *)
-        let rhs' = go env ~k:(self_paths b @ k) rhs in
-        let d =
-          if pairwise_disjoint (occurrence_paths x b) then fresh_depth env rhs'
-          else 0
-        in
+        let rhs' = go tenv env ~k:(self_paths b @ k) rhs in
+        let disjoint = pairwise_disjoint (occurrence_paths x b) in
+        let d_t2 = if disjoint then t2_depth tenv rhs' else 0 in
+        let d = if disjoint then fresh_depth env rhs' else 0 in
+        let tenv' = (x, d_t2) :: List.remove_assoc x tenv in
         let env' = (x, d) :: List.remove_assoc x env in
-        A.App (l, A.Lam (ll, x, go env' ~k b), rhs')
+        A.App (l, A.Lam (ll, x, go tenv' env' ~k b), rhs')
     | A.App (_, _, _) -> (
         let head, args = Shape.head_and_args e in
         (* argument i's continuation: the later arguments, then whatever
@@ -243,7 +298,7 @@ let subst_calls t surface cands ~self ~count e =
           | [] -> []
           | a :: rest ->
               let later = List.concat_map self_paths rest @ k in
-              go env ~k:later a :: conv_args rest
+              go tenv env ~k:later a :: conv_args rest
         in
         let args' = conv_args args in
         let rebuild head' = A.app head' args' in
@@ -262,13 +317,15 @@ let subst_calls t surface cands ~self ~count e =
                 in
                 if self_ok || fresh_depth env actual >= 1 then begin
                   incr count;
+                  if (not self_ok) && t2_depth tenv actual < 1 then
+                    incr alias_count;
                   rebuild (A.Var (hl, c.primed))
                 end
                 else rebuild head
             | _ -> rebuild head)
-        | _ -> rebuild (go env ~k head))
+        | _ -> rebuild (go tenv env ~k head))
   in
-  go [] ~k:[] e
+  go [] [] ~k:[] e
 
 (* ---- the DCONS rewrite ----------------------------------------------------- *)
 
@@ -322,27 +379,41 @@ let rewrite_to_ir ~param ~selected ~selected_nodes body =
   in
   go body
 
-let primed_rhs_with t surface cands ~count c =
+let primed_rhs_with ?alias t surface cands ~count ~alias_count c =
   let rhs = Nml.Surface.def surface c.def in
   let params, body = Shape.strip_lams rhs in
-  let body' = subst_calls t surface cands ~self:(Some (c.def, c.param)) ~count body in
+  let body' =
+    subst_calls ?alias t surface cands ~self:(Some (c.def, c.param)) ~count
+      ~alias_count body
+  in
   let ir_body =
     rewrite_to_ir ~param:c.param ~selected:c.sites ~selected_nodes:c.node_sites body'
   in
   List.fold_right (fun x acc -> Ir.Lam (x, acc)) params ir_body
 
-let primed_rhs t surface c =
-  primed_rhs_with t surface (candidates t surface) ~count:(ref 0) c
+let primed_rhs ?alias t surface c =
+  primed_rhs_with ?alias t surface (candidates t surface) ~count:(ref 0)
+    ~alias_count:(ref 0) c
 
-let apply t (surface : Nml.Surface.t) =
+let apply ?alias t (surface : Nml.Surface.t) =
   let cands = candidates t surface in
   let count = ref 0 in
-  let primed = List.map (fun c -> (c.primed, primed_rhs_with t surface cands ~count c)) cands in
-  let main' = subst_calls t surface cands ~self:None ~count surface.Nml.Surface.main in
-  (primed, main', { candidates = cands; substituted_calls = !count })
+  let alias_count = ref 0 in
+  let primed =
+    List.map
+      (fun c -> (c.primed, primed_rhs_with ?alias t surface cands ~count ~alias_count c))
+      cands
+  in
+  let main' =
+    subst_calls ?alias t surface cands ~self:None ~count ~alias_count
+      surface.Nml.Surface.main
+  in
+  ( primed,
+    main',
+    { candidates = cands; substituted_calls = !count; alias_licensed = !alias_count } )
 
-let program t (surface : Nml.Surface.t) =
-  let primed, main', report = apply t surface in
+let program ?alias t (surface : Nml.Surface.t) =
+  let primed, main', report = apply ?alias t surface in
   let originals = List.map (fun (n, rhs) -> (n, Ir.of_ast rhs)) surface.Nml.Surface.defs in
   let prog =
     match originals @ primed with

@@ -35,6 +35,11 @@ type candidate = {
 type report = {
   candidates : candidate list;
   substituted_calls : int;  (** call sites redirected to primed versions *)
+  alias_licensed : int;
+      (** redirected sites licensed only by the flow-sensitive sharing
+          analysis — the Theorem-2 freshness recursion alone proved
+          nothing there (branch-local conses, cons-stitched arguments,
+          let-bound intermediate spines) *)
 }
 
 val candidates : Escape.Fixpoint.t -> Nml.Surface.t -> candidate list
@@ -42,20 +47,36 @@ val candidates : Escape.Fixpoint.t -> Nml.Surface.t -> candidate list
     top spine never escapes ([G]) together with at least one eligible,
     nil-guarded cons site. *)
 
-val primed_rhs : Escape.Fixpoint.t -> Nml.Surface.t -> candidate -> Runtime.Ir.expr
+val primed_rhs :
+  ?alias:Framework.Alias.Solver.t ->
+  Escape.Fixpoint.t ->
+  Nml.Surface.t ->
+  candidate ->
+  Runtime.Ir.expr
 (** Right-hand side of the primed version (with call sites inside it
     already redirected where sound). *)
 
 val apply :
+  ?alias:Framework.Alias.Solver.t ->
   Escape.Fixpoint.t ->
   Nml.Surface.t ->
   (string * Runtime.Ir.expr) list * Nml.Ast.expr * report
 (** The pieces of the transformation: the primed definitions, the main
     expression with call sites redirected, and the report.  Original
     definitions are untouched.  Used by {!Transform} to compose with the
-    arena annotations. *)
+    arena annotations.
 
-val program : Escape.Fixpoint.t -> Nml.Surface.t -> Runtime.Ir.expr * report
+    When [alias] supplies a sharing solver (built over the same inferred
+    program), call-site freshness is judged by the flow-sensitive
+    {!Framework.Alias.Local} abstract heap joined with the Theorem-2
+    recursion, licensing strictly more redirections; without it the
+    behaviour is exactly the Theorem-2 baseline. *)
+
+val program :
+  ?alias:Framework.Alias.Solver.t ->
+  Escape.Fixpoint.t ->
+  Nml.Surface.t ->
+  Runtime.Ir.expr * report
 (** The whole program with primed versions added alongside the original
     definitions and sound call sites redirected (in primed bodies and in
     the main expression; original definitions are kept intact). *)

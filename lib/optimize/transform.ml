@@ -4,18 +4,27 @@ module Fix = Escape.Fixpoint
 type options = {
   monomorphize : bool;
   reuse : bool;
+  alias_reuse : bool;
   stack : bool;
   block : bool;
   pretenure : bool;
 }
 
 let all =
-  { monomorphize = true; reuse = true; stack = true; block = true; pretenure = false }
+  {
+    monomorphize = true;
+    reuse = true;
+    alias_reuse = true;
+    stack = true;
+    block = true;
+    pretenure = false;
+  }
 
 let none =
   {
     monomorphize = false;
     reuse = false;
+    alias_reuse = false;
     stack = false;
     block = false;
     pretenure = false;
@@ -38,7 +47,14 @@ let add_defs prog extra =
 let optimize_with t options (surface : Nml.Surface.t) =
   let primed, main', reuse_report =
     if options.reuse then
-      let p, m, r = Reuse.apply t surface in
+      let alias =
+        (* the sharing solver runs over the same (monomorphized) program
+           the escape solver saw; Reuse takes the max of both judgments *)
+        if options.alias_reuse then
+          Some (Framework.Alias.Solver.make (Nml.Infer.infer_program surface))
+        else None
+      in
+      let p, m, r = Reuse.apply ?alias t surface in
       (p, m, Some r)
     else ([], surface.Nml.Surface.main, None)
   in
@@ -115,7 +131,10 @@ let pp_report ppf r =
             c.Reuse.def c.Reuse.primed c.Reuse.param
             (List.length c.Reuse.sites + List.length c.Reuse.node_sites))
         rr.Reuse.candidates;
-      Format.fprintf ppf "reuse: %d call site(s) redirected@ " rr.Reuse.substituted_calls
+      Format.fprintf ppf "reuse: %d call site(s) redirected@ " rr.Reuse.substituted_calls;
+      if rr.Reuse.alias_licensed > 0 then
+        Format.fprintf ppf "reuse: %d site(s) licensed by the sharing analysis alone@ "
+          rr.Reuse.alias_licensed
   | None -> ());
   (match r.stack_report with
   | Some sr ->

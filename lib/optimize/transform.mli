@@ -17,6 +17,11 @@ type options = {
       (** specialize definitions per used instance first ({!Nml.Mono}), so
           every copy is analyzed and transformed at its own instance *)
   reuse : bool;
+  alias_reuse : bool;
+      (** judge call-site freshness with the flow-sensitive sharing
+          analysis ({!Framework.Alias}) joined with the Theorem-2
+          recursion; off = pure Theorem-2 baseline (only meaningful when
+          [reuse] is on) *)
   stack : bool;
   block : bool;
   pretenure : bool;

@@ -632,6 +632,11 @@ let read_value m w =
   in
   go w
 
+let cell_words m a =
+  let c = H.get m.heap a in
+  if c.H.free then error "cell_words: address %d is a freed cell" a;
+  (c.H.car, c.H.cdr, c.H.lbl)
+
 let rec pp_word m ppf = function
   | Wint n -> Format.pp_print_int ppf n
   | Wbool b -> Format.pp_print_bool ppf b

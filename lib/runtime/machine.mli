@@ -101,6 +101,12 @@ val read_value : t -> word -> Nml.Eval.value
     (for differential testing against {!Nml.Eval}).
     @raise Error on closures. *)
 
+val cell_words : t -> int -> word * word * word
+(** The [car], [cdr] and [lbl] words of the live cell at an address —
+    the window the concrete-sharing oracle in the test harness uses to
+    walk a result's cell graph and count actually-shared cells.
+    @raise Error on a freed cell. *)
+
 val collect : t -> unit
 (** Forces a full garbage collection (normally triggered by allocation);
     under the generational policy this is a major collection, promoting

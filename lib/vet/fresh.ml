@@ -13,7 +13,7 @@ let head_and_args e =
   let rec go acc = function Ir.App (f, a) -> go (a :: acc) f | h -> (h, acc) in
   go [] e
 
-let depth t ~defs env e =
+let depth ?share t ~defs env e =
   let rec go env e =
     match e with
     | Ir.Const (A.Cnil | A.Cleaf) -> inf
@@ -40,10 +40,25 @@ let depth t ~defs env e =
             else
               match
                 let inst = Fix.instance_ty t g in
-                if Ty.arity inst <> List.length args then 0
+                let m = List.length args in
+                if Ty.arity inst <> m then 0
                 else
                   let u = List.map (go env) args in
-                  (Sh.result_unshared_given t g ~args_unshared:u).Sh.unshared_top
+                  let t2 =
+                    (Sh.result_unshared_given t g ~args_unshared:u).Sh.unshared_top
+                  in
+                  (* the verifier's own interprocedural sharing
+                     summaries re-derive the alias-licensed clause the
+                     per-level Theorem-2 arithmetic cannot: both are
+                     lower bounds, so take the max *)
+                  match share with
+                  | None -> t2
+                  | Some s ->
+                      max t2
+                        (Share.call_unshared s ~def:g
+                           ~arg_spines:(List.map Ty.spines (Ty.arg_tys inst m))
+                           ~result_spines:(Ty.spines (Ty.result_ty inst m))
+                           ~args_fresh:u)
               with
               | d -> d
               | exception (Nml.Infer.Error _ | Invalid_argument _ | Not_found | Failure _)

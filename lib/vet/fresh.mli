@@ -12,6 +12,7 @@ val inf : int
 (** Freshness of [nil] and [leaf]: no cells, nothing to share. *)
 
 val depth :
+  ?share:Share.t ->
   Escape.Fixpoint.t ->
   defs:string list ->
   (string * int) list ->
@@ -21,4 +22,7 @@ val depth :
     gives the freshness of let-bound variables whose occurrences project
     pairwise disjoint substructures; [defs] are the monomorphized
     definition names ({!Erase.base} resolves derived names against
-    them). *)
+    them).  With [share], a definition call is additionally credited
+    with the verifier's own interprocedural sharing rule
+    ({!Share.call_unshared}) — the independent re-derivation of the
+    optimizer's alias-licensed redirections. *)

@@ -296,7 +296,93 @@ let points ~source ir =
               local)
       (offsets heap_site)
   in
-  retargets @ unwraps @ flips @ injections
+  (* 5. redirect a call of an original definition to its destructive
+     variant, at a site where the consumed argument is a projection of
+     the enclosing definition's own parameter: no freshness and no
+     suffix claim can license that redirection *)
+  let head_and_args e =
+    let rec go acc = function
+      | Ir.App (f, a) -> go (a :: acc) f
+      | h -> (h, acc)
+    in
+    go [] e
+  in
+  let rec param_proj params = function
+    | Ir.Var v -> List.mem v params
+    | Ir.App (Ir.Prim (A.Car | A.Cdr | A.Label | A.Left | A.Right), e) ->
+        param_proj params e
+    | _ -> false
+  in
+  let index_of p l =
+    let rec go i = function
+      | [] -> None
+      | x :: tl -> if String.equal x p then Some i else go (i + 1) tl
+    in
+    go 0 l
+  in
+  let call_site g arity e =
+    match head_and_args e with
+    | Ir.Var h, args when String.equal h g && List.length args = arity ->
+        Some args
+    | _ -> None
+  in
+  let redirect_targets =
+    List.filter_map
+      (fun (g, _) ->
+        if not (List.mem g mono_names) then None
+        else
+          match List.assoc_opt (g ^ "'") ir_defs with
+          | None -> None
+          | Some prhs -> (
+              let pparams, _ = leading_params prhs in
+              match collect dsite prhs with
+              | (_, Ir.Var p) :: _ ->
+                  Option.map
+                    (fun ix -> (g, List.length pparams, ix))
+                    (index_of p pparams)
+              | _ -> None))
+      ir_defs
+  in
+  let redirects =
+    List.concat_map
+      (fun (g, arity, argix) ->
+        List.concat_map
+          (fun (name, start, local) ->
+            let rhs = List.assoc name ir_defs in
+            if collect dsite rhs <> [] then []
+            else
+              let params, _ = leading_params rhs in
+              List.concat
+                (List.mapi
+                   (fun k args ->
+                     if param_proj params (List.nth args argix) then
+                       [
+                         {
+                           label =
+                             Printf.sprintf
+                               "redirect: call %d of %s in %s goes to %s'" k g
+                               name g;
+                           mutant =
+                             lazy
+                               (rewrite_nth
+                                  (fun e ->
+                                    match call_site g arity e with
+                                    | Some args ->
+                                        Some
+                                          (List.fold_left
+                                             (fun f a -> Ir.App (f, a))
+                                             (Ir.Var (g ^ "'"))
+                                             args)
+                                    | None -> None)
+                                  (start + k) ir);
+                         };
+                       ]
+                     else [])
+                   local))
+          (offsets (call_site g arity)))
+      redirect_targets
+  in
+  retargets @ unwraps @ flips @ injections @ redirects
 
 let campaign ?(seed = 0) ~count ~source ir =
   let pts = points ~source ir in

@@ -1,0 +1,271 @@
+(* The verifier's own interprocedural sharing and spine-liveness
+   summaries, derived directly from the annotated IR by a syntactic
+   fixpoint — deliberately sharing {e no} code with the analysis
+   framework ({!Framework.Alias}, {!Framework.Spinelive}) or the
+   optimizer: where those decide what is sound to emit, this module
+   independently re-derives what was claimed.
+
+   Two questions, both per (definition, parameter):
+
+   - {e sharing}: may the definition's result contain cells of that
+     argument ([dep]), and may such cells sit in spine/constructor
+     position of the result ([sp])?  Everything is over-approximated
+     syntactically (no types, no flow): [cons]/[node] join all fields,
+     projections keep the bits, unknown applications go to top.  The
+     call rule {!call_unshared} mirrors the optimizer's licensing clause
+     so {!Fresh.depth} can re-derive alias-licensed redirections.
+
+   - {e spine liveness}: is the parameter's spine past the head
+     certainly never needed?  A claim holds when every occurrence of
+     the parameter is a head read ([car]/[label]) or is forwarded whole
+     to a parameter position that itself re-derives as spine-dead; any
+     other context — a bare return, a [cdr]/[null], a construction, a
+     destructive source, an unknown callee — refutes it.  This is the
+     re-derivation behind the driver's advisory [hinted_dead_spine]
+     heap hints (VET018). *)
+
+module A = Nml.Ast
+module Ir = Runtime.Ir
+
+type flags = { dep : bool; sp : bool }
+
+let bot = { dep = false; sp = false }
+let top = { dep = true; sp = true }
+let join a b = { dep = a.dep || b.dep; sp = a.sp || b.sp }
+let flags_equal a b = a.dep = b.dep && a.sp = b.sp
+
+type t = {
+  base : string -> string;  (* derived name -> the definition it came from *)
+  params : (string * string list) list;  (* base def -> leading parameters *)
+  mutable sharing : (string * flags array) list;
+  mutable dead : (string * bool array) list;
+      (* spine past the head certainly never needed *)
+}
+
+let rec strip_lams = function
+  | Ir.Lam (x, b) ->
+      let ps, body = strip_lams b in
+      (x :: ps, body)
+  | e -> ([], e)
+
+let head_and_args e =
+  let rec go acc = function Ir.App (f, a) -> go (a :: acc) f | h -> (h, acc) in
+  go [] e
+
+(* ---- sharing --------------------------------------------------------------- *)
+
+(* base-datum primitives: their value holds no heap cell of any operand *)
+let detaching = function
+  | A.Add | A.Sub | A.Mul | A.Div | A.Mod | A.Eq | A.Ne | A.Lt | A.Le | A.Gt
+  | A.Ge | A.And | A.Or | A.Not | A.Null | A.Isleaf ->
+      true
+  | _ -> false
+
+let eval_sharing t env e =
+  let rec go env e =
+    match e with
+    | Ir.Const _ | Ir.Prim _ | Ir.ConsAt _ | Ir.NodeAt _ | Ir.Dcons | Ir.Dnode ->
+        bot
+    | Ir.Var x -> ( match List.assoc_opt x env with Some f -> f | None -> bot)
+    | Ir.Lam (x, b) ->
+        (* the closure's eventual result may expose whatever the body
+           can reach; the binder itself carries nothing of the probe *)
+        go ((x, bot) :: List.remove_assoc x env) b
+    | Ir.If (_, th, el) -> join (go env th) (go env el)
+    | Ir.WithArena (_, _, b) -> go env b
+    | Ir.Letrec (bs, body) ->
+        (* local bindings: iterate the small member lattice to a
+           fixpoint so recursive local functions are covered *)
+        let env = List.fold_left (fun acc (x, _) -> (x, bot) :: List.remove_assoc x acc) env bs in
+        let rec stabilize env =
+          let env' =
+            List.fold_left
+              (fun acc (x, rhs) ->
+                let f = join (List.assoc x acc) (go acc rhs) in
+                (x, f) :: List.remove_assoc x acc)
+              env bs
+          in
+          if List.for_all (fun (x, _) -> flags_equal (List.assoc x env) (List.assoc x env')) bs
+          then env'
+          else stabilize env'
+        in
+        go (stabilize env) body
+    | Ir.App (Ir.Lam (x, b), rhs) ->
+        (* let sugar *)
+        let f = go env rhs in
+        go ((x, f) :: List.remove_assoc x env) b
+    | Ir.App _ -> (
+        match head_and_args e with
+        | (Ir.Prim A.Cons | Ir.ConsAt _), [ h; tl ] -> join (go env h) (go env tl)
+        | Ir.Dcons, [ src; h; tl ] ->
+            (* the recycled source cell becomes a spine cell of the result *)
+            let s = go env src in
+            join { s with sp = s.sp || s.dep } (join (go env h) (go env tl))
+        | (Ir.Prim A.Node | Ir.NodeAt _), [ l; x; r ] ->
+            join (go env l) (join (go env x) (go env r))
+        | Ir.Dnode, [ src; l; x; r ] ->
+            let s = go env src in
+            join
+              { s with sp = s.sp || s.dep }
+              (join (go env l) (join (go env x) (go env r)))
+        | Ir.Prim (A.Car | A.Cdr | A.Label | A.Left | A.Right | A.Fst | A.Snd), [ e' ]
+          ->
+            go env e'
+        | Ir.Prim A.Pair, [ a; b ] -> join (go env a) (go env b)
+        | Ir.Prim p, args when detaching p ->
+            List.iter (fun a -> ignore (go env a)) args;
+            bot
+        | Ir.Var g, args -> (
+            match List.assoc_opt (t.base g) t.sharing with
+            | Some s when Array.length s = List.length args ->
+                List.fold_left
+                  (fun acc (i, a) ->
+                    if s.(i).dep || s.(i).sp then
+                      let fa = go env a in
+                      if fa.dep || fa.sp then
+                        join acc { dep = true; sp = s.(i).sp || fa.sp }
+                      else acc
+                    else acc)
+                  bot
+                  (List.mapi (fun i a -> (i, a)) args)
+            | _ ->
+                (* unknown callee or partial application: anything any
+                   argument (or the callee closure) can reach may end up
+                   anywhere in the result *)
+                let f =
+                  List.fold_left (fun acc a -> join acc (go env a)) (go env (Ir.Var g)) args
+                in
+                if f.dep || f.sp then top else bot)
+        | h, args ->
+            let f = List.fold_left (fun acc a -> join acc (go env a)) (go env h) args in
+            if f.dep || f.sp then top else bot)
+  in
+  go env e
+
+(* ---- spine liveness --------------------------------------------------------- *)
+
+(* Does [body] need the spine of [p] past the head?  [dead_of] resolves
+   the current iterate for forwarded whole-parameter call arguments. *)
+let spine_needs t dead_of p body =
+  let rec needed p e =
+    match e with
+    | Ir.Var x -> String.equal x p (* bare use: retained or returned *)
+    | Ir.Const _ | Ir.Prim _ | Ir.ConsAt _ | Ir.NodeAt _ | Ir.Dcons | Ir.Dnode ->
+        false
+    | Ir.Lam (x, b) -> (not (String.equal x p)) && needed p b
+    | Ir.If (c, th, el) -> needed p c || needed p th || needed p el
+    | Ir.WithArena (_, _, b) -> needed p b
+    | Ir.Letrec (bs, b) ->
+        if List.exists (fun (x, _) -> String.equal x p) bs then false
+        else List.exists (fun (_, rhs) -> needed p rhs) bs || needed p b
+    | Ir.App (Ir.Prim (A.Car | A.Label), Ir.Var x) when String.equal x p ->
+        false (* a head read only *)
+    | Ir.App _ -> (
+        match head_and_args e with
+        | Ir.Var g, args when List.mem_assoc (t.base g) t.params ->
+            let params = List.assoc (t.base g) t.params in
+            if List.length args <> List.length params then
+              List.exists (needed p) args
+            else
+              List.exists2
+                (fun i a ->
+                  match a with
+                  | Ir.Var x when String.equal x p ->
+                      not (dead_of (t.base g) i) (* forwarded whole *)
+                  | a -> needed p a)
+                (List.init (List.length args) Fun.id)
+                args
+        | h, args -> needed p h || List.exists (needed p) args)
+  in
+  needed p body
+
+(* ---- construction ----------------------------------------------------------- *)
+
+let make ~base defs =
+  let bases =
+    List.filter (fun (n, _) -> String.equal (base n) n) defs
+    |> List.map (fun (n, rhs) -> (n, strip_lams rhs))
+  in
+  let params = List.map (fun (n, (ps, _)) -> (n, ps)) bases in
+  let t =
+    {
+      base;
+      params;
+      sharing =
+        List.map (fun (n, (ps, _)) -> (n, Array.make (List.length ps) bot)) bases;
+      dead =
+        List.map (fun (n, (ps, _)) -> (n, Array.make (List.length ps) true)) bases;
+    }
+  in
+  (* sharing: least fixpoint from bottom *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, (ps, body)) ->
+        let cur = List.assoc n t.sharing in
+        List.iteri
+          (fun i pi ->
+            let env = List.map (fun q -> (q, if String.equal q pi then top else bot)) ps in
+            let f = join cur.(i) (eval_sharing t env body) in
+            if not (flags_equal f cur.(i)) then begin
+              cur.(i) <- f;
+              changed := true
+            end)
+          ps)
+      bases
+  done;
+  (* spine liveness: greatest fixpoint from all-dead *)
+  let dead_of n i =
+    match List.assoc_opt n t.dead with
+    | Some d when i < Array.length d -> d.(i)
+    | _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, (ps, body)) ->
+        let cur = List.assoc n t.dead in
+        List.iteri
+          (fun i pi ->
+            if cur.(i) && spine_needs t dead_of pi body then begin
+              cur.(i) <- false;
+              changed := true
+            end)
+          ps)
+      bases
+  done;
+  t
+
+(* ---- queries ---------------------------------------------------------------- *)
+
+let retained t ~def ~arg =
+  match List.assoc_opt (t.base def) t.sharing with
+  | Some s when arg >= 1 && arg <= Array.length s -> s.(arg - 1)
+  | _ -> top
+
+let spine_dead t ~def ~arg =
+  match List.assoc_opt (t.base def) t.dead with
+  | Some d when arg >= 1 && arg <= Array.length d -> d.(arg - 1)
+  | _ -> false
+
+(* The interprocedural licensing clause the optimizer's alias client
+   uses, re-derived from this module's own summaries: when every
+   argument either shares nothing into the result or is itself entirely
+   fresh (to its full spine count, which must be positive — an
+   arrow-typed argument has no spines yet its closure could smuggle
+   cells), every cell of the result is fresh, so the result is unshared
+   to its full spine count. *)
+let call_unshared t ~def ~arg_spines ~result_spines ~args_fresh =
+  let ok i u d =
+    let f = retained t ~def ~arg:(i + 1) in
+    ((not f.dep) && not f.sp) || (d > 0 && u >= d)
+  in
+  let rec all i us ds =
+    match (us, ds) with
+    | [], [] -> true
+    | u :: us, d :: ds -> ok i u d && all (i + 1) us ds
+    | _ -> false
+  in
+  if all 0 args_fresh arg_spines then result_spines else 0

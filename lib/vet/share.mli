@@ -1,0 +1,42 @@
+(** The verifier's own interprocedural sharing and spine-liveness
+    summaries, derived from the annotated IR by a syntactic fixpoint.
+
+    Zero code is shared with the analysis framework or the optimizer:
+    {!Framework.Alias} decides what in-place reuse is sound to emit and
+    {!Framework.Spinelive} which heap hints to hand the collector; this
+    module independently re-derives both families of claims so
+    {!Verify} can audit them ([VET015] through {!Fresh.depth},
+    [VET018] for liveness hints). *)
+
+type flags = { dep : bool; sp : bool }
+(** May the result contain cells of the argument ([dep]); may such
+    cells sit in spine/constructor position of the result ([sp]). *)
+
+type t
+
+val make : base:(string -> string) -> (string * Runtime.Ir.expr) list -> t
+(** [make ~base defs] computes summaries for every definition that is
+    its own base ([base n = n]); [base] resolves derived names ([f'],
+    [f_blk]) back to the definition they were split from (sharing
+    semantics are unchanged by the split). *)
+
+val retained : t -> def:string -> arg:int -> flags
+(** Sharing summary for the (1-based) argument; top for unknown
+    definitions or out-of-range indices. *)
+
+val spine_dead : t -> def:string -> arg:int -> bool
+(** Does the verifier re-derive that the argument's spine past the head
+    is never needed by the callee?  [false] for unknown definitions —
+    an unverifiable hint is a finding, not a pass. *)
+
+val call_unshared :
+  t ->
+  def:string ->
+  arg_spines:int list ->
+  result_spines:int ->
+  args_fresh:int list ->
+  int
+(** Deliberately mirrors the licensing clause of the optimizer's alias
+    client without sharing its code: if every argument shares nothing
+    into the result or is itself fresh to its full (positive) spine
+    count, the result is unshared to its full spine count; 0 otherwise. *)

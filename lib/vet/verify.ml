@@ -224,6 +224,7 @@ let rec find_call f e =
 
 type ctx = {
   t : Fix.t;
+  share : Share.t;
   mono_names : string list;
   ir_defs : (string * Ir.expr) list;
   def_names : string list;
@@ -284,7 +285,8 @@ let guards fr c =
         { fr with nodes = p :: fr.nodes } )
   | _ -> (fr, fr)
 
-let fresh_of ctx fr e = Fresh.depth ctx.t ~defs:ctx.mono_names fr.env e
+let fresh_of ctx fr e =
+  Fresh.depth ~share:ctx.share ctx.t ~defs:ctx.mono_names fr.env e
 
 (* a reference to a definition whose body allocates into arenas that are
    not open here (checked at the main level only: inside a definition the
@@ -698,7 +700,7 @@ let check_arena ctx (ac : Claims.arena_claim) =
 
 (* ---- entry point ------------------------------------------------------------ *)
 
-let audit ~source ir =
+let audit ?(hints = []) ~source ir =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let finish audited =
@@ -770,6 +772,7 @@ let audit ~source ir =
           let ctx =
             {
               t;
+              share = Share.make ~base:(Erase.base ~defs:mono_names) ir_defs;
               mono_names;
               ir_defs;
               def_names;
@@ -846,4 +849,41 @@ let audit ~source ir =
             main ~after:[];
           (* arena delimiters *)
           List.iter (check_arena ctx) arenas;
-          finish (List.length claims + List.length arenas + !(ctx.calls)))
+          (* advisory dead-spine heap hints: independently re-derive
+             each claimed (definition, parameter) with the verifier's
+             own liveness fixpoint instead of trusting the analysis
+             that produced it.  Every monomorphized instance of the
+             hinted definition must re-derive; a hint about a
+             definition that monomorphization dropped entirely is
+             vacuous (no closure of that name ever exists). *)
+          let hint_count = ref 0 in
+          List.iter
+            (fun (f, idxs) ->
+              let instances =
+                List.filter
+                  (fun n ->
+                    String.equal (Erase.base ~defs:mono_names n) n
+                    && String.equal (surface_name n) f)
+                  def_names
+              in
+              List.iter
+                (fun i ->
+                  incr hint_count;
+                  match
+                    List.find_opt
+                      (fun n -> not (Share.spine_dead ctx.share ~def:n ~arg:i))
+                      instances
+                  with
+                  | Some n ->
+                      add
+                        (D.errorf ~code:"VET018"
+                           (param_binder_loc source f i)
+                           "the dead-spine hint for parameter %d of %s cannot \
+                            be re-derived: %s may need that argument's spine \
+                            past the head"
+                           i f n)
+                  | None -> ())
+                idxs)
+            hints;
+          finish
+            (List.length claims + List.length arenas + !(ctx.calls) + !hint_count))

@@ -35,18 +35,25 @@
       the destructive definition is partially applied / used as a value;
     - [VET016] an obligation could not be checked at all;
     - [VET017] a destructive primitive is unsaturated (reported by
-      {!Claims}). *)
+      {!Claims});
+    - [VET018] an advisory dead-spine heap hint
+      ({!Runtime.Heap.hinted_dead_spine}) cannot be re-derived by the
+      verifier's own spine-liveness fixpoint ({!Share}). *)
 
 type summary = {
   audited : int;
       (** discharged obligations: reuse claims + arena claims +
-          destructive call-site audits *)
+          destructive call-site audits + hinted dead spines *)
   findings : int;
 }
 
 val audit :
+  ?hints:(string * int list) list ->
   source:Nml.Surface.t ->
   Runtime.Ir.expr ->
   Nml.Diagnostic.t list * summary
-(** The diagnostics come back deduplicated and sorted
-    ({!Nml.Diagnostic.compare}). *)
+(** [hints] are the advisory [(definition, 1-based parameter indices)]
+    dead-spine pairs the driver would hand the heap
+    ({!Runtime.Heap.config}); each is independently re-derived and
+    violations are reported as [VET018].  The diagnostics come back
+    deduplicated and sorted ({!Nml.Diagnostic.compare}). *)

@@ -8,12 +8,19 @@ The registry lists every analysis with its domain and aliases:
   registered analyses:
     escape           which bottom spines of each argument may escape into the result
                      domain: B_e chains <e,s> over list spines (Park-Goldberg)
+                     cache: nmlc/summary-cache-v2/escape
     usage            is each argument inspected, retained, both, or neither (alias: strictness)
                      domain: dep x use bits per argument
+                     cache: nmlc/summary-cache-v2/usage
     spine-liveness   which part of each argument's heap structure the callee needs (alias: liveness)
                      domain: dep x head x tail bits per argument (Karkare-style)
+                     cache: nmlc/summary-cache-v2/spine-liveness
     escape-x-usage   storage verdicts per argument: dead / scratch / spine-scratch / retained (alias: product)
                      domain: reduced product of escape and usage
+                     cache: nmlc/summary-cache-v2/escape-x-usage
+    sharing          may the result share cells (or its spine) with each argument (alias: alias)
+                     domain: dep x spine sharing pairs per argument (Hill-Spoto-style)
+                     cache: nmlc/summary-cache-v2/sharing
 
 The default is the escape analysis (the report the paper's appendix
 shows); --analysis picks any registered one.  Usage tells strict

@@ -253,10 +253,10 @@ Seeded mutation testing: every unsound edit of the annotated program
 must be detected, and a clean campaign exits 0:
 
   $ nmlc vet ../../examples/programs/reverse.nml --mutate 40
-  vet: 1 mutation point(s), 40 draw(s), 40 detected, 0 survived
+  vet: 3 mutation point(s), 40 draw(s), 40 detected, 0 survived
 
   $ nmlc vet ../../examples/programs/partition_sort.nml --mutate 60 --seed 5
-  vet: 9 mutation point(s), 60 draw(s), 60 detected, 0 survived
+  vet: 13 mutation point(s), 60 draw(s), 60 detected, 0 survived
 
 Solver statistics as JSON (the same emitter as the benchmark
 trajectory):

@@ -1,0 +1,87 @@
+(* The concrete-sharing oracle: ground truth for the abstract sharing
+   analysis.  After a program has been evaluated on a storage backend,
+   walk the result's cell graph through the backend's cell window
+   ([Runtime.Machine.cell_words] / [Backend.Vm.cell_values]) and measure
+   which cells are {e actually} shared, so a qcheck property can
+   confront [Framework.Alias]'s per-argument verdicts with reality on
+   both backends:
+
+   - [reachable] is the address set of a value's cell graph;
+   - [overlap] is the cells two values share — a verdict of [Unshared]
+     for (definition, argument) is refuted by a non-empty overlap
+     between the call's result and that argument;
+   - [shared_cells] are the addresses reached along two or more distinct
+     edges (in-degree >= 2 counting the root), the internal-sharing
+     count the two backends must agree on for first-order results.
+
+   The walker is backend-generic: a backend is just a way to read a
+   value's cell address and a live cell's three fields. *)
+
+module IS = Set.Make (Int)
+
+type 'v cells = {
+  addr : 'v -> int option;  (* cell address of a Ptr/Pair/Tree value *)
+  fields : int -> 'v * 'v * 'v;  (* car, cdr, lbl of a live cell *)
+}
+
+let machine m =
+  {
+    addr =
+      (function
+      | Runtime.Machine.Wptr a | Runtime.Machine.Wpair a
+      | Runtime.Machine.Wtree a ->
+          Some a
+      | _ -> None);
+    fields = (fun a -> Runtime.Machine.cell_words m a);
+  }
+
+let vm m =
+  {
+    addr =
+      (function
+      | Backend.Vm.Ptr a | Backend.Vm.Pair a | Backend.Vm.Tree a -> Some a
+      | _ -> None);
+    fields = (fun a -> Backend.Vm.cell_values m a);
+  }
+
+let reachable c v =
+  let seen = ref IS.empty in
+  let rec go v =
+    match c.addr v with
+    | None -> ()
+    | Some a ->
+        if not (IS.mem a !seen) then begin
+          seen := IS.add a !seen;
+          let car, cdr, lbl = c.fields a in
+          go car;
+          go cdr;
+          go lbl
+        end
+  in
+  go v;
+  !seen
+
+let overlap c a b = IS.inter (reachable c a) (reachable c b)
+
+let shared_cells c v =
+  let indeg = Hashtbl.create 64 in
+  let seen = ref IS.empty in
+  let rec go v =
+    match c.addr v with
+    | None -> ()
+    | Some a ->
+        Hashtbl.replace indeg a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt indeg a));
+        if not (IS.mem a !seen) then begin
+          seen := IS.add a !seen;
+          let car, cdr, lbl = c.fields a in
+          go car;
+          go cdr;
+          go lbl
+        end
+  in
+  go v;
+  Hashtbl.fold (fun a n acc -> if n >= 2 then IS.add a acc else acc) indeg
+    IS.empty
+
+let shared_count c v = IS.cardinal (shared_cells c v)

@@ -320,6 +320,129 @@ let witness_units =
         checki "non-firing witness" 0 (List.length (codes quiet)));
   ]
 
+(* ---- sharing: abstract witnesses and the concrete heap oracle -------------- *)
+
+module Alias = Framework.Alias
+module Ir = Runtime.Ir
+module M = Runtime.Machine
+module Vm = Backend.Vm
+
+let alias_v ?inst name arg =
+  let t = Alias.Solver.make (infer witness_src) in
+  Alias.verdict_name (Alias.arg_verdict t ?inst name ~arg)
+
+(* evaluate [let a = input in (g a, a)] so the call's result and its
+   argument live in the same store, then read both roots back *)
+let oracle_ir defs g input =
+  let pair x y = Ir.App (Ir.App (Ir.Prim Nml.Ast.Pair, x), y) in
+  Ir.Letrec
+    ( defs,
+      Ir.App
+        ( Ir.Lam
+            ("$oracle", pair (Ir.App (Ir.Var g, Ir.Var "$oracle")) (Ir.Var "$oracle")),
+          input ) )
+
+let machine_roots prog =
+  let m = M.create () in
+  match M.eval m prog with
+  | M.Wpair a ->
+      let res, arg, _ = M.cell_words m a in
+      (Share_oracle.machine m, res, arg)
+  | _ -> Alcotest.fail "oracle main did not produce a pair"
+
+let vm_roots prog =
+  let v = Vm.create () in
+  match Vm.run_ir v prog with
+  | Vm.Pair a ->
+      let res, arg, _ = Vm.cell_values v a in
+      (Share_oracle.vm v, res, arg)
+  | _ -> Alcotest.fail "oracle main did not produce a pair"
+
+let alias_units =
+  [
+    Alcotest.test_case "sharing-witnesses" `Quick (fun () ->
+        (* append retains m's spine in its result but rebuilds l's *)
+        checks "S(append,1)" "unshared" (alias_v "append" 1);
+        checks "S(append,2)" "spine-shared" (alias_v "append" 2);
+        (* the verdict is instance-indexed: at [int list -> int] head's
+           element owns no cells, at [int list list -> int list] or a
+           pair-element instance the element is the argument's heap *)
+        checks "S(head,1) @ int list" "unshared" (alias_v "head" 1);
+        checks "S(head,1) @ int list list" "spine-shared"
+          (alias_v
+             ~inst:(Ty.Arrow (Ty.List (Ty.List Ty.Int), Ty.List Ty.Int))
+             "head" 1);
+        checks "S(head,1) @ (int*int) list" "spine-shared"
+          (alias_v
+             ~inst:(Ty.Arrow (Ty.List (Ty.Prod (Ty.Int, Ty.Int)), Ty.Prod (Ty.Int, Ty.Int)))
+             "head" 1);
+        (* len consumes l down to a base value *)
+        checks "S(len,1)" "unshared" (alias_v "len" 1);
+        checks "S(ignore2,1)" "unshared" (alias_v "ignore2" 1));
+    Alcotest.test_case "oracle-sees-real-sharing" `Quick (fun () ->
+        (* the concrete walker is not vacuous: a cons onto the argument
+           shares every argument cell with the result, a structural copy
+           shares none — on both backends *)
+        let ir_of src =
+          match Ir.of_program (Nml.Surface.of_string src) with
+          | Ir.Letrec (ds, Ir.App (Ir.Var g, input)) -> oracle_ir ds g input
+          | _ -> Alcotest.fail "unexpected program shape"
+        in
+        let extend = ir_of "letrec f l = cons 1 l in f [2, 3]" in
+        let copy =
+          ir_of
+            "letrec f l = if null l then nil else cons (car l) (f (cdr l)) \
+             in f [2, 3]"
+        in
+        let overlap_card (c, res, arg) =
+          Share_oracle.IS.cardinal (Share_oracle.overlap c res arg)
+        in
+        checki "machine extend overlap" 2 (overlap_card (machine_roots extend));
+        checki "machine copy overlap" 0 (overlap_card (machine_roots copy));
+        checki "vm extend overlap" 2 (overlap_card (vm_roots extend));
+        checki "vm copy overlap" 0 (overlap_card (vm_roots copy)));
+  ]
+
+let qcheck_sharing_oracle =
+  QCheck.Test.make ~count:250
+    ~name:"sharing-verdicts-over-approximate-the-heap"
+    (QCheck.make Gen.gen_any_program ~print:Fun.id)
+    (fun src ->
+      match
+        let s = Nml.Surface.of_string src in
+        let prog = Nml.Infer.infer_program s in
+        let t = Alias.Solver.make prog in
+        (* judge [f] at the ground instance of the actual call, the one
+           the concrete run below executes — the generated [f] may well
+           generalize (['a list -> 'a list]) while running over pairs *)
+        let inst =
+          match (Nml.Infer.main_ground prog).Nml.Tast.desc with
+          | Nml.Tast.App (fe, _) -> fe.Nml.Tast.ty
+          | _ -> raise Exit
+        in
+        let verdict = Alias.arg_verdict t ~inst "f" ~arg:1 in
+        match Ir.of_program s with
+        | Ir.Letrec (defs, Ir.App (Ir.Var g, input)) ->
+            let prog = oracle_ir defs g input in
+            let probe (c, res, arg) =
+              let ov = Share_oracle.overlap c res arg in
+              let sound =
+                match verdict with
+                | Alias.Unshared -> Share_oracle.IS.is_empty ov
+                | Alias.Shared_elem | Alias.Shared_spine -> true
+              in
+              (sound, Share_oracle.IS.cardinal ov, Share_oracle.shared_count c res)
+            in
+            let okm, novm, nshm = probe (machine_roots prog) in
+            let okv, novv, nshv = probe (vm_roots prog) in
+            (* the verdict over-approximates on both backends, and the
+               backends agree on the concrete sharing structure *)
+            okm && okv && novm = novv && nshm = nshv
+        | _ -> raise Exit
+      with
+      | r -> r
+      | exception _ -> QCheck.assume_fail ())
+
 (* ---- product consistency with the component analyses ---------------------- *)
 
 let usage_rank = function
@@ -397,7 +520,7 @@ let cache_units =
             let other = keys_of ~analysis:a prog in
             checkb (a ^ " keys all differ from escape") true
               (List.for_all (fun k -> not (List.mem k escape)) other))
-          [ "usage"; "spine-liveness"; "escape-x-usage" ]);
+          [ "usage"; "spine-liveness"; "escape-x-usage"; "sharing" ]);
     Alcotest.test_case "schema-is-v2" `Quick (fun () ->
         checks "skey schema" "nmlc/summary-cache-v2" Cache.Skey.schema_version);
     Alcotest.test_case "old-schema-record-is-a-clean-miss" `Quick (fun () ->
@@ -510,6 +633,9 @@ let () =
       ("golden", golden_units);
       ("lattice-laws", lattice_units);
       ("witnesses", witness_units);
+      ("sharing", alias_units);
+      ( "sharing-oracle",
+        [ QCheck_alcotest.to_alcotest qcheck_sharing_oracle ] );
       ("product", product_units);
       ("cache", cache_units);
       ("registry", registry_units);

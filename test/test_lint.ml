@@ -106,6 +106,19 @@ let rule_units =
     Alcotest.test_case "LINT006-unreachable-branch" `Quick (fun () ->
         check_fires const_cond "LINT006";
         check_clean no_cons "LINT006");
+    Alcotest.test_case "LINT008-fires-only-under-injection" `Quick (fun () ->
+        (* on a sound solver pair the escape and sharing analyses agree,
+           so the cross-check is silent on every real candidate *)
+        check_clean guarded_reuse "LINT008";
+        let o = lint ~fault:Lint.Rule.Corrupt_sharing guarded_reuse in
+        checkb "seeded spine-sharing verdict is caught" true (fires "LINT008" o);
+        checkb "the finding is an error" true
+          (List.exists
+             (fun d -> d.D.code = "LINT008" && d.D.severity = D.Error)
+             o.Lint.Engine.findings);
+        (* no reuse candidate: nothing to cross-check, even when seeded *)
+        let o = lint ~fault:Lint.Rule.Corrupt_sharing no_cons in
+        checkb "no candidate, no audit" false (fires "LINT008" o));
     Alcotest.test_case "dead-params-analysis" `Quick (fun () ->
         let surface s = Nml.Surface.of_string s in
         (* pure forwarding, including through recursion *)
@@ -209,7 +222,7 @@ let config_units =
         let d = List.find (fun d -> d.D.code = "LINT002") o.Lint.Engine.findings in
         checkb "LINT002 defaults to note" true (d.D.severity = D.Note));
     Alcotest.test_case "registry-metadata" `Quick (fun () ->
-        checki "seven rules" 7 (List.length Lint.Registry.all);
+        checki "eight rules" 8 (List.length Lint.Registry.all);
         List.iter
           (fun r ->
             checkb (r.Lint.Rule.code ^ " looks like LINT0xx") true
@@ -440,6 +453,14 @@ let sarif_units =
         check_valid_sarif "LINT003 with notes" doc;
         checkb "relatedLocations present" true
           (contains (J.to_string doc) "relatedLocations"));
+    Alcotest.test_case "LINT008-finding-validates-with-metadata" `Quick (fun () ->
+        checkb "LINT008 has a SARIF rule row" true
+          (List.mem_assoc "LINT008" (Lint.Registry.sarif_rules ()));
+        let o = lint ~fault:Lint.Rule.Corrupt_sharing guarded_reuse in
+        let doc = D.to_sarif ~rules:(Lint.Registry.sarif_rules ()) o.Lint.Engine.findings in
+        check_valid_sarif "LINT008 finding" doc;
+        checkb "LINT008 appears in the document" true
+          (contains (J.to_string doc) "LINT008"));
     Alcotest.test_case "validator-rejects-broken-documents" `Quick (fun () ->
         (* prove the validator has teeth: drop a required field, then use
            an illegal level *)

@@ -93,6 +93,18 @@ let mutation_tests =
         let o = M.campaign ~seed:0 ~count:60 ~source:s ir in
         checki "all draws detected" o.M.draws o.M.detected;
         checkb "no survivors" true (o.M.survivors = []));
+    Alcotest.test_case "redirect-family-is-not-vacuous" `Quick (fun () ->
+        (* the original definition keeps an unprimed recursive call on a
+           projection of its own parameter: redirecting it to the
+           destructive variant must be an available mutation *)
+        let s, ir = optimize Nml.Examples.rev_program in
+        let pts = M.points ~source:s ir in
+        checkb "has a redirect point" true
+          (List.exists
+             (fun p ->
+               String.length p.M.label >= 8
+               && String.equal (String.sub p.M.label 0 8) "redirect")
+             pts));
   ]
 
 (* ---- hand-broken IRs trigger the intended codes ---------------------------- *)
@@ -184,6 +196,35 @@ let unit_tests =
         checkb ("VET005 in: " ^ codes ds) true (has_code "VET005" ds));
   ]
 
+(* ---- dead-spine heap hints are independently re-derived -------------------- *)
+
+let hint_tests =
+  [
+    Alcotest.test_case "derivable-hint-audits-clean" `Quick (fun () ->
+        (* hd only ever takes the head of l: its spine past the first
+           cell is dead, so the advisory hint is re-derivable *)
+        let s, ir = optimize "letrec hd l = car l in hd [1, 2]" in
+        let ds, sum = V.audit ~hints:[ ("hd", [ 1 ]) ] ~source:s ir in
+        checkb ("clean, got: " ^ codes ds) true (ds = []);
+        checkb "hint was audited" true (sum.V.audited >= 1));
+    Alcotest.test_case "bogus-hint-is-VET018" `Quick (fun () ->
+        (* sum null-tests l and forwards its tail through cdr: the spine
+           is live, so the hint must be refused *)
+        let s, ir =
+          optimize
+            "letrec sum l = if null l then 0 else car l + sum (cdr l) in \
+             sum [1, 2]"
+        in
+        let ds, _ = V.audit ~hints:[ ("sum", [ 1 ]) ] ~source:s ir in
+        checkb ("VET018 in: " ^ codes ds) true (has_code "VET018" ds));
+    Alcotest.test_case "hint-for-dropped-def-is-vacuous" `Quick (fun () ->
+        (* monomorphization never emits an instance of a name that does
+           not exist: nothing to audit, nothing to report *)
+        let s, ir = optimize "letrec hd l = car l in hd [1, 2]" in
+        let ds, _ = V.audit ~hints:[ ("ghost", [ 1 ]) ] ~source:s ir in
+        checkb ("clean, got: " ^ codes ds) true (ds = []));
+  ]
+
 (* ---- diagnostics carry usable source locations ----------------------------- *)
 
 let loc_tests =
@@ -215,5 +256,6 @@ let () =
       ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_agreement ]);
       ("mutation", mutation_tests);
       ("findings", unit_tests);
+      ("hints", hint_tests);
       ("locations", loc_tests);
     ]
